@@ -1,0 +1,6 @@
+"""Benchmark harness configuration.
+
+Each benchmark target runs one experiment from repro.experiments.suite and
+prints its table; pytest-benchmark records the wall-clock of regenerating
+it.  Scales are chosen so the full suite completes in a few minutes.
+"""

@@ -1,0 +1,9 @@
+"""Benchmark T1: Theorem 3.10 bipartite approximation ratios."""
+
+from repro.experiments.suite import t01_bipartite_ratio
+
+
+def test_t01_bipartite_ratio(benchmark):
+    table = benchmark.pedantic(t01_bipartite_ratio, kwargs=dict(n_side=48, p=0.08, ks=(1, 2, 3, 4), seeds=(0, 1, 2)), rounds=1, iterations=1)
+    table.show()
+    assert all(row[-1] for row in table.rows)

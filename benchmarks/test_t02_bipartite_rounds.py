@@ -1,0 +1,9 @@
+"""Benchmark T2: Theorem 3.10 round scaling with n."""
+
+from repro.experiments.suite import t02_bipartite_rounds
+
+
+def test_t02_bipartite_rounds(benchmark):
+    table = benchmark.pedantic(t02_bipartite_rounds, kwargs=dict(ns=(32, 64, 128, 256), k=2, seeds=(0, 1)), rounds=1, iterations=1)
+    table.show()
+    assert len(table.rows) == 4

@@ -1,0 +1,9 @@
+"""Benchmark T3: Theorem 3.15 general-graph approximation ratios."""
+
+from repro.experiments.suite import t03_general_ratio
+
+
+def test_t03_general_ratio(benchmark):
+    table = benchmark.pedantic(t03_general_ratio, kwargs=dict(n=36, p=0.09, ks=(2, 3), seeds=(0, 1, 2)), rounds=1, iterations=1)
+    table.show()
+    assert all(row[3] >= row[2] - 1e-9 for row in table.rows)

@@ -1,0 +1,9 @@
+"""Benchmark T4: Israeli-Itai baseline ratio and rounds."""
+
+from repro.experiments.suite import t04_ii_baseline
+
+
+def test_t04_ii_baseline(benchmark):
+    table = benchmark.pedantic(t04_ii_baseline, kwargs=dict(ns=(50, 100, 200, 400), seeds=(0, 1, 2)), rounds=1, iterations=1)
+    table.show()
+    assert all(row[2] >= 0.5 for row in table.rows)

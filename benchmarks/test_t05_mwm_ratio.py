@@ -1,0 +1,9 @@
+"""Benchmark T5: Theorem 4.5 weighted matching ratios vs baselines."""
+
+from repro.experiments.suite import t05_mwm_ratio
+
+
+def test_t05_mwm_ratio(benchmark):
+    table = benchmark.pedantic(t05_mwm_ratio, kwargs=dict(n=44, p=0.12, eps_values=(0.3, 0.1, 0.05), seeds=(0, 1, 2)), rounds=1, iterations=1)
+    table.show()
+    assert len(table.rows) == 5

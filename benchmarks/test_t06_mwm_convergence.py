@@ -1,0 +1,9 @@
+"""Benchmark T6: Lemma 4.3 convergence trace of Algorithm 5."""
+
+from repro.experiments.suite import t06_mwm_convergence
+
+
+def test_t06_mwm_convergence(benchmark):
+    table = benchmark.pedantic(t06_mwm_convergence, kwargs=dict(n=40, p=0.15, eps=0.02, seed=0), rounds=1, iterations=1)
+    table.show()
+    assert all(row[-1] for row in table.rows)

@@ -1,0 +1,9 @@
+"""Benchmark T7: Lemma 3.3 phase structure of the bipartite algorithm."""
+
+from repro.experiments.suite import t07_phase_structure
+
+
+def test_t07_phase_structure(benchmark):
+    table = benchmark.pedantic(t07_phase_structure, kwargs=dict(n_side=40, p=0.07, k=4, seed=0), rounds=1, iterations=1)
+    table.show()
+    assert all(row[-1] for row in table.rows)

@@ -1,0 +1,9 @@
+"""Benchmark T8: CONGEST message-size compliance across algorithms."""
+
+from repro.experiments.suite import t08_message_size
+
+
+def test_t08_message_size(benchmark):
+    table = benchmark.pedantic(t08_message_size, kwargs=dict(ns=(32, 64, 128, 256)), rounds=1, iterations=1)
+    table.show()
+    assert len(table.rows) == 12

@@ -1,0 +1,9 @@
+"""Benchmark T9: switch scheduling throughput (Figure 1 motivation)."""
+
+from repro.experiments.suite import t09_switch
+
+
+def test_t09_switch(benchmark):
+    table = benchmark.pedantic(t09_switch, kwargs=dict(ports=8, cycles=300, load=0.9, seed=0), rounds=1, iterations=1)
+    table.show()
+    assert all(0 <= row[2] <= 1 for row in table.rows)

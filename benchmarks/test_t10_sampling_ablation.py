@@ -1,0 +1,9 @@
+"""Benchmark T10: ablation of Algorithm 4's coloring bias."""
+
+from repro.experiments.suite import t10_sampling_ablation
+
+
+def test_t10_sampling_ablation(benchmark):
+    table = benchmark.pedantic(t10_sampling_ablation, kwargs=dict(n=30, p=0.1, k=2, biases=(0.2, 0.35, 0.5, 0.65, 0.8), seeds=(0, 1)), rounds=1, iterations=1)
+    table.show()
+    assert len(table.rows) == 5

@@ -1,0 +1,9 @@
+"""Benchmark T11: token MIS vs explicit conflict-graph Luby."""
+
+from repro.experiments.suite import t11_mis_ablation
+
+
+def test_t11_mis_ablation(benchmark):
+    table = benchmark.pedantic(t11_mis_ablation, kwargs=dict(n_side=18, p=0.12, k=2, seeds=(0, 1, 2)), rounds=1, iterations=1)
+    table.show()
+    assert len(table.rows) == 2

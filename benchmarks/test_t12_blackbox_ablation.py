@@ -1,0 +1,9 @@
+"""Benchmark T12: Algorithm 5 black-box sensitivity."""
+
+from repro.experiments.suite import t12_blackbox_ablation
+
+
+def test_t12_blackbox_ablation(benchmark):
+    table = benchmark.pedantic(t12_blackbox_ablation, kwargs=dict(n=36, p=0.15, eps=0.1, seeds=(0, 1, 2)), rounds=1, iterations=1)
+    table.show()
+    assert len(table.rows) == 2

@@ -1,0 +1,13 @@
+"""Benchmark T13: the alpha synchronizer (paper footnote 2)."""
+
+from repro.experiments.suite import t13_synchronizer
+
+
+def test_t13_synchronizer(benchmark):
+    table = benchmark.pedantic(
+        t13_synchronizer,
+        kwargs=dict(n=40, p=0.12, seeds=(0, 1, 2)),
+        rounds=1, iterations=1,
+    )
+    table.show()
+    assert all(row[1] for row in table.rows)  # identical to sync everywhere

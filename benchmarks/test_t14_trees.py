@@ -1,0 +1,12 @@
+"""Benchmark T14: trees — exact distributed DP vs Algorithm 5."""
+
+from repro.experiments.suite import t14_trees
+
+
+def test_t14_trees(benchmark):
+    table = benchmark.pedantic(
+        t14_trees, kwargs=dict(ns=(50, 100, 200), seeds=(0, 1, 2)),
+        rounds=1, iterations=1,
+    )
+    table.show()
+    assert len(table.rows) == 6

@@ -1,0 +1,13 @@
+"""Benchmark T15: dynamic maintenance under edge churn."""
+
+from repro.experiments.suite import t15_dynamic
+
+
+def test_t15_dynamic(benchmark):
+    table = benchmark.pedantic(
+        t15_dynamic, kwargs=dict(n=24, updates=40, seeds=(0, 1, 2)),
+        rounds=1, iterations=1,
+    )
+    table.show()
+    assert all(row[3] for row in table.rows)        # invariant held
+    assert all(row[1] >= row[2] - 1e-9 for row in table.rows)

@@ -1,0 +1,13 @@
+"""Benchmark T16: switch delay vs offered load."""
+
+from repro.experiments.suite import t16_switch_load_sweep
+
+
+def test_t16_switch_load(benchmark):
+    table = benchmark.pedantic(
+        t16_switch_load_sweep,
+        kwargs=dict(ports=8, cycles=300, loads=(0.5, 0.7, 0.85, 0.95)),
+        rounds=1, iterations=1,
+    )
+    table.show()
+    assert len(table.rows) == 4

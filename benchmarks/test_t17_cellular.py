@@ -1,0 +1,19 @@
+"""Benchmark T17: cellular coverage assignment."""
+
+from repro.experiments.suite import t17_cellular
+
+
+def test_t17_cellular(benchmark):
+    table = benchmark.pedantic(
+        t17_cellular,
+        kwargs=dict(num_stations=8, capacity=4, client_counts=(20, 40, 80),
+                    seeds=(0, 1, 2)),
+        rounds=1, iterations=1,
+    )
+    table.show()
+    # the distributed assignment must dominate the naive greedy in rate
+    by_count = {}
+    for row in table.rows:
+        by_count.setdefault(row[0], {})[row[1]] = row[2]
+    for count, strategies in by_count.items():
+        assert strategies["distributed"] >= strategies["greedy_snr"] - 1e-9

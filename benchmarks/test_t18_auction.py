@@ -1,0 +1,15 @@
+"""Benchmark T18: auction vs Algorithm 5 on bipartite weighted graphs."""
+
+from repro.experiments.suite import t18_auction
+
+
+def test_t18_auction(benchmark):
+    table = benchmark.pedantic(
+        t18_auction,
+        kwargs=dict(n_side=24, p=0.2, eps_values=(0.2, 0.05),
+                    seeds=(0, 1, 2)),
+        rounds=1, iterations=1,
+    )
+    table.show()
+    for row in table.rows:
+        assert row[4] >= row[2] - 1e-9  # min ratio above guarantee

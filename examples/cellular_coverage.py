@@ -1,0 +1,54 @@
+"""Cellular coverage: assigning mobile clients to base stations.
+
+Run with::
+
+    python examples/cellular_coverage.py
+
+The paper's algorithms are used as a key component for 4G client/station
+assignment [Patt-Shamir, Rawitz & Scalosub 2012].  This example builds a
+clustered service area (hotspot demand, limited station capacities), then
+compares the naive every-client-picks-its-best-station rule with the
+distributed b-matching negotiation built from this library's machinery.
+"""
+
+from repro.cellular import (
+    CellularScenario,
+    assign_distributed,
+    assign_greedy_snr,
+    assign_sequential_greedy,
+)
+
+STATIONS = 10
+CAPACITY = 5
+CLIENTS = 60
+
+
+def show(result) -> None:
+    rounds = f"  rounds={result.rounds}" if result.rounds is not None else ""
+    print(f"{result.strategy:18s} total rate={result.total_rate:9.1f}  "
+          f"clients served={result.served_clients:3d}/{result.total_clients}"
+          f"  fairness={result.fairness:.3f}{rounds}")
+
+
+def main() -> None:
+    scenario = CellularScenario.random(STATIONS, CLIENTS, capacity=CAPACITY,
+                                       rng=17, clustered=True)
+    graph, capacity = scenario.association_graph()
+    print(f"{STATIONS} stations (capacity {CAPACITY} each), {CLIENTS} "
+          f"clients, {graph.num_edges} feasible associations\n")
+
+    show(assign_greedy_snr(scenario))
+    show(assign_sequential_greedy(scenario))
+    show(assign_distributed(scenario, seed=3))
+
+    print(
+        "\nEvery client chasing its single best station overloads hotspot"
+        "\ncells; the distributed negotiation (mutual-proposal b-matching,"
+        "\nO(1)-size messages, a handful of rounds) reassigns the overflow"
+        "\nand recovers the sequential greedy's quality — the mechanism the"
+        "\n4G assignment procedure builds on."
+    )
+
+
+if __name__ == "__main__":
+    main()

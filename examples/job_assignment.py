@@ -1,0 +1,76 @@
+"""Weighted job-server assignment: the paper's second motivating example.
+
+Run with::
+
+    python examples/job_assignment.py
+
+A set of jobs must be placed on servers; each (job, server) pair has a
+benefit, and every server runs at most one job.  Maximizing total benefit is
+exactly maximum-weight matching (paper Section 1).  We generate a skewed
+instance — a few high-value jobs, many routine ones — and compare the
+paper's Algorithm 5 against the sequential greedy and the exact optimum.
+"""
+
+import random
+
+from repro.dist.weighted import approximate_mwm, class_greedy_mwm
+from repro.graphs import BipartiteGraph
+from repro.matching.sequential import greedy_mwm, max_weight_bipartite
+
+NUM_JOBS = 30
+NUM_SERVERS = 24
+
+
+def build_instance(seed: int) -> BipartiteGraph:
+    """Jobs 0..29 on the left, servers 30..53 on the right."""
+    rng = random.Random(seed)
+    graph = BipartiteGraph(range(NUM_JOBS),
+                           range(NUM_JOBS, NUM_JOBS + NUM_SERVERS))
+    for job in range(NUM_JOBS):
+        # a handful of premium jobs are worth an order of magnitude more
+        base = 200.0 if rng.random() < 0.15 else 20.0
+        compatible = rng.sample(range(NUM_SERVERS), rng.randint(2, 6))
+        for server in compatible:
+            benefit = base * rng.uniform(0.6, 1.4)
+            graph.add_edge(job, NUM_JOBS + server, benefit)
+    return graph
+
+
+def describe(name: str, matching, graph, optimum: float,
+             rounds=None) -> None:
+    weight = matching.weight(graph)
+    placed = matching.size
+    extra = f"  rounds={rounds}" if rounds is not None else ""
+    print(f"{name:34s} benefit={weight:8.1f}  ratio={weight / optimum:.3f}  "
+          f"jobs placed={placed}{extra}")
+
+
+def main() -> None:
+    graph = build_instance(seed=13)
+    print(f"Assigning {NUM_JOBS} jobs to {NUM_SERVERS} servers "
+          f"({graph.num_edges} compatible pairs)\n")
+
+    exact = max_weight_bipartite(graph)
+    optimum = exact.weight(graph)
+    describe("exact optimum (Hungarian)", exact, graph, optimum)
+
+    greedy = greedy_mwm(graph)
+    describe("sequential greedy (1/2-MWM)", greedy, graph, optimum)
+
+    black_box, bb_net = class_greedy_mwm(graph, seed=3)
+    describe("class-greedy black box (1/4-MWM)", black_box, graph, optimum,
+             rounds=bb_net.metrics.total_rounds)
+
+    for eps in (0.3, 0.05):
+        result = approximate_mwm(graph, eps=eps, seed=3)
+        describe(f"Algorithm 5, eps={eps} ((1/2-eps)-MWM)",
+                 result.matching, graph, optimum,
+                 rounds=result.network.metrics.total_rounds)
+
+    print("\nAlgorithm 5 lifts the constant-factor black box to near-1/2")
+    print("(and usually far beyond on non-adversarial instances), in")
+    print("O(log(1/eps)) black-box invocations - Theorem 4.5.")
+
+
+if __name__ == "__main__":
+    main()

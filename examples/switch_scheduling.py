@@ -1,0 +1,68 @@
+"""Switch scheduling: the paper's Figure 1 motivation, end to end.
+
+Run with::
+
+    python examples/switch_scheduling.py
+
+Simulates a 16-port input-queued crossbar under three traffic patterns and
+compares the industrial schedulers (PIM, iSLIP — the descendants of
+Israeli-Itai the paper discusses) against schedulers built from the paper's
+matching algorithms.  Better per-cycle matchings translate directly into
+lower delay and backlog at high load.
+"""
+
+from repro.switchsim import (
+    BernoulliDiagonal,
+    BernoulliUniform,
+    DistributedMCMScheduler,
+    DistributedMWMScheduler,
+    Hotspot,
+    ISLIP,
+    MaxSizeScheduler,
+    PIM,
+    simulate,
+)
+
+PORTS = 16
+CYCLES = 400
+LOAD = 0.92
+
+
+def run_pattern(name: str, make_traffic) -> None:
+    print(f"\n--- {name} traffic, load {LOAD}, {PORTS} ports, "
+          f"{CYCLES} cycles ---")
+    print(f"{'scheduler':12s} {'throughput':>10s} {'mean delay':>10s} "
+          f"{'backlog':>8s}")
+    schedulers = [
+        PIM(iterations=3, seed=0),
+        ISLIP(PORTS, iterations=3),
+        MaxSizeScheduler(),
+        DistributedMCMScheduler(k=2, seed=0),
+        DistributedMWMScheduler(eps=0.2, seed=0),
+    ]
+    for scheduler in schedulers:
+        stats = simulate(scheduler, make_traffic(), CYCLES)
+        print(f"{stats.scheduler:12s} {stats.throughput:10.3f} "
+              f"{stats.mean_delay:10.2f} {stats.backlog:8d}")
+
+
+def main() -> None:
+    print("Input-queued crossbar scheduling (paper Section 1, Figure 1)")
+    print("Each cycle the fabric realizes one matching between input and")
+    print("output ports; the scheduler quality IS the matching quality.")
+
+    run_pattern("uniform",
+                lambda: BernoulliUniform(PORTS, LOAD, seed=11))
+    run_pattern("diagonal (skewed)",
+                lambda: BernoulliDiagonal(PORTS, LOAD, seed=11))
+    run_pattern("hotspot",
+                lambda: Hotspot(PORTS, 0.55, seed=11, hot_fraction=0.5))
+
+    print("\nTakeaway: the (1-eps)-MCM scheduler tracks the exact max-size")
+    print("scheduler, while PIM/iSLIP (maximal ~ 1/2-quality matchings)")
+    print("accumulate more delay under stress - the gap the paper's")
+    print("introduction predicts.")
+
+
+if __name__ == "__main__":
+    main()

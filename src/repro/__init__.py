@@ -1,0 +1,55 @@
+"""repro: distributed approximate matching in the CONGEST model.
+
+A full reproduction of "Improved Distributed Approximate Matching"
+(Lotker, Patt-Shamir, Pettie; SPAA 2008 / J. ACM 2015), built on the
+PODC 2007 line of work it extends.  The package provides:
+
+* a synchronous CONGEST/LOCAL network simulator with bit-level message
+  accounting (:mod:`repro.congest`);
+* the paper's algorithms — generic (1-eps)-MCM, bipartite CONGEST
+  (1-1/k)-MCM, the general-graph reduction, and the weighted
+  (1/2-eps)-MWM — plus the Israeli-Itai and Luby building blocks
+  (:mod:`repro.dist`);
+* sequential exact/approximate baselines (:mod:`repro.matching`);
+* an input-queued switch simulator for the paper's motivating
+  application (:mod:`repro.switchsim`);
+* a local-computation-algorithm matching oracle (:mod:`repro.lca`);
+* the experiment harness regenerating every claim (:mod:`repro.experiments`).
+
+Quick start::
+
+    from repro import approx_mcm
+    from repro.graphs import random_bipartite
+
+    graph = random_bipartite(100, 100, 0.05, rng=0)
+    result = approx_mcm(graph, eps=0.25, seed=0)
+    print(result.size, result.certificate.cardinality_ratio, result.rounds)
+"""
+
+from .core import (
+    MatchingResult,
+    approx_mcm,
+    approx_mwm,
+    eps_to_k,
+    exact_mcm,
+    exact_mwm,
+    maximal_matching,
+)
+from .graphs import BipartiteGraph, Graph
+from .matching import Matching
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MatchingResult",
+    "approx_mcm",
+    "approx_mwm",
+    "eps_to_k",
+    "exact_mcm",
+    "exact_mwm",
+    "maximal_matching",
+    "BipartiteGraph",
+    "Graph",
+    "Matching",
+    "__version__",
+]

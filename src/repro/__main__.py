@@ -1,0 +1,120 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro experiments --list
+    python -m repro experiments t01 t05      # run specific tables
+    python -m repro experiments --all        # the full suite
+    python -m repro match edges.txt --eps 0.25 --seed 3
+    python -m repro match edges.txt --weighted --eps 0.1
+
+``match`` reads an edge-list file (see :mod:`repro.graphs.io`), runs the
+appropriate paper algorithm, and prints the verified result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.api import approx_mcm, approx_mwm
+from .experiments.suite import ALL_EXPERIMENTS
+from .graphs.io import read_edge_list
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    if args.list:
+        print("available experiments:")
+        for name in sorted(ALL_EXPERIMENTS):
+            fn = ALL_EXPERIMENTS[name]
+            doc = (fn.__doc__ or "").strip().splitlines()
+            print(f"  {name}: {doc[0] if doc else fn.__name__}")
+        return 0
+    names = sorted(ALL_EXPERIMENTS) if args.all else args.names
+    if not names:
+        print("nothing to run: pass experiment names, --all, or --list",
+              file=sys.stderr)
+        return 2
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    if args.report:
+        from .experiments.report import write_report
+
+        path = write_report(args.report, names)
+        print(f"report written to {path}")
+        return 0
+    for name in names:
+        ALL_EXPERIMENTS[name]().show()
+    return 0
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.path)
+    print(f"loaded {graph.num_nodes} nodes, {graph.num_edges} edges "
+          f"(max degree {graph.max_degree})")
+    if args.weighted:
+        result = approx_mwm(graph, eps=args.eps, seed=args.seed)
+    else:
+        result = approx_mcm(graph, eps=args.eps, seed=args.seed)
+    cert = result.certificate
+    print(f"algorithm : {result.algorithm}")
+    print(f"size      : {result.size}")
+    print(f"weight    : {cert.weight:.6g}")
+    if cert.cardinality_ratio is not None and not args.weighted:
+        print(f"ratio     : {cert.cardinality_ratio:.4f} (vs exact optimum)")
+    if cert.weight_ratio is not None and args.weighted:
+        print(f"ratio     : {cert.weight_ratio:.4f} (vs exact optimum)")
+    if result.metrics is not None:
+        print(f"rounds    : {result.metrics.total_rounds}")
+        print(f"messages  : {result.metrics.messages} "
+              f"({result.metrics.total_bits} bits, "
+              f"max {result.metrics.max_message_bits} bits)")
+    if args.output:
+        for u, v in result.matching.edges():
+            print(f"{u} {v}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed approximate matching (CONGEST) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiments",
+                         help="run the T1-T18 experiment tables")
+    exp.add_argument("names", nargs="*", help="experiment ids, e.g. t01 t05")
+    exp.add_argument("--all", action="store_true", help="run the full suite")
+    exp.add_argument("--list", action="store_true",
+                     help="list available experiments")
+    exp.add_argument("--report", metavar="PATH",
+                     help="write a markdown report instead of printing")
+    exp.set_defaults(func=_cmd_experiments)
+
+    match = sub.add_parser("match", help="match a graph from an edge list")
+    match.add_argument("path", help="edge-list file (u v [weight] per line)")
+    match.add_argument("--eps", type=float, default=0.25,
+                       help="approximation slack (default 0.25)")
+    match.add_argument("--seed", type=int, default=0)
+    match.add_argument("--weighted", action="store_true",
+                       help="maximize weight instead of cardinality")
+    match.add_argument("--output", action="store_true",
+                       help="print the matched edges")
+    match.set_defaults(func=_cmd_match)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # output piped into a pager that quit early: not an error
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Cellular coverage: the 4G assignment application built on this paper."""
+
+from .assignment import (
+    AssignmentResult,
+    assign_distributed,
+    assign_greedy_snr,
+    assign_optimal,
+    assign_sequential_greedy,
+)
+from .scenario import CellularScenario, Client, RadioModel, Station
+
+__all__ = [
+    "AssignmentResult",
+    "assign_distributed",
+    "assign_greedy_snr",
+    "assign_optimal",
+    "assign_sequential_greedy",
+    "CellularScenario",
+    "Client",
+    "RadioModel",
+    "Station",
+]

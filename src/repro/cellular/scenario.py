@@ -1,0 +1,141 @@
+"""Cellular coverage scenarios: base stations, clients, and rate models.
+
+The paper's matching algorithm "serves as a key component in a distributed
+procedure that finds an assignment of mobile nodes to base stations in 4G
+cellular networks" [Patt-Shamir, Rawitz & Scalosub 2012].  This package
+builds that application end to end: stations with limited capacity, clients
+with radio rates decaying in distance, and an assignment problem that is
+exactly maximum-weight b-matching — solved by the library's distributed
+machinery.
+
+The radio model is the standard log-distance one: the achievable rate of a
+(client, station) pair at distance ``d`` is ``bandwidth * log2(1 + snr0 /
+d^alpha)``, truncated at a maximum association range.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..graphs.graph import BipartiteGraph
+
+RngLike = Union[int, random.Random, None]
+
+
+def _rng(rng: RngLike) -> random.Random:
+    return rng if isinstance(rng, random.Random) else random.Random(rng)
+
+
+@dataclass(frozen=True)
+class Station:
+    """A base station: position, simultaneous-client capacity."""
+
+    station_id: int
+    x: float
+    y: float
+    capacity: int
+
+
+@dataclass(frozen=True)
+class Client:
+    """A mobile client at a position."""
+
+    client_id: int
+    x: float
+    y: float
+
+
+@dataclass
+class RadioModel:
+    """Log-distance rate model."""
+
+    bandwidth: float = 20.0      # MHz-ish scale factor
+    snr0: float = 1000.0         # reference SNR at unit distance
+    alpha: float = 3.0           # path-loss exponent
+    max_range: float = 0.35      # association cutoff (same units as positions)
+    min_rate: float = 1e-3       # rates below this are unusable
+
+    def rate(self, dx: float, dy: float) -> Optional[float]:
+        """Achievable rate for a displacement, or None if out of range."""
+        d = math.hypot(dx, dy)
+        if d > self.max_range:
+            return None
+        d = max(d, 1e-3)
+        value = self.bandwidth * math.log2(1.0 + self.snr0 / (d ** self.alpha))
+        return value if value >= self.min_rate else None
+
+
+@dataclass
+class CellularScenario:
+    """A populated service area."""
+
+    stations: List[Station]
+    clients: List[Client]
+    radio: RadioModel = field(default_factory=RadioModel)
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def random(cls, num_stations: int, num_clients: int,
+               capacity: int = 4, rng: RngLike = None,
+               radio: Optional[RadioModel] = None,
+               clustered: bool = False) -> "CellularScenario":
+        """Random placement in the unit square.
+
+        ``clustered=True`` drops clients around hotspots (a realistic urban
+        pattern that stresses station capacities).
+        """
+        if num_stations < 1 or num_clients < 1:
+            raise ValueError("need at least one station and one client")
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        r = _rng(rng)
+        stations = [
+            Station(i, r.random(), r.random(), capacity)
+            for i in range(num_stations)
+        ]
+        clients: List[Client] = []
+        if clustered:
+            hotspots = [(r.random(), r.random())
+                        for _ in range(max(1, num_stations // 2))]
+            for j in range(num_clients):
+                hx, hy = r.choice(hotspots)
+                clients.append(Client(
+                    j,
+                    min(1.0, max(0.0, hx + r.gauss(0, 0.07))),
+                    min(1.0, max(0.0, hy + r.gauss(0, 0.07))),
+                ))
+        else:
+            clients = [Client(j, r.random(), r.random())
+                       for j in range(num_clients)]
+        return cls(stations=stations, clients=clients,
+                   radio=radio or RadioModel())
+
+    # -- the matching instance ----------------------------------------------
+    def association_graph(self) -> Tuple[BipartiteGraph, Dict[int, int]]:
+        """The (client, station) candidate graph and the capacity map.
+
+        Clients occupy node ids ``0 .. C-1`` (left side); station ``s`` is
+        node ``C + s`` (right side).  Edge weights are achievable rates;
+        capacities are 1 for clients, ``station.capacity`` for stations.
+        """
+        offset = len(self.clients)
+        graph = BipartiteGraph(
+            range(len(self.clients)),
+            range(offset, offset + len(self.stations)),
+        )
+        capacity: Dict[int, int] = {c.client_id: 1 for c in self.clients}
+        for s in self.stations:
+            capacity[offset + s.station_id] = s.capacity
+        for c in self.clients:
+            for s in self.stations:
+                rate = self.radio.rate(c.x - s.x, c.y - s.y)
+                if rate is not None:
+                    graph.add_edge(c.client_id, offset + s.station_id, rate)
+        return graph, capacity
+
+    @property
+    def station_offset(self) -> int:
+        return len(self.clients)

@@ -1,0 +1,67 @@
+"""CONGEST/LOCAL synchronous network simulator with bit-level accounting."""
+
+from .asynchrony import (
+    AsyncNetwork,
+    AsyncReport,
+    DelayModel,
+    FixedDelay,
+    HeavyTailDelay,
+    SlowEdgeDelay,
+    SynchronizedNetwork,
+    UniformDelay,
+)
+from .faults import LossyNetwork
+from .message import MessageError, int_bits, log2n, payload_bits
+from .metrics import Metrics
+from .network import Network, NodeFactory, ProtocolError, RunResult
+from .node import BROADCAST, Inbox, NodeAlgorithm, NodeContext, Outbox
+from .policies import (
+    CONGEST,
+    LOCAL,
+    PIPELINE,
+    BandwidthExceeded,
+    BandwidthPolicy,
+    Mode,
+    congest,
+    pipeline,
+)
+from .tracing import TraceEvent, Tracer
+from .utilities import exchange_tokens, flood_max
+
+__all__ = [
+    "AsyncNetwork",
+    "AsyncReport",
+    "DelayModel",
+    "FixedDelay",
+    "HeavyTailDelay",
+    "SlowEdgeDelay",
+    "SynchronizedNetwork",
+    "UniformDelay",
+    "LossyNetwork",
+    "MessageError",
+    "int_bits",
+    "log2n",
+    "payload_bits",
+    "Metrics",
+    "Network",
+    "NodeFactory",
+    "ProtocolError",
+    "RunResult",
+    "BROADCAST",
+    "Inbox",
+    "NodeAlgorithm",
+    "NodeContext",
+    "Outbox",
+    "CONGEST",
+    "LOCAL",
+    "PIPELINE",
+    "BandwidthExceeded",
+    "BandwidthPolicy",
+    "Mode",
+    "congest",
+    "pipeline",
+    "TraceEvent",
+    "Tracer",
+    "exchange_tokens",
+    "flood_max",
+]

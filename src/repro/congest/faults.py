@@ -1,0 +1,53 @@
+"""Fault injection: what happens when the paper's assumptions break.
+
+The paper assumes reliable synchronous communication (footnote 2: "we do
+not consider faults").  This module makes that assumption *testable*: a
+:class:`LossyNetwork` drops each delivered message independently with
+probability ``loss``, so one can observe the algorithms mis-behave — and,
+crucially, watch the distributed self-checkers of
+:mod:`repro.dist.checkers` catch the damage.  It exists for experiments and
+tests, not as a recommended execution mode.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Optional
+
+from ..graphs.graph import Graph
+from .network import Network
+from .policies import CONGEST, BandwidthPolicy
+from .tracing import Tracer
+
+
+class LossyNetwork(Network):
+    """A :class:`Network` whose links drop messages i.i.d. with rate ``loss``.
+
+    Drops happen after metric accounting (the message was sent and paid
+    for — it just never arrives), which mirrors a real lossy link.  The
+    drop count is available as :attr:`dropped`.
+    """
+
+    def __init__(self, graph: Graph, loss: float,
+                 policy: BandwidthPolicy = CONGEST, seed: int = 0,
+                 tracer: Optional[Tracer] = None) -> None:
+        if not 0.0 <= loss < 1.0:
+            raise ValueError("loss must be in [0, 1)")
+        super().__init__(graph, policy=policy, seed=seed, tracer=tracer)
+        self.loss = loss
+        self.dropped = 0
+        self._loss_rng = random.Random(seed ^ 0x1F123BB5)
+
+    def _deliver(self, outboxes: Dict[int, Dict[Any, Any]], n: int,
+                 protocol: str = "protocol", round_number: int = 0):
+        inboxes, extra = super()._deliver(outboxes, n, protocol, round_number)
+        if self.loss == 0.0:
+            return inboxes, extra
+        for receiver in sorted(inboxes):
+            for sender in sorted(inboxes[receiver]):
+                if self._loss_rng.random() < self.loss:
+                    del inboxes[receiver][sender]
+                    self.dropped += 1
+            if not inboxes[receiver]:
+                del inboxes[receiver]
+        return inboxes, extra

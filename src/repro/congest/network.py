@@ -1,0 +1,180 @@
+"""The synchronous message-passing engine.
+
+As the paper assumes, the input graph *is* the communication network: in each
+round every processor sends (possibly different) messages to its neighbors,
+receives, and computes.  The engine delivers messages, prices them under the
+active :class:`BandwidthPolicy`, accumulates :class:`Metrics`, and detects
+termination (all nodes halted) or quiescence (no traffic and nobody spoke).
+
+Composite algorithms run several *protocols* on one persistent network; the
+metrics accumulate so composite costs are the true totals.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from ..graphs.graph import Graph
+from .message import payload_bits
+from .metrics import Metrics
+from .tracing import TraceEvent, Tracer
+from .node import BROADCAST, NodeAlgorithm, NodeContext
+from .policies import CONGEST, BandwidthPolicy
+
+NodeFactory = Callable[[NodeContext], NodeAlgorithm]
+
+DEFAULT_MAX_ROUNDS = 100_000
+
+
+class ProtocolError(RuntimeError):
+    """Raised for protocol violations (bad targets, runaway protocols...)."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of one protocol execution."""
+
+    outputs: Dict[int, Any]
+    rounds: int
+    all_finished: bool
+
+    def output_of(self, node: int) -> Any:
+        return self.outputs[node]
+
+
+class Network:
+    """A simulated synchronous network over a :class:`Graph`."""
+
+    def __init__(self, graph: Graph, policy: BandwidthPolicy = CONGEST,
+                 seed: int = 0, tracer: Optional[Tracer] = None) -> None:
+        self.graph = graph
+        self.policy = policy
+        self.seed = seed
+        self.tracer = tracer
+        self.metrics = Metrics()
+        self._run_counter = 0
+        self._neighbor_cache: Dict[int, tuple] = {
+            v: tuple(graph.neighbors(v)) for v in graph.nodes
+        }
+        self._weight_cache: Dict[int, Dict[int, float]] = {
+            v: {u: graph.weight(v, u) for u in self._neighbor_cache[v]}
+            for v in graph.nodes
+        }
+
+    # ------------------------------------------------------------------
+    def node_rng(self, node_id: int, salt: int = 0) -> random.Random:
+        """A deterministic private random stream for a node."""
+        mixed = (self.seed * 0x9E3779B97F4A7C15
+                 + self._run_counter * 0x100000001B3
+                 + salt * 0x1003F
+                 + node_id) & ((1 << 64) - 1)
+        return random.Random(mixed)
+
+    def run(self, factory: NodeFactory, protocol: str = "protocol",
+            shared: Optional[Dict[str, Any]] = None,
+            max_rounds: Optional[int] = None) -> RunResult:
+        """Execute one protocol to termination/quiescence.
+
+        ``factory`` builds the node program from its :class:`NodeContext`.
+        ``shared`` holds globally known constants (n, k, epsilon, W_max ...),
+        readable by every node — the paper's standing assumptions.
+        """
+        self._run_counter += 1
+        limit = max_rounds if max_rounds is not None else DEFAULT_MAX_ROUNDS
+        shared = dict(shared or {})
+        n = self.graph.num_nodes
+
+        algorithms: Dict[int, NodeAlgorithm] = {}
+        for v in self.graph.nodes:
+            ctx = NodeContext(
+                node_id=v,
+                neighbors=self._neighbor_cache[v],
+                edge_weights=self._weight_cache[v],
+                n=n,
+                rng=self.node_rng(v),
+                shared=shared,
+            )
+            algorithms[v] = factory(ctx)
+
+        outboxes: Dict[int, Dict[Any, Any]] = {}
+        for v in self.graph.nodes:
+            out = algorithms[v].start()
+            if out:
+                outboxes[v] = out
+
+        rounds_this_run = 0
+        while True:
+            if all(alg.finished for alg in algorithms.values()):
+                break
+            in_flight = any(outboxes.values())
+            if (not in_flight and rounds_this_run > 0
+                    and all(alg.finished or alg.passive
+                            for alg in algorithms.values())):
+                # quiescent: nothing in flight and every live node is purely
+                # event-driven, so nothing will ever move again
+                break
+            if rounds_this_run >= limit:
+                raise ProtocolError(
+                    f"protocol {protocol!r} exceeded {limit} rounds "
+                    f"(likely a livelock)"
+                )
+
+            inboxes, extra = self._deliver(outboxes, n, protocol,
+                                           rounds_this_run + 1)
+            rounds_this_run += 1
+            self.metrics.record_round(protocol, extra)
+
+            outboxes = {}
+            for v in self.graph.nodes:
+                alg = algorithms[v]
+                if alg.finished:
+                    continue
+                out = alg.on_round(inboxes.get(v, {}))
+                if out:
+                    outboxes[v] = out
+
+        return RunResult(
+            outputs={v: algorithms[v].output for v in self.graph.nodes},
+            rounds=rounds_this_run,
+            all_finished=all(alg.finished for alg in algorithms.values()),
+        )
+
+    # ------------------------------------------------------------------
+    def _deliver(self, outboxes: Dict[int, Dict[Any, Any]], n: int,
+                 protocol: str = "protocol", round_number: int = 0):
+        """Expand broadcasts, price messages, and build inboxes."""
+        inboxes: Dict[int, Dict[int, Any]] = {}
+        extra_rounds = 0
+        for sender in sorted(outboxes):
+            out = outboxes[sender]
+            expanded: Dict[int, Any] = {}
+            for target, payload in out.items():
+                if target == BROADCAST:
+                    for u in self._neighbor_cache[sender]:
+                        expanded[u] = payload
+                else:
+                    if target not in self._weight_cache[sender]:
+                        raise ProtocolError(
+                            f"node {sender} tried to message non-neighbor "
+                            f"{target}"
+                        )
+                    expanded[target] = payload
+            for target, payload in expanded.items():
+                bits = payload_bits(payload)
+                charge = self.policy.charge(bits, n, sender, target)
+                extra_rounds = max(extra_rounds, charge)
+                self.metrics.record_message(bits)
+                if self.tracer is not None:
+                    self.tracer.record(TraceEvent(
+                        protocol=protocol, round=round_number,
+                        sender=sender, receiver=target,
+                        bits=bits, payload=payload,
+                    ))
+                inboxes.setdefault(target, {})[sender] = payload
+        return inboxes, extra_rounds
+
+    def global_check(self) -> None:
+        """Record a driver-level global predicate evaluation (see Metrics)."""
+        self.metrics.record_global_check()

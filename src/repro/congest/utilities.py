@@ -1,0 +1,86 @@
+"""Reusable CONGEST building blocks: aggregation floods.
+
+``flood_max`` computes a global maximum by iterated neighborhood exchange:
+after ``T`` rounds every node knows the maximum over its ``T``-ball, so
+``T = diameter`` rounds suffice for the global value.  The paper assumes
+globally known bounds (W_max, n); algorithms that instead *compute* a global
+maximum use this protocol and pay its rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple
+
+from .network import Network, RunResult
+from .node import BROADCAST, Inbox, NodeAlgorithm, NodeContext, Outbox
+
+
+class FloodMaxNode(NodeAlgorithm):
+    """Each node repeatedly broadcasts the largest value it has seen.
+
+    Runs for exactly ``ctx.shared['rounds']`` rounds; output is the local
+    maximum, which is the global maximum when rounds >= diameter.  Values
+    must be mutually comparable; ints keep messages within O(log W) bits.
+    """
+
+    def __init__(self, ctx: NodeContext) -> None:
+        super().__init__(ctx)
+        self.best = ctx.shared["values"][ctx.node_id]
+        self.rounds_left = int(ctx.shared["rounds"])
+
+    def start(self) -> Outbox:
+        if self.rounds_left <= 0 or not self.neighbors:
+            return self.halt(self.best)
+        return {BROADCAST: self.best}
+
+    def on_round(self, inbox: Inbox) -> Outbox:
+        for value in inbox.values():
+            if value > self.best:
+                self.best = value
+        self.rounds_left -= 1
+        if self.rounds_left <= 0:
+            return self.halt(self.best)
+        # rebroadcast every round: a value may still be propagating far away
+        return {BROADCAST: self.best}
+
+
+def flood_max(network: Network, values: Dict[int, Any], rounds: int) -> Dict[int, Any]:
+    """Run the flood-max protocol; returns each node's resulting maximum."""
+    result = network.run(
+        lambda ctx: FloodMaxNode(ctx),
+        protocol="flood_max",
+        shared={"values": values, "rounds": rounds},
+        max_rounds=rounds + 2,
+    )
+    return result.outputs
+
+
+class ColorExchangeNode(NodeAlgorithm):
+    """One-round exchange of a per-node token with all neighbors.
+
+    Used by Algorithm 4 to tell every node the colors of its neighbors
+    (one O(1)-bit message per edge).  Output: (own token, neighbor tokens).
+    """
+
+    def __init__(self, ctx: NodeContext) -> None:
+        super().__init__(ctx)
+        self.token = ctx.shared["tokens"][ctx.node_id]
+
+    def start(self) -> Outbox:
+        if not self.neighbors:
+            return self.halt((self.token, {}))
+        return {BROADCAST: self.token}
+
+    def on_round(self, inbox: Inbox) -> Outbox:
+        return self.halt((self.token, dict(inbox)))
+
+
+def exchange_tokens(network: Network, tokens: Dict[int, Any]) -> Dict[int, Tuple[Any, Dict[int, Any]]]:
+    """One synchronous round in which every node learns neighbors' tokens."""
+    result = network.run(
+        lambda ctx: ColorExchangeNode(ctx),
+        protocol="token_exchange",
+        shared={"tokens": tokens},
+        max_rounds=3,
+    )
+    return result.outputs

@@ -1,0 +1,21 @@
+"""High-level public API: one-call matching with verification and metrics."""
+
+from .api import (
+    approx_mcm,
+    approx_mwm,
+    eps_to_k,
+    exact_mcm,
+    exact_mwm,
+    maximal_matching,
+)
+from .results import MatchingResult
+
+__all__ = [
+    "approx_mcm",
+    "approx_mwm",
+    "eps_to_k",
+    "exact_mcm",
+    "exact_mwm",
+    "maximal_matching",
+    "MatchingResult",
+]

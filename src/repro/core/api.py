@@ -1,0 +1,161 @@
+"""The high-level public API of the library.
+
+One-call entry points for every algorithm family:
+
+* :func:`approx_mcm` — the paper's (1 - eps)-approximate maximum-cardinality
+  matching; dispatches between the bipartite CONGEST algorithm
+  (Theorem 3.10), the general-graph reduction (Theorem 3.15), and the
+  generic LOCAL algorithm (Theorem 3.7).
+* :func:`approx_mwm` — the paper's (1/2 - eps)-approximate maximum-weight
+  matching (Theorem 4.5), or the LOCAL (1 - eps)-MWM of the Section 4
+  Remark.
+* :func:`maximal_matching` — the Israeli-Itai baseline.
+* :func:`exact_mcm` / :func:`exact_mwm` — sequential exact references.
+
+Every distributed result is verified (:class:`Certificate`) and carries the
+full round/message/bit metrics of its run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..congest.network import Network
+from ..congest.policies import CONGEST, PIPELINE, BandwidthPolicy
+from ..graphs.graph import BipartiteGraph, Graph
+from ..matching.core import Matching
+from ..matching.sequential.blossom import max_cardinality
+from ..matching.sequential.hungarian import max_weight_bipartite
+from ..matching.verify import certify
+from ..dist.bipartite_mcm import bipartite_mcm
+from ..dist.general_mcm import general_mcm
+from ..dist.generic_mcm import generic_mcm
+from ..dist.israeli_itai import israeli_itai
+from ..dist.weighted.algorithm5 import approximate_mwm
+from ..dist.weighted.hv_local import hv_mwm
+from .results import MatchingResult
+
+
+def _is_bipartite(graph: Graph) -> bool:
+    if isinstance(graph, BipartiteGraph):
+        return True
+    return graph.bipartition() is not None
+
+
+def eps_to_k(eps: float) -> int:
+    """Phases needed for a (1 - eps) guarantee: (1 - 1/(k+1)) >= 1 - eps."""
+    if not 0 < eps < 1:
+        raise ValueError("eps must be in (0, 1)")
+    return max(1, math.ceil(1.0 / eps) - 1)
+
+
+def approx_mcm(graph: Graph, eps: float = 0.25, seed: int = 0,
+               model: str = "congest",
+               policy: Optional[BandwidthPolicy] = None) -> MatchingResult:
+    """(1 - eps)-approximate maximum-cardinality matching.
+
+    ``model="congest"`` uses Theorem 3.10 on bipartite inputs and
+    Theorem 3.15 (Algorithm 4 with certified stopping) otherwise;
+    ``model="local"`` forces the generic Algorithm 1.  The certificate
+    includes the exact optimum (computed sequentially for verification).
+    """
+    k = eps_to_k(eps)
+    if model == "local":
+        res = generic_mcm(graph, k=k, seed=seed)
+        matching, metrics, detail, name = (
+            res.matching, res.network.metrics, res, "generic_mcm(local)"
+        )
+    elif model == "congest":
+        if _is_bipartite(graph):
+            bres = bipartite_mcm(graph, k=k, seed=seed,
+                                 policy=policy or PIPELINE)
+            matching, metrics, detail, name = (
+                bres.matching, bres.network.metrics, bres, "bipartite_mcm"
+            )
+        else:
+            gres = general_mcm(graph, k=k, seed=seed,
+                               policy=policy or PIPELINE, stopping="exact")
+            matching, metrics, detail, name = (
+                gres.matching, gres.network.metrics, gres, "general_mcm"
+            )
+    else:
+        raise ValueError(f"unknown model {model!r}; use 'congest' or 'local'")
+
+    optimum = max_cardinality(graph).size
+    cert = certify(graph, matching, optimum_size=optimum)
+    return MatchingResult(matching=matching, algorithm=name,
+                          certificate=cert, metrics=metrics, detail=detail)
+
+
+def approx_mwm(graph: Graph, eps: float = 0.1, seed: int = 0,
+               model: str = "congest", black_box: str = "class_greedy",
+               reference: Optional[float] = None) -> MatchingResult:
+    """Approximate maximum-weight matching.
+
+    ``model="congest"``: Algorithm 5, a (1/2 - eps)-MWM (Theorem 4.5).
+    ``model="local"``: the Section 4 Remark's (1 - eps)-MWM.
+    ``model="auction"``: the Bertsekas auction, a (1 - eps)-MWM for
+    *bipartite* graphs in the CONGEST model (event-driven; rounds grow as
+    1/eps).
+    ``reference`` optionally supplies the optimum weight for the
+    certificate (e.g. from :func:`exact_mwm` or networkx); when omitted,
+    the bipartite optimum is computed exactly and general graphs get no
+    reference (computing exact general MWM is outside the library's scope).
+    """
+    if model == "congest":
+        res = approximate_mwm(graph, eps=eps, seed=seed, black_box=black_box)
+        matching, metrics, detail, name = (
+            res.matching, res.network.metrics, res, f"algorithm5({black_box})"
+        )
+    elif model == "local":
+        hres = hv_mwm(graph, eps=eps, seed=seed)
+        matching, metrics, detail, name = (
+            hres.matching, hres.network.metrics, hres, "hv_mwm(local)"
+        )
+    elif model == "auction":
+        from ..dist.auction import auction_mwm
+
+        amatching, anet = auction_mwm(graph, eps=eps, seed=seed)
+        matching, metrics, detail, name = (
+            amatching, anet.metrics, None, "auction"
+        )
+    else:
+        raise ValueError(
+            f"unknown model {model!r}; use 'congest', 'local', or 'auction'"
+        )
+
+    optimum_weight = reference
+    if optimum_weight is None and _is_bipartite(graph):
+        optimum_weight = max_weight_bipartite(graph).weight(graph)
+    cert = certify(graph, matching, optimum_weight=optimum_weight)
+    return MatchingResult(matching=matching, algorithm=name,
+                          certificate=cert, metrics=metrics, detail=detail)
+
+
+def maximal_matching(graph: Graph, seed: int = 0,
+                     policy: Optional[BandwidthPolicy] = None) -> MatchingResult:
+    """The Israeli-Itai baseline: a maximal (hence 1/2-approximate) matching."""
+    net = Network(graph, policy=policy or CONGEST, seed=seed)
+    matching = israeli_itai(net)
+    optimum = max_cardinality(graph).size
+    cert = certify(graph, matching, optimum_size=optimum)
+    return MatchingResult(matching=matching, algorithm="israeli_itai",
+                          certificate=cert, metrics=net.metrics)
+
+
+def exact_mcm(graph: Graph) -> MatchingResult:
+    """Exact maximum-cardinality matching (Hopcroft-Karp / blossom)."""
+    matching = max_cardinality(graph)
+    cert = certify(graph, matching, optimum_size=matching.size)
+    return MatchingResult(matching=matching, algorithm="exact_mcm",
+                          certificate=cert)
+
+
+def exact_mwm(graph: Graph) -> MatchingResult:
+    """Exact maximum-weight matching for *bipartite* graphs (Hungarian)."""
+    matching = max_weight_bipartite(graph)
+    cert = certify(graph, matching,
+                   optimum_weight=matching.weight(graph))
+    return MatchingResult(matching=matching, algorithm="exact_mwm",
+                          certificate=cert)

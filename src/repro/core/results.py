@@ -1,0 +1,44 @@
+"""Result types returned by the high-level API."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..congest.metrics import Metrics
+from ..matching.core import Matching
+from ..matching.verify import Certificate
+
+
+@dataclass
+class MatchingResult:
+    """A matching plus its verification certificate and distributed cost.
+
+    ``metrics`` is ``None`` for sequential algorithms; ``detail`` carries the
+    algorithm-specific result object (phase traces, iteration stats, ...).
+    """
+
+    matching: Matching
+    algorithm: str
+    certificate: Certificate
+    metrics: Optional[Metrics] = None
+    detail: Any = None
+
+    @property
+    def size(self) -> int:
+        return self.matching.size
+
+    @property
+    def weight(self) -> float:
+        return self.certificate.weight
+
+    @property
+    def rounds(self) -> Optional[int]:
+        return self.metrics.total_rounds if self.metrics is not None else None
+
+    def __repr__(self) -> str:
+        rounds = f" rounds={self.rounds}" if self.metrics is not None else ""
+        return (
+            f"<MatchingResult {self.algorithm}: size={self.size} "
+            f"weight={self.weight:.4g}{rounds}>"
+        )

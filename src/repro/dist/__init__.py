@@ -1,0 +1,80 @@
+"""Distributed algorithms: node programs and drivers.
+
+Baselines: :func:`israeli_itai` (1/2-MCM), :func:`luby_mis`.
+Paper algorithms: :func:`generic_mcm` (Algorithm 1, LOCAL),
+:func:`bipartite_mcm` (Theorem 3.10), :func:`general_mcm` (Algorithm 4 /
+Theorem 3.15), and the weighted suite in :mod:`repro.dist.weighted`.
+"""
+
+from .bipartite_counting import CountState, X_SIDE, Y_SIDE, leaders_of, run_counting
+from .bipartite_mcm import (
+    AugmentationStats,
+    BipartiteMCMResult,
+    PhaseStats,
+    augment_to_level,
+    bipartite_mcm,
+    side_map_of,
+)
+from .general_mcm import (
+    GeneralMCMResult,
+    IterationStats,
+    general_mcm,
+    theory_iterations,
+)
+from .generic_mcm import GenericMCMResult, GenericPhase, generic_mcm
+from .israeli_itai import IsraeliItaiNode, israeli_itai
+from .local_views import LocalViewNode, flood_views, view_to_graph
+from .luby_mis import LubyMISNode, luby_mis
+from .random_tools import sample_max_uniform, weighted_choice
+from .auction import AuctionNode, auction_mwm
+from .b_matching import (
+    BMatchingError,
+    b_matching_weight,
+    distributed_b_matching,
+    validate_b_matching,
+)
+from .checkers import check_matching, check_maximality
+from .token_mis import TokenNode, run_token_selection
+from .tree_mwm import TreeMWMNode, tree_mwm
+
+__all__ = [
+    "CountState",
+    "X_SIDE",
+    "Y_SIDE",
+    "leaders_of",
+    "run_counting",
+    "AugmentationStats",
+    "BipartiteMCMResult",
+    "PhaseStats",
+    "augment_to_level",
+    "bipartite_mcm",
+    "side_map_of",
+    "GeneralMCMResult",
+    "IterationStats",
+    "general_mcm",
+    "theory_iterations",
+    "GenericMCMResult",
+    "GenericPhase",
+    "generic_mcm",
+    "IsraeliItaiNode",
+    "israeli_itai",
+    "LocalViewNode",
+    "flood_views",
+    "view_to_graph",
+    "LubyMISNode",
+    "luby_mis",
+    "sample_max_uniform",
+    "weighted_choice",
+    "AuctionNode",
+    "auction_mwm",
+    "check_matching",
+    "check_maximality",
+    "TokenNode",
+    "run_token_selection",
+    "BMatchingError",
+    "b_matching_weight",
+    "distributed_b_matching",
+    "validate_b_matching",
+    "TreeMWMNode",
+    "tree_mwm",
+]

@@ -1,0 +1,197 @@
+"""Bertsekas-style auction for bipartite maximum-weight matching.
+
+A classic alternative to the paper's Algorithm 5 on bipartite inputs, and a
+natural citizen of this library's simulator because it is *entirely
+event-driven* (auctions tolerate asynchrony natively — they run unchanged
+under the delay models of :mod:`repro.congest.asynchrony`).
+
+Bidders (the X side) compete for items (the Y side) by raising prices:
+
+* an unassigned bidder values item j at ``v_j = w(x, j) - price_j``; being
+  unmatched is worth 0.  If every value is negative it drops out; otherwise
+  it bids ``price_best + (v_best - v_second) + epsilon`` on its best item,
+  where ``v_second`` is the runner-up value (floored at 0, the outside
+  option);
+* an item awards itself to the highest sufficient bid, raises its price to
+  the winning bid, evicts the previous owner (who re-bids), rejects lower
+  bids with the current price (so stale caches self-correct), and
+  broadcasts the new price to its neighborhood.
+
+epsilon-complementary slackness gives the standard guarantee: the final
+assignment is within ``n * epsilon`` of the optimum, so ``epsilon =
+eps * W_max / n`` yields a (1 - eps)-MWM (``w(M*) >= W_max``).  Each award
+raises a price by at least epsilon, bounding the total work by
+``n * W_max / epsilon`` awards — the classic quality/round trade-off, which
+T18 measures against Algorithm 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..congest.network import Network
+from ..congest.node import Inbox, NodeAlgorithm, NodeContext, Outbox
+from ..congest.policies import CONGEST, BandwidthPolicy
+from ..graphs.graph import BipartiteGraph, Graph, GraphError
+from ..matching.core import Matching
+from .bipartite_counting import X_SIDE, Y_SIDE
+from .bipartite_mcm import side_map_of
+
+# integer message tags: a one-character string costs 12 bits under the
+# pricing model, an int below 4 costs 6 — it keeps (tag, float) tuples
+# inside the strict CONGEST budget at small n
+_PRICE = 0
+_BID = 1
+_WIN = 2
+_EVICT = 3
+_REJECT = 4
+
+
+class AuctionNode(NodeAlgorithm):
+    """Node program: bidder on the X side, item on the Y side."""
+
+    passive = True  # every action is a reaction (bids, awards, evictions)
+
+    def __init__(self, ctx: NodeContext) -> None:
+        super().__init__(ctx)
+        self.side: Optional[int] = ctx.shared["side"].get(ctx.node_id)
+        self.epsilon: float = ctx.shared["epsilon"]
+        # bidder state
+        self.prices: Dict[int, float] = {u: 0.0 for u in ctx.neighbors}
+        self.assigned_to: Optional[int] = None
+        self.dropped = False
+        # item state
+        self.price = 0.0
+        self.owner: Optional[int] = None
+        self.output = {"mate": None}
+
+    # ------------------------------------------------------------------
+    def _bid(self) -> Outbox:
+        """Compute the best/second-best values and place one bid."""
+        best: Optional[Tuple[float, int]] = None
+        second_value = 0.0  # the outside option: staying unmatched
+        for item in self.neighbors:
+            value = self.ctx.weight(item) - self.prices[item]
+            if best is None or (value, -item) > (best[0], -best[1]):
+                if best is not None:
+                    second_value = max(second_value, best[0])
+                best = (value, item)
+            else:
+                second_value = max(second_value, value)
+        if best is None or best[0] < 0:
+            self.dropped = True
+            self.finished = True
+            self.output = {"mate": None}
+            return {}
+        value, item = best
+        amount = self.prices[item] + (value - second_value) + self.epsilon
+        return {item: (_BID, amount)}
+
+    # ------------------------------------------------------------------
+    def start(self) -> Outbox:
+        if self.side is None or not self.neighbors:
+            return self.halt({"mate": None})
+        if self.side == X_SIDE:
+            return self._bid()
+        return {}
+
+    def on_round(self, inbox: Inbox) -> Outbox:
+        if self.side == X_SIDE:
+            return self._bidder_round(inbox)
+        return self._item_round(inbox)
+
+    # -- bidder ------------------------------------------------------------
+    def _bidder_round(self, inbox: Inbox) -> Outbox:
+        rebid = False
+        for item, msg in sorted(inbox.items()):
+            tag = msg[0]
+            if tag == _PRICE:
+                self.prices[item] = msg[1]
+            elif tag == _REJECT:
+                self.prices[item] = msg[1]
+                rebid = True
+            elif tag == _WIN:
+                self.assigned_to = item
+                self.output = {"mate": item}
+            elif tag == _EVICT:
+                if self.assigned_to == item:
+                    self.assigned_to = None
+                    self.output = {"mate": None}
+                rebid = True
+        if rebid and self.assigned_to is None and not self.dropped:
+            return self._bid()
+        return {}
+
+    # -- item ----------------------------------------------------------------
+    def _item_round(self, inbox: Inbox) -> Outbox:
+        bids = [(msg[1], bidder) for bidder, msg in inbox.items()
+                if msg[0] == _BID]
+        if not bids:
+            return {}
+        out: Outbox = {}
+        bids.sort(key=lambda t: (-t[0], t[1]))
+        amount, bidder = bids[0]
+        if amount > self.price:
+            previous = self.owner
+            self.price = amount
+            self.owner = bidder
+            self.output = {"mate": bidder}
+            out[bidder] = (_WIN,)
+            if previous is not None and previous != bidder:
+                out[previous] = (_EVICT,)
+            # everyone else learns the new price; losing bidders get an
+            # explicit rejection so they re-bid immediately
+            for _, loser in bids[1:]:
+                out[loser] = (_REJECT, self.price)
+            for u in self.neighbors:
+                if u not in out and u != bidder:
+                    out[u] = (_PRICE, self.price)
+        else:
+            for _, loser in bids:
+                out[loser] = (_REJECT, self.price)
+        return out
+
+
+def auction_mwm(graph: Graph, eps: float = 0.1, seed: int = 0,
+                policy: BandwidthPolicy = CONGEST,
+                epsilon: Optional[float] = None,
+                network: Optional[Network] = None) -> Tuple[Matching, Network]:
+    """Run the auction; returns (matching, network).
+
+    ``epsilon`` (the bid increment) defaults to ``eps * W_max / n``, giving
+    weight at least ``(1 - eps) * w(M*)``.  Requires a bipartite graph.
+    """
+    side = side_map_of(graph)  # raises on non-bipartite inputs
+    if not 0 < eps < 1:
+        raise ValueError("eps must be in (0, 1)")
+    net = network if network is not None else Network(graph, policy=policy, seed=seed)
+    if graph.num_edges == 0:
+        return Matching(), net
+    w_max = max(w for _, _, w in graph.edges())
+    if epsilon is None:
+        epsilon = eps * w_max / max(1, graph.num_nodes)
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+
+    result = net.run(
+        AuctionNode,
+        protocol="auction",
+        shared={"side": side, "epsilon": epsilon},
+        max_rounds=max(10_000, int(20 * graph.num_nodes * w_max / epsilon)),
+    )
+    mate: Dict[int, Optional[int]] = {}
+    for v, out in result.outputs.items():
+        if side.get(v) == X_SIDE:
+            mate[v] = (out or {}).get("mate")
+    # items' view must agree with bidders' (cross-checked here)
+    for v, out in result.outputs.items():
+        if side.get(v) == Y_SIDE:
+            owner = (out or {}).get("mate")
+            if owner is not None and mate.get(owner) != v:
+                raise RuntimeError(
+                    f"auction inconsistency: item {v} claims {owner}"
+                )
+            if owner is not None:
+                mate[v] = owner
+    return Matching.from_mate_map(mate), net

@@ -1,0 +1,173 @@
+"""Distributed weighted b-matching (the paper's "c-matching" follow-up).
+
+The related-work section points to the generalization where each node ``v``
+may touch up to ``c(v)`` selected edges; Koufogiannakis & Young [2011] give
+a 1/2-approximation in O(log n) rounds.  We implement the natural
+mutual-proposal variant of our locally-heaviest matcher: every unsaturated
+node proposes to its heaviest remaining edges, one per unit of residual
+capacity; an edge proposed from *both* sides is adopted.  Every adopted edge
+is locally dominant at adoption time, which yields the classic 1/2
+guarantee for maximum-weight b-matching [Mestre 2006]; the globally
+heaviest eligible edge is always mutual, so at least one edge is adopted
+per iteration (termination within |E| iterations; a handful in practice).
+
+Capacity c(v) = 1 for every node degenerates to ordinary matching and then
+this module agrees with :mod:`repro.dist.weighted.local_greedy`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..congest.network import Network
+from ..congest.policies import CONGEST, BandwidthPolicy
+from ..graphs.graph import Edge, Graph, edge_key
+from ..matching.core import Matching
+
+_FREE = "f"
+_SATURATED = "s"
+_PROPOSE = "p"
+
+
+class BMatchingError(ValueError):
+    """Raised on invalid capacities or b-matchings."""
+
+
+def validate_b_matching(graph: Graph, edges: Set[Edge],
+                        capacity: Dict[int, int]) -> None:
+    """Raise unless ``edges`` is a b-matching of ``graph`` under ``capacity``."""
+    load: Dict[int, int] = {}
+    for u, v in edges:
+        if not graph.has_edge(u, v):
+            raise BMatchingError(f"({u}, {v}) is not a graph edge")
+        load[u] = load.get(u, 0) + 1
+        load[v] = load.get(v, 0) + 1
+    for v, used in load.items():
+        if used > capacity.get(v, 1):
+            raise BMatchingError(
+                f"node {v} uses {used} edges but has capacity "
+                f"{capacity.get(v, 1)}"
+            )
+
+
+def b_matching_weight(graph: Graph, edges: Set[Edge]) -> float:
+    return sum(graph.weight(u, v) for u, v in edges)
+
+
+class BMatchingNode:
+    """Node program: mutual proposals to the heaviest residual edges."""
+
+    # implemented without inheriting the matching-specific machinery; the
+    # engine only needs the NodeAlgorithm duck type
+    passive = False
+
+    def __init__(self, ctx) -> None:
+        self.ctx = ctx
+        self.finished = False
+        self.output = None
+        self.capacity = int(ctx.shared["capacity"].get(ctx.node_id, 1))
+        if self.capacity < 0:
+            raise BMatchingError(f"negative capacity at node {ctx.node_id}")
+        self.adopted: Set[int] = set()        # neighbors adopted
+        self.open_neighbors: Set[int] = set() # unsaturated, not yet adopted
+        self.phase = "announce"
+        self.targets: Set[int] = set()
+
+    # -- helpers ---------------------------------------------------------
+    @property
+    def node_id(self) -> int:
+        return self.ctx.node_id
+
+    @property
+    def remaining(self) -> int:
+        return self.capacity - len(self.adopted)
+
+    def halt(self):
+        self.finished = True
+        self.output = {"adopted": sorted(self.adopted)}
+        return {}
+
+    def _stuck(self):
+        if self.remaining <= 0 or not self.open_neighbors:
+            return self.halt()
+        return None
+
+    def _propose(self):
+        self.phase = "propose"
+        ranked = sorted(
+            self.open_neighbors,
+            key=lambda u: (-self.ctx.weight(u), u),
+        )
+        self.targets = set(ranked[: self.remaining])
+        return {u: _PROPOSE for u in self.targets}
+
+    # -- protocol ----------------------------------------------------------
+    def start(self):
+        eligible = set(self.ctx.neighbors)
+        if self.capacity == 0 or not eligible:
+            return self.halt()
+        return {u: _FREE for u in eligible}
+
+    def on_round(self, inbox):
+        if self.phase == "announce":
+            self.open_neighbors = {u for u, tag in inbox.items()
+                                   if tag == _FREE}
+            stuck = self._stuck()
+            if stuck is not None:
+                return stuck
+            return self._propose()
+        if self.phase == "propose":
+            self.phase = "notify"
+            proposals = {u for u, tag in inbox.items() if tag == _PROPOSE}
+            mutual = proposals & self.targets
+            # |mutual| <= |targets| <= remaining, so adopting all is safe
+            # and symmetric (the partner adopts this edge too)
+            for u in sorted(mutual):
+                self.adopted.add(u)
+                self.open_neighbors.discard(u)
+            assert self.remaining >= 0
+            status = _SATURATED if self.remaining <= 0 else _FREE
+            # report status so neighbors can track saturation
+            return {u: status for u in self.open_neighbors}
+        # phase == "notify"
+        for u, tag in inbox.items():
+            if tag == _SATURATED:
+                self.open_neighbors.discard(u)
+        stuck = self._stuck()
+        if stuck is not None:
+            return stuck
+        return self._propose()
+
+
+def distributed_b_matching(graph: Graph, capacity: Dict[int, int],
+                           seed: int = 0,
+                           policy: BandwidthPolicy = CONGEST,
+                           network: Optional[Network] = None
+                           ) -> Tuple[Set[Edge], Network]:
+    """Compute a 1/2-approximate maximum-weight b-matching.
+
+    Returns the adopted edge set and the network (for metrics).  The result
+    is maximal: no further edge fits the residual capacities.
+    """
+    net = network if network is not None else Network(graph, policy=policy, seed=seed)
+    shared = {"capacity": dict(capacity)}
+    result = net.run(BMatchingNode, protocol="b_matching", shared=shared)
+
+    edges: Set[Edge] = set()
+    adopted_map: Dict[int, Set[int]] = {}
+    for v, out in result.outputs.items():
+        adopted_map[v] = set(out["adopted"]) if out else set()
+    for v, nbrs in adopted_map.items():
+        for u in nbrs:
+            if v not in adopted_map.get(u, set()):
+                raise BMatchingError(
+                    f"asymmetric adoption between {v} and {u}"
+                )
+            edges.add(edge_key(v, u))
+    validate_b_matching(graph, edges, capacity)
+    return edges, net
+
+
+def b_matching_as_matching(edges: Set[Edge]) -> Matching:
+    """Convenience: interpret a b-matching with all capacities 1."""
+    return Matching(edges)

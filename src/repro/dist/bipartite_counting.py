@@ -1,0 +1,134 @@
+"""Algorithm 3: counting half-augmenting paths in bipartite graphs.
+
+A BFS wave starts at every free X node simultaneously; each node forwards a
+message exactly once — immediately after the first round in which it received
+any — carrying the *number* of shortest half-augmenting paths that reach it
+(Lemma 3.8).  Matched Y nodes forward only to their mate; X nodes forward to
+all neighbors; free Y nodes terminate paths.  After ``ell`` rounds, each free
+Y node reached at exactly round ``ell`` knows the number of augmenting paths
+of length ``ell`` that end at it.
+
+The protocol also serves Algorithm 4's ``Aug`` on the sampled bipartite
+subgraph: the ``side`` map then holds the random red/blue colors and
+``allowed`` restricts edges to the bichromatic subgraph.
+
+Counts can be as large as Delta^{ceil(ell/2)}; the driver runs this protocol
+under the PIPELINE policy, which charges the extra rounds that shipping such
+numbers in O(log n)-bit chunks costs (the mechanism of Lemma 3.9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from ..congest.network import Network
+from ..congest.node import Inbox, NodeAlgorithm, NodeContext, Outbox
+from ..graphs.graph import Edge, edge_key
+
+X_SIDE = 0
+Y_SIDE = 1
+
+
+@dataclass
+class CountState:
+    """What a node learned from one counting pass."""
+
+    t: int                      # arrival round of the BFS wave (d(v))
+    counts: Dict[int, int]      # incoming edge -> number of paths (c_v)
+    total: int                  # n_v = sum of counts
+    early_free_y: bool = False  # free Y reached before round ell (precondition
+    #                             violation in the strict bipartite setting)
+
+
+class CountingNode(NodeAlgorithm):
+    """Node program for Algorithm 3.
+
+    Output: a :class:`CountState` for reached participants, else ``None``.
+    """
+
+    passive = True  # acts only on arrivals; unreached nodes stay silent
+
+    def __init__(self, ctx: NodeContext) -> None:
+        super().__init__(ctx)
+        shared = ctx.shared
+        self.side: Optional[int] = shared["side"].get(ctx.node_id)
+        self.mate: Optional[int] = shared["mate"].get(ctx.node_id)
+        self.ell: int = shared["ell"]
+        allowed: Optional[Set[Edge]] = shared.get("allowed")
+        sides = shared["side"]
+        self.eligible: Set[int] = set()
+        if self.side is not None:
+            for u in ctx.neighbors:
+                other = sides.get(u)
+                if other is None or other == self.side:
+                    continue
+                if allowed is not None and edge_key(ctx.node_id, u) not in allowed:
+                    continue
+                self.eligible.add(u)
+        self.round = 0
+        self.received = False
+
+    def start(self) -> Outbox:
+        if self.side is None or not self.eligible:
+            return self.halt()
+        if self.side == X_SIDE and self.mate is None:
+            # line 2-3: free X nodes seed the wave and halt
+            self.output = CountState(t=0, counts={}, total=1)
+            self.finished = True
+            return {u: 1 for u in self.eligible}
+        return {}
+
+    def on_round(self, inbox: Inbox) -> Outbox:
+        self.round += 1
+        if self.received:
+            return {}  # later arrivals are non-shortest paths: discard
+        arrivals = {u: int(c) for u, c in inbox.items()
+                    if u in self.eligible or u == self.mate}
+        if not arrivals:
+            if self.round >= self.ell:
+                return self.halt()
+            return {}
+        self.received = True
+        total = sum(arrivals.values())
+        state = CountState(t=self.round, counts=arrivals, total=total)
+        self.output = state
+        self.finished = True
+
+        if self.side == X_SIDE:
+            # lines 8-10: matched X forwards to all eligible neighbors
+            return {u: total for u in self.eligible}
+        # Y side
+        if self.mate is None:
+            state.early_free_y = self.round < self.ell
+            return {}
+        if self.round < self.ell:
+            # lines 11-12: matched Y forwards along its matching edge only
+            return {self.mate: total}
+        return {}
+
+
+def run_counting(network: Network, side: Dict[int, Optional[int]],
+                 mate: Dict[int, Optional[int]], ell: int,
+                 allowed: Optional[Set[Edge]] = None) -> Dict[int, Optional[CountState]]:
+    """One counting pass; returns each node's :class:`CountState` (or None)."""
+    result = network.run(
+        CountingNode,
+        protocol="counting",
+        shared={"side": side, "mate": mate, "ell": ell, "allowed": allowed},
+        max_rounds=2 * ell + 4,
+    )
+    return result.outputs
+
+
+def leaders_of(outputs: Dict[int, Optional[CountState]],
+               side: Dict[int, Optional[int]],
+               mate: Dict[int, Optional[int]], ell: int) -> Dict[int, CountState]:
+    """Free Y nodes reached at exactly round ``ell``: the path leaders."""
+    leaders: Dict[int, CountState] = {}
+    for v, state in outputs.items():
+        if state is None or side.get(v) != Y_SIDE or mate.get(v) is not None:
+            continue
+        if state.t == ell and state.total > 0:
+            leaders[v] = state
+    return leaders

@@ -1,0 +1,100 @@
+"""Distributed self-verification of matching outputs.
+
+The paper's output convention: each node holds a register pointing to a
+matched incident edge or NULL.  These protocols let the *network itself*
+check that the registers form a valid matching — the distributed analogue
+of the library's sequential verifier, and the kind of self-check a
+deployment would run after the algorithm:
+
+* :func:`check_matching` — one round: every node announces its register;
+  a node flags an error if its mate's register does not point back, if it
+  points to a non-neighbor, or if a register names it unexpectedly.
+* :func:`check_maximality` — one more round: free nodes announce
+  themselves; a free node with a free neighbor flags a violation.
+
+Both run in O(1) rounds with O(log n)-bit messages and return the set of
+complaining nodes (empty = verified).  Used in tests as an independent
+witness that the distributed outputs are coherent *before* any central
+assembly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..congest.network import Network
+from ..congest.node import BROADCAST, Inbox, NodeAlgorithm, NodeContext, Outbox
+
+_FREE_TAG = -1  # registers are node ids; -1 encodes NULL on the wire
+
+
+class MatchingCheckNode(NodeAlgorithm):
+    """One-round mutual-pointer check of the output registers."""
+
+    def __init__(self, ctx: NodeContext) -> None:
+        super().__init__(ctx)
+        self.register: Optional[int] = ctx.shared["mate"].get(ctx.node_id)
+
+    def start(self) -> Outbox:
+        if not self.neighbors:
+            # an isolated node must be free
+            return self.halt({"ok": self.register is None})
+        wire = self.register if self.register is not None else _FREE_TAG
+        return {BROADCAST: wire}
+
+    def on_round(self, inbox: Inbox) -> Outbox:
+        ok = True
+        if self.register is not None:
+            if self.register not in self.ctx.edge_weights:
+                ok = False  # register points outside the neighborhood
+            else:
+                echo = inbox.get(self.register, _FREE_TAG)
+                if echo != self.node_id:
+                    ok = False  # mate does not point back
+        for u, reg in inbox.items():
+            if reg == self.node_id and self.register != u:
+                ok = False  # someone claims us unilaterally
+        return self.halt({"ok": ok})
+
+
+class MaximalityCheckNode(NodeAlgorithm):
+    """One-round check that no edge joins two free nodes."""
+
+    def __init__(self, ctx: NodeContext) -> None:
+        super().__init__(ctx)
+        self.free = ctx.shared["mate"].get(ctx.node_id) is None
+
+    def start(self) -> Outbox:
+        if not self.neighbors:
+            return self.halt({"ok": True})
+        return {BROADCAST: self.free}
+
+    def on_round(self, inbox: Inbox) -> Outbox:
+        violated = self.free and any(other_free for other_free in inbox.values())
+        return self.halt({"ok": not violated})
+
+
+def check_matching(network: Network,
+                   mate: Dict[int, Optional[int]]) -> Set[int]:
+    """Run the one-round register check; returns the complaining nodes."""
+    result = network.run(
+        MatchingCheckNode,
+        protocol="check_matching",
+        shared={"mate": mate},
+        max_rounds=3,
+    )
+    return {v for v, out in result.outputs.items()
+            if out is None or not out["ok"]}
+
+
+def check_maximality(network: Network,
+                     mate: Dict[int, Optional[int]]) -> Set[int]:
+    """Run the one-round maximality check; returns free-free witnesses."""
+    result = network.run(
+        MaximalityCheckNode,
+        protocol="check_maximality",
+        shared={"mate": mate},
+        max_rounds=3,
+    )
+    return {v for v, out in result.outputs.items()
+            if out is None or not out["ok"]}

@@ -1,0 +1,159 @@
+"""Algorithm 4 / Theorem 3.15: (1 - 1/k)-approximate MCM in general graphs.
+
+The randomized reduction to the bipartite case: in every iteration each node
+independently colors itself red or blue (probability 1/2 each, one round of
+color exchange); the bichromatic subgraph G-hat — restricted to free nodes
+and endpoints of bichromatic matched edges — is bipartite with X = red and
+Y = blue, and the bipartite subroutine Aug(G-hat, M, 2k-1) eliminates every
+augmenting path of length <= 2k-1 inside it (Observation 3.11 guarantees the
+augmentations are valid in G).
+
+Stopping rules:
+
+* ``theory``   — the paper's bound of ceil(2^{2k+1} (k+1) ln k) iterations,
+  after which the result is a (1 - 1/k)-MCM w.h.p. (Lemma 3.14);
+* ``exact``    — run until no augmenting path of length <= 2k-1 remains in
+  G (certified by the harness; counted as a global check), giving a
+  *certain* (1 - 1/(k+1))-MCM by Lemma 3.3;
+* ``patience`` — stop after ``patience`` consecutive iterations without an
+  augmentation (cheap heuristic for large benchmarks), capped by the theory
+  bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..congest.network import Network
+from ..congest.policies import PIPELINE, BandwidthPolicy
+from ..congest.utilities import exchange_tokens
+from ..graphs.graph import Edge, Graph, edge_key
+from ..matching.core import Matching
+from ..matching.paths import shortest_augmenting_path_length
+from .bipartite_counting import X_SIDE, Y_SIDE
+from .bipartite_mcm import AugmentationStats, MateMap, SideMap, augment_to_level
+
+RED = 0
+BLUE = 1
+
+
+@dataclass
+class IterationStats:
+    iteration: int
+    sampled_nodes: int
+    sampled_edges: int
+    paths_applied: int
+    matching_size: int
+
+
+@dataclass
+class GeneralMCMResult:
+    matching: Matching
+    iterations: List[IterationStats] = field(default_factory=list)
+    network: Optional[Network] = None
+    certified: bool = False
+
+    @property
+    def iterations_used(self) -> int:
+        return len(self.iterations)
+
+
+def theory_iterations(k: int) -> int:
+    """The paper's iteration bound 2^{2k+1} (k+1) ln k (Algorithm 4, line 2)."""
+    if k <= 2:
+        raise ValueError("the theory bound needs k > 2 (ln k must be positive)")
+    return math.ceil(2 ** (2 * k + 1) * (k + 1) * math.log(k))
+
+
+def general_mcm(graph: Graph, k: int, seed: int = 0,
+                policy: BandwidthPolicy = PIPELINE,
+                stopping: str = "exact",
+                patience: Optional[int] = None,
+                color_bias: float = 0.5,
+                max_iterations: Optional[int] = None,
+                network: Optional[Network] = None) -> GeneralMCMResult:
+    """Run Algorithm 4 on an arbitrary graph.
+
+    ``color_bias`` is the probability of coloring red (0.5 in the paper; the
+    T10 ablation sweeps it).  Returns the matching plus per-iteration stats.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if not 0.0 < color_bias < 1.0:
+        raise ValueError("color_bias must be strictly between 0 and 1")
+    if stopping not in ("theory", "exact", "patience"):
+        raise ValueError(f"unknown stopping rule {stopping!r}")
+
+    net = network if network is not None else Network(graph, policy=policy, seed=seed)
+    mate: MateMap = {v: None for v in graph.nodes}
+    result = GeneralMCMResult(matching=Matching(), network=net)
+
+    if max_iterations is not None:
+        budget = max_iterations
+    elif stopping == "theory":
+        budget = theory_iterations(k)
+    else:
+        # generous cap: the theory bound when defined, else a large multiple
+        budget = theory_iterations(k) if k > 2 else 64 * (k + 1) * 4 ** k
+    if patience is None:
+        patience = 4 * 4 ** k
+
+    quiet_streak = 0
+    for iteration in range(1, budget + 1):
+        colors = {v: RED if net.node_rng(v, salt=iteration).random() < color_bias
+                  else BLUE for v in graph.nodes}
+        exchange_tokens(net, colors)  # one round: everyone learns neighbor colors
+
+        side, allowed = _sampled_bipartite(graph, mate, colors)
+        mate, stats = augment_to_level(net, side, mate, 2 * k - 1, allowed)
+        applied = stats.total_paths
+        matched = sum(1 for m in mate.values() if m is not None) // 2
+        result.iterations.append(IterationStats(
+            iteration=iteration,
+            sampled_nodes=sum(1 for s in side.values() if s is not None),
+            sampled_edges=len(allowed),
+            paths_applied=applied,
+            matching_size=matched,
+        ))
+
+        if applied == 0:
+            quiet_streak += 1
+        else:
+            quiet_streak = 0
+
+        if stopping == "exact" and applied == 0:
+            net.global_check()
+            current = Matching.from_mate_map(mate)
+            if shortest_augmenting_path_length(graph, current,
+                                               max_len=2 * k - 1) is None:
+                result.certified = True
+                break
+        elif stopping == "patience" and quiet_streak >= patience:
+            break
+
+    result.matching = Matching.from_mate_map(mate)
+    return result
+
+
+def _sampled_bipartite(graph: Graph, mate: MateMap, colors: Dict[int, int]):
+    """Line 4 of Algorithm 4: V-hat, E-hat, and the X/Y side map."""
+    in_vhat: Set[int] = set()
+    for v in graph.nodes:
+        m = mate.get(v)
+        if m is None:
+            in_vhat.add(v)
+        elif colors[v] != colors[m]:
+            in_vhat.add(v)
+    side: SideMap = {}
+    for v in graph.nodes:
+        if v in in_vhat:
+            side[v] = X_SIDE if colors[v] == RED else Y_SIDE
+        else:
+            side[v] = None
+    allowed: Set[Edge] = set()
+    for u, v, _ in graph.edges():
+        if u in in_vhat and v in in_vhat and colors[u] != colors[v]:
+            allowed.add(edge_key(u, v))
+    return side, allowed

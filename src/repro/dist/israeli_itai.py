@@ -1,0 +1,148 @@
+"""The Israeli-Itai randomized maximal matching algorithm (CONGEST).
+
+The classical baseline the paper improves on: a 1/2-MCM (by maximality) in
+O(log n) rounds w.h.p. [Israeli & Itai 1986].  Each iteration costs three
+rounds:
+
+1. *propose* — every active node flips a coin; "males" send a proposal to a
+   uniformly random free eligible neighbor;
+2. *accept*  — "females" accept one received proposal uniformly at random
+   (the accepting edge is matched: the male proposed unconditionally);
+3. *notify*  — newly matched nodes announce it; everyone prunes their free
+   neighbor sets; nodes that are matched or isolated halt.
+
+The protocol supports a pre-existing matching and an edge filter so that the
+weighted black box (class-greedy) can run it on weight-class subgraphs among
+still-free nodes.  Termination is Las Vegas: nodes halt exactly when no
+eligible free-free edge remains, so the result is always maximal on the
+eligible subgraph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from ..congest.network import Network
+from ..congest.node import BROADCAST, Inbox, NodeAlgorithm, NodeContext, Outbox
+from ..graphs.graph import Edge, edge_key
+from ..matching.core import Matching
+
+# wire tags (single characters keep messages at a few bits)
+_FREE = "f"
+_PROPOSE = "p"
+_ACCEPT = "a"
+_MATCHED = "m"
+
+
+class IsraeliItaiNode(NodeAlgorithm):
+    """Node program for one Israeli-Itai execution."""
+
+    def __init__(self, ctx: NodeContext) -> None:
+        super().__init__(ctx)
+        initial_mate: Dict[int, Optional[int]] = ctx.shared.get("initial_mate", {})
+        allowed: Optional[Set[Edge]] = ctx.shared.get("allowed_edges")
+        self.mate: Optional[int] = initial_mate.get(ctx.node_id)
+        self.eligible_neighbors: Set[int] = {
+            u for u in ctx.neighbors
+            if allowed is None or edge_key(ctx.node_id, u) in allowed
+        }
+        self.free_neighbors: Set[int] = set()
+        self.phase = "announce"
+        self.proposed_to: Optional[int] = None
+
+    # -- helpers ---------------------------------------------------------
+    def _is_free(self) -> bool:
+        return self.mate is None
+
+    def _finish_if_stuck(self) -> Optional[Outbox]:
+        """Halt when matched or when no free eligible neighbor remains."""
+        if not self._is_free() or not self.free_neighbors:
+            return self.halt({"mate": self.mate})
+        return None
+
+    # -- protocol ----------------------------------------------------------
+    def start(self) -> Outbox:
+        if not self.eligible_neighbors:
+            return self.halt({"mate": self.mate})
+        if self._is_free():
+            return {u: _FREE for u in self.eligible_neighbors}
+        # matched nodes only announce their status, then leave
+        return {u: _MATCHED for u in self.eligible_neighbors}
+
+    def on_round(self, inbox: Inbox) -> Outbox:
+        if self.phase == "announce":
+            self.free_neighbors = {
+                u for u, tag in inbox.items()
+                if tag == _FREE and u in self.eligible_neighbors
+            }
+            self.phase = "propose"
+            stuck = self._finish_if_stuck()
+            if stuck is not None:
+                return stuck
+            return self._propose()
+        if self.phase == "propose":
+            # inbox holds proposals; acceptance decision
+            self.phase = "accept"
+            proposals = [u for u, tag in inbox.items() if tag == _PROPOSE]
+            if self.proposed_to is None and proposals:
+                chosen = self.rng.choice(sorted(proposals))
+                self.mate = chosen
+                return {chosen: _ACCEPT}
+            return {}
+        if self.phase == "accept":
+            # inbox holds acceptances; males learn the outcome
+            self.phase = "notify"
+            accepted_by = [u for u, tag in inbox.items() if tag == _ACCEPT]
+            if self.proposed_to is not None and self.proposed_to in accepted_by:
+                self.mate = self.proposed_to
+            self.proposed_to = None
+            if not self._is_free():
+                return {u: _MATCHED for u in self.eligible_neighbors}
+            return {}
+        # phase == "notify": prune freshly matched neighbors, loop again
+        for u, tag in inbox.items():
+            if tag == _MATCHED:
+                self.free_neighbors.discard(u)
+        self.phase = "propose"
+        stuck = self._finish_if_stuck()
+        if stuck is not None:
+            return stuck
+        return self._propose()
+
+    def _propose(self) -> Outbox:
+        self.phase = "propose"
+        if self.rng.random() < 0.5 and self.free_neighbors:
+            self.proposed_to = self.rng.choice(sorted(self.free_neighbors))
+            return {self.proposed_to: _PROPOSE}
+        self.proposed_to = None
+        return {}
+
+
+def israeli_itai(network: Network,
+                 initial: Optional[Matching] = None,
+                 allowed_edges: Optional[Iterable[Edge]] = None,
+                 max_rounds: Optional[int] = None) -> Matching:
+    """Run Israeli-Itai on ``network``; returns the (extended) matching.
+
+    ``initial`` seeds a pre-existing matching whose nodes sit out;
+    ``allowed_edges`` restricts proposals to a subgraph.  The result is
+    maximal on the eligible subgraph and always contains ``initial``.
+    """
+    graph = network.graph
+    initial = initial if initial is not None else Matching()
+    shared: Dict[str, object] = {
+        "initial_mate": {v: initial.mate(v) for v in graph.nodes},
+    }
+    if allowed_edges is not None:
+        shared["allowed_edges"] = {edge_key(u, v) for u, v in allowed_edges}
+
+    result = network.run(
+        IsraeliItaiNode,
+        protocol="israeli_itai",
+        shared=shared,
+        max_rounds=max_rounds,
+    )
+
+    mate_map = {v: out["mate"] if out else None
+                for v, out in result.outputs.items()}
+    return Matching.from_mate_map(mate_map)

@@ -1,0 +1,83 @@
+"""Luby's randomized maximal independent set algorithm (CONGEST).
+
+Used by the paper's Algorithm 1 (step 5): an MIS of the conflict graph
+C_M(ell) selects a maximal set of non-conflicting augmenting paths.  Each
+iteration costs two rounds:
+
+1. *draw*   — every active node draws a uniform value from [1, n^4]
+   (ties broken by node id, making comparisons strict) and broadcasts it;
+2. *resolve* — a node whose (value, id) beats every active neighbor joins
+   the MIS and announces "J"; nodes hearing "J" are dominated, announce "D",
+   and halt.  Everyone prunes halted neighbors.
+
+Las Vegas termination: nodes halt exactly when they are in the MIS or
+dominated, so the output is always a correct MIS; O(log n) iterations w.h.p.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..congest.network import Network
+from ..congest.node import BROADCAST, Inbox, NodeAlgorithm, NodeContext, Outbox
+
+_JOIN = "J"
+_DOMINATED = "D"
+
+
+class LubyMISNode(NodeAlgorithm):
+    """Node program for Luby's algorithm; output is ``True`` iff in the MIS."""
+
+    def __init__(self, ctx: NodeContext) -> None:
+        super().__init__(ctx)
+        self.active_neighbors: Set[int] = set(ctx.neighbors)
+        self.value_cap = max(2, ctx.n) ** 4
+        self.my_draw: Optional[int] = None
+        self.phase = "draw"
+
+    def start(self) -> Outbox:
+        return self._draw()
+
+    def _draw(self) -> Outbox:
+        self.phase = "draw"
+        if not self.active_neighbors:
+            return self.halt(True)  # isolated among actives: join
+        self.my_draw = self.rng.randint(1, self.value_cap)
+        return {u: self.my_draw for u in self.active_neighbors}
+
+    def on_round(self, inbox: Inbox) -> Outbox:
+        if self.phase == "draw":
+            # inbox: neighbors' draws, plus stragglers' domination notices
+            # from the tail of the previous iteration (they sent and halted)
+            for u, tag in inbox.items():
+                if tag == _DOMINATED:
+                    self.active_neighbors.discard(u)
+            self.phase = "resolve"
+            mine = (self.my_draw, self.node_id)
+            beaten = any(
+                (value, u) > mine
+                for u, value in inbox.items()
+                if isinstance(value, int) and u in self.active_neighbors
+            )
+            if not beaten:
+                self.output = True
+                self.finished = True
+                return {u: _JOIN for u in self.active_neighbors}
+            return {}
+        # phase == "resolve": hear joins/dominations from this iteration
+        joined_neighbors = {u for u, tag in inbox.items() if tag == _JOIN}
+        if joined_neighbors:
+            self.output = False
+            self.finished = True
+            return {u: _DOMINATED for u in self.active_neighbors
+                    if u not in joined_neighbors}
+        for u, tag in inbox.items():
+            if tag == _DOMINATED:
+                self.active_neighbors.discard(u)
+        return self._draw()
+
+
+def luby_mis(network: Network, max_rounds: Optional[int] = None) -> Set[int]:
+    """Compute an MIS of ``network.graph``; returns the member node ids."""
+    result = network.run(LubyMISNode, protocol="luby_mis", max_rounds=max_rounds)
+    return {v for v, member in result.outputs.items() if member}

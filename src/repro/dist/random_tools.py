@@ -1,0 +1,42 @@
+"""Randomness helpers for the distributed algorithms."""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Sequence, Tuple
+
+
+def sample_max_uniform(rng: random.Random, count: int, cap: int) -> int:
+    """One draw distributed as the maximum of ``count`` uniforms on {1..cap}.
+
+    This is the paper's Section 3.2 trick: a leader owning ``count``
+    augmenting paths simulates all their Luby draws with a single sample,
+    using the explicit CDF Pr[max <= m] = (m / cap)^count.  Inverse-CDF
+    sampling: with u ~ U(0,1), the draw is ceil(cap * u^(1/count)).
+    """
+    if count < 1:
+        raise ValueError("count must be at least 1")
+    if cap < 1:
+        raise ValueError("cap must be at least 1")
+    u = rng.random()
+    if u <= 0.0:
+        return 1
+    # exp(log(u)/count) is numerically stable for very large counts
+    value = int(math.ceil(cap * math.exp(math.log(u) / count)))
+    return min(max(value, 1), cap)
+
+
+def weighted_choice(rng: random.Random, weights: Dict[int, int]) -> int:
+    """Pick a key with probability proportional to its (integer) weight."""
+    keys = sorted(weights)
+    total = sum(weights[k] for k in keys)
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    target = rng.randrange(total)
+    acc = 0
+    for k in keys:
+        acc += weights[k]
+        if target < acc:
+            return k
+    return keys[-1]  # unreachable, guards float/int edge cases

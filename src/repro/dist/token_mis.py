@@ -1,0 +1,163 @@
+"""Token-based selection of a non-conflicting set of augmenting paths.
+
+This is the paper's Section 3.2 emulation of one Luby iteration on the
+conflict graph, in O(ell) physical rounds:
+
+* every leader (a free Y node that the counting pass reached at round ell)
+  draws the *maximum* of its ``n_y`` path values in one sample
+  (:func:`sample_max_uniform`) and launches a token carrying it;
+* the token walks backward through the BFS layering, choosing each
+  predecessor edge with probability proportional to the recorded path counts
+  — this realizes the winning path of the leader stochastically, link by
+  link;
+* tokens meeting at a node (they can only meet in the same round, because
+  the layering gives every node a unique depth) are resolved in favor of the
+  largest value; losers vanish;
+* a token reaching a free X node has built a complete augmenting path; a
+  confirmation message retraces it forward, and every node on the path flips
+  its matching status locally (the augmentation).
+
+Values are O(ell log n)-bit numbers; under the PIPELINE policy the simulator
+charges the chunked transmission rounds of Lemma 3.9.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from ..congest.network import Network
+from ..congest.node import Inbox, NodeAlgorithm, NodeContext, Outbox
+from ..graphs.graph import Edge
+from .bipartite_counting import CountState, X_SIDE, Y_SIDE
+from .random_tools import sample_max_uniform, weighted_choice
+
+_TOKEN = "T"
+_CONFIRM = "C"
+
+
+class TokenNode(NodeAlgorithm):
+    """Node program for one token-selection + augmentation iteration.
+
+    Output: ``{"mate": <new or unchanged mate>, "confirmed": bool}`` where
+    ``confirmed`` marks leaders whose augmenting path was applied.
+    """
+
+    passive = True  # tokens/confirmations drive everything; silence = done
+
+    def __init__(self, ctx: NodeContext) -> None:
+        super().__init__(ctx)
+        shared = ctx.shared
+        self.side: Optional[int] = shared["side"].get(ctx.node_id)
+        self.mate: Optional[int] = shared["mate"].get(ctx.node_id)
+        self.ell: int = shared["ell"]
+        self.value_cap: int = shared["value_cap"]
+        self.state: Optional[CountState] = shared["count_states"].get(ctx.node_id)
+        self.is_leader = bool(
+            self.side == Y_SIDE
+            and self.mate is None
+            and self.state is not None
+            and self.state.t == self.ell
+            and self.state.total > 0
+        )
+        self.token_id: Optional[int] = None   # leader id of the recorded token
+        self.tok_next: Optional[int] = None   # neighbor toward the leader
+        self.tok_prev: Optional[int] = None   # neighbor toward the free X end
+        self.confirmed = False
+        self.output = {"mate": self.mate, "confirmed": False}
+
+    # ------------------------------------------------------------------
+    def start(self) -> Outbox:
+        if not self.is_leader:
+            return {}
+        assert self.state is not None
+        draw = sample_max_uniform(self.rng, self.state.total, self.value_cap)
+        self.token_id = self.node_id
+        self.tok_prev = weighted_choice(self.rng, self.state.counts)
+        return {self.tok_prev: (_TOKEN, draw, self.node_id)}
+
+    def on_round(self, inbox: Inbox) -> Outbox:
+        out: Outbox = {}
+        tokens = {u: msg for u, msg in inbox.items()
+                  if isinstance(msg, tuple) and msg[0] == _TOKEN}
+        confirms = [msg for msg in inbox.values()
+                    if isinstance(msg, tuple) and msg[0] == _CONFIRM]
+        if tokens:
+            out.update(self._handle_tokens(tokens))
+        if confirms:
+            out.update(self._handle_confirms(confirms))
+        return out
+
+    # ------------------------------------------------------------------
+    def _handle_tokens(self, tokens: Dict[int, Tuple[str, int, int]]) -> Outbox:
+        if self.token_id is not None:
+            # already carrying a token (cannot happen in a correct layering);
+            # drop arrivals defensively
+            return {}
+        # survival of the largest (value, leader id): colliding tokens die
+        sender, (_, value, leader) = max(
+            tokens.items(), key=lambda kv: (kv[1][1], kv[1][2])
+        )
+        self.token_id = leader
+        self.tok_next = sender
+        if self.side == X_SIDE and self.mate is None:
+            # complete augmenting path: flip the first edge and confirm
+            self.output = {"mate": sender, "confirmed": False}
+            self.confirmed = True
+            return {sender: (_CONFIRM, leader)}
+        if self.side == X_SIDE:
+            # matched X: the unique predecessor is its mate
+            self.tok_prev = self.mate
+            return {self.mate: (_TOKEN, value, leader)}
+        # matched Y (odd layer): stochastic predecessor, like the leader did
+        assert self.state is not None, "token reached an uncounted node"
+        self.tok_prev = weighted_choice(self.rng, self.state.counts)
+        return {self.tok_prev: (_TOKEN, value, leader)}
+
+    def _handle_confirms(self, confirms) -> Outbox:
+        # at most one confirmation can match the recorded token
+        for _, leader in confirms:
+            if leader != self.token_id or self.confirmed:
+                continue
+            self.confirmed = True
+            if self.side == X_SIDE:
+                new_mate = self.tok_next
+            else:
+                new_mate = self.tok_prev
+            is_leader_end = self.is_leader and leader == self.node_id
+            self.output = {"mate": new_mate, "confirmed": is_leader_end}
+            if not is_leader_end and self.tok_next is not None:
+                return {self.tok_next: (_CONFIRM, leader)}
+        return {}
+
+
+def run_token_selection(network: Network, side: Dict[int, Optional[int]],
+                        mate: Dict[int, Optional[int]], ell: int,
+                        count_states: Dict[int, Optional[CountState]],
+                        value_cap: int) -> Tuple[Dict[int, Optional[int]], int]:
+    """One selection/augmentation iteration.
+
+    Returns ``(new_mate_map, paths_applied)``; the mate map covers all nodes
+    (non-participants keep their entry unchanged).
+    """
+    result = network.run(
+        TokenNode,
+        protocol="token_selection",
+        shared={
+            "side": side,
+            "mate": mate,
+            "ell": ell,
+            "count_states": count_states,
+            "value_cap": value_cap,
+        },
+        max_rounds=2 * ell + 6,
+    )
+    new_mate: Dict[int, Optional[int]] = {}
+    applied = 0
+    for v, out in result.outputs.items():
+        if out is None:
+            new_mate[v] = mate.get(v)
+            continue
+        new_mate[v] = out["mate"]
+        if out["confirmed"]:
+            applied += 1
+    return new_mate, applied

@@ -1,0 +1,28 @@
+"""Weighted matching: Section 4 machinery, black boxes, Algorithm 5."""
+
+from .algorithm5 import (
+    BLACK_BOX_DELTA,
+    MWMResult,
+    WeightedIteration,
+    approximate_mwm,
+    default_iterations,
+)
+from .class_greedy import class_greedy_mwm, weight_class
+from .gain import apply_wraps, gain, residual_graph, residual_weights, wrap_path
+from .local_greedy import local_greedy_mwm
+
+__all__ = [
+    "BLACK_BOX_DELTA",
+    "MWMResult",
+    "WeightedIteration",
+    "approximate_mwm",
+    "default_iterations",
+    "class_greedy_mwm",
+    "weight_class",
+    "apply_wraps",
+    "gain",
+    "residual_graph",
+    "residual_weights",
+    "wrap_path",
+    "local_greedy_mwm",
+]

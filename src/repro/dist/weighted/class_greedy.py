@@ -1,0 +1,101 @@
+"""The delta-MWM black box: weight-class greedy (substitute for Lemma 4.4).
+
+The paper plugs the PODC 2007 algorithm of Lotker, Patt-Shamir and Rosen
+into Algorithm 5 as a (1/4 - eps)-MWM running in O(log n) rounds.  We
+implement the standard weight-class reduction with the same approximation
+guarantee and an extra logarithmic round factor (see DESIGN.md,
+"Substitutions"):
+
+1. round every weight down to a power of two (class(e) = floor(log2 w(e)));
+2. drop classes more than ceil(log2(2n / eps)) below the top class — their
+   total weight is below (eps/2) * w(M*), because a maximum matching has at
+   most n/2 edges each lighter than eps * w_max / n;
+3. sweep classes heaviest-first, running Israeli-Itai maximal matching on
+   each class's edges among still-free nodes.
+
+Guarantee: every optimal edge not taken is blocked by a matched edge of an
+equal-or-heavier class at one of its endpoints, each matched edge is blamed
+at most twice, and class rounding costs another factor 2 — a
+(1/4)(1 - eps)-MWM, i.e. delta >= 1/5 for eps <= 1/5, matching the delta
+Theorem 4.5 uses.
+
+Like the paper, nodes are assumed to know a common bound on the maximum
+weight (the analogue of W_max); pass ``known_max=False`` to instead compute
+it with a flood (diameter rounds are then charged).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Set, Tuple
+
+from ...congest.metrics import Metrics
+from ...congest.network import Network
+from ...congest.policies import CONGEST, BandwidthPolicy
+from ...congest.utilities import flood_max
+from ...graphs.graph import Edge, Graph, edge_key
+from ...matching.core import Matching
+from ..israeli_itai import israeli_itai
+
+
+def weight_class(weight: float) -> int:
+    """floor(log2 w); weights are positive so this is well defined."""
+    if weight <= 0:
+        raise ValueError("weights must be positive")
+    return math.floor(math.log2(weight))
+
+
+def class_greedy_mwm(graph: Graph, seed: int = 0, eps: float = 0.2,
+                     policy: BandwidthPolicy = CONGEST,
+                     known_max: bool = True,
+                     network: Optional[Network] = None) -> Tuple[Matching, Network]:
+    """(1/4)(1 - eps)-approximate MWM; returns (matching, network).
+
+    The returned network carries the run's metrics (rounds include every
+    per-class Israeli-Itai execution, plus the flood when ``known_max`` is
+    False).
+    """
+    if not 0 < eps < 1:
+        raise ValueError("eps must be in (0, 1)")
+    net = network if network is not None else Network(graph, policy=policy, seed=seed)
+    matching = Matching()
+    if graph.num_edges == 0:
+        return matching, net
+
+    if known_max:
+        w_max = max(w for _, _, w in graph.edges())
+    else:
+        local_max = {
+            v: max((graph.weight(v, u) for u in graph.neighbors(v)), default=0.0)
+            for v in graph.nodes
+        }
+        # flood for diameter rounds so the maximum reaches everyone
+        diam = _flood_rounds(graph)
+        values = flood_max(net, {v: local_max[v] for v in graph.nodes}, diam)
+        w_max = max(values.values())
+
+    top = weight_class(w_max)
+    depth = math.ceil(math.log2(2 * graph.num_nodes / eps))
+    cutoff = top - depth
+
+    by_class: Dict[int, Set[Edge]] = {}
+    for u, v, w in graph.edges():
+        c = weight_class(w)
+        if c >= cutoff:
+            by_class.setdefault(c, set()).add(edge_key(u, v))
+
+    for c in sorted(by_class, reverse=True):
+        matching = israeli_itai(net, initial=matching,
+                                allowed_edges=by_class[c])
+    return matching, net
+
+
+def _flood_rounds(graph: Graph) -> int:
+    """Rounds needed for a flood: the largest component's diameter."""
+    worst = 0
+    for comp in graph.connected_components():
+        if len(comp) < 2:
+            continue
+        sub = graph.subgraph(comp)
+        worst = max(worst, sub.diameter())
+    return max(worst, 1)

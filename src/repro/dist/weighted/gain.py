@@ -1,0 +1,90 @@
+"""The wrap/gain machinery of Section 4.
+
+For an edge ``(r, s)`` outside the matching, ``wrap(r, s)`` is the path
+``(M(r), r), (r, s), (s, M(s))`` — one, two, or three edges depending on
+which endpoints are matched.  Its *gain* is the weight change from flipping
+the wrap, and the residual weight function ``w_M`` assigns each non-matching
+edge exactly that gain (0 for matching edges).  Lemma 4.1: augmenting a
+matching by the wraps of a disjoint matching M' yields a matching of weight
+at least ``w(M) + w_M(M')``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ...graphs.graph import Edge, Graph, edge_key
+from ...matching.core import Matching
+
+
+def wrap_path(graph: Graph, matching: Matching, r: int, s: int) -> List[Edge]:
+    """The edges of wrap(r, s) w.r.t. ``matching`` (r-s must be a non-M edge)."""
+    if matching.contains_edge(r, s):
+        raise ValueError(f"wrap is defined for non-matching edges, got ({r}, {s})")
+    edges: List[Edge] = []
+    mr = matching.mate(r)
+    if mr is not None:
+        edges.append(edge_key(mr, r))
+    edges.append(edge_key(r, s))
+    ms = matching.mate(s)
+    if ms is not None:
+        edges.append(edge_key(s, ms))
+    return edges
+
+
+def gain(graph: Graph, matching: Matching, r: int, s: int) -> float:
+    """g(wrap(r, s)): the weight gained by augmenting along the wrap."""
+    value = graph.weight(r, s)
+    mr = matching.mate(r)
+    if mr is not None:
+        value -= graph.weight(r, mr)
+    ms = matching.mate(s)
+    if ms is not None:
+        value -= graph.weight(s, ms)
+    return value
+
+
+def residual_weights(graph: Graph, matching: Matching) -> Dict[Edge, float]:
+    """The full w_M map: positive gains for non-matching edges.
+
+    Edges with non-positive gain are omitted — adding them can never help,
+    and the black box must not pick zero-weight edges (Lemma 4.1 requires
+    M' disjoint from M).
+    """
+    result: Dict[Edge, float] = {}
+    for u, v, _ in graph.edges():
+        if matching.contains_edge(u, v):
+            continue
+        g = gain(graph, matching, u, v)
+        if g > 0:
+            result[edge_key(u, v)] = g
+    return result
+
+
+def residual_graph(graph: Graph, matching: Matching) -> Graph:
+    """G' = (V, {e : w_M(e) > 0}, w_M) — the black box's input in Algorithm 5."""
+    gprime = Graph()
+    gprime.add_nodes(graph.nodes)
+    for (u, v), w in residual_weights(graph, matching).items():
+        gprime.add_edge(u, v, w)
+    return gprime
+
+
+def apply_wraps(graph: Graph, matching: Matching,
+                selected: Iterable[Edge]) -> Matching:
+    """Line 5 of Algorithm 5: ``M <- M (+) union of wrap(e), e in M'``.
+
+    ``selected`` must be a matching disjoint from ``matching`` (which holds
+    whenever it was computed on the residual graph).  Implemented as the
+    symmetric difference of Lemma 4.1; the result is validated structurally
+    by the Matching constructor.
+    """
+    flip: Set[Edge] = set()
+    for r, s in selected:
+        if matching.contains_edge(r, s):
+            raise ValueError(
+                f"selected edge ({r}, {s}) is already matched; M' must be "
+                f"disjoint from M"
+            )
+        flip.update(wrap_path(graph, matching, r, s))
+    return matching.symmetric_difference(flip)

@@ -1,0 +1,114 @@
+"""Locally-heaviest-edge distributed matching (Preis-style, CONGEST).
+
+An alternative delta-MWM black box: every free node points at its heaviest
+free incident edge (deterministic tie-break by edge id); mutual pointers
+match.  Every matched edge is locally heaviest among the remaining edges at
+the moment it is added, so the result is a 1/2-MWM [Preis 1999; Hoepman
+2004].  The globally heaviest remaining edge is always mutual, so at least
+one edge is matched per iteration: termination is certain within n/2
+iterations (2 rounds each), and in practice the algorithm finishes in a few
+rounds — but unlike the paper's black box it has no O(log n) worst-case
+bound (a chain of strictly decreasing weights serializes it).  T12 compares
+the two black boxes inside Algorithm 5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from ...congest.network import Network
+from ...congest.node import Inbox, NodeAlgorithm, NodeContext, Outbox
+from ...congest.policies import CONGEST, BandwidthPolicy
+from ...graphs.graph import Edge, Graph, edge_key
+from ...matching.core import Matching
+
+_FREE = "f"
+_POINT = "p"
+_MATCHED = "m"
+
+
+class LocalGreedyNode(NodeAlgorithm):
+    """Node program for the mutual-pointer algorithm."""
+
+    def __init__(self, ctx: NodeContext) -> None:
+        super().__init__(ctx)
+        initial: Dict[int, Optional[int]] = ctx.shared.get("initial_mate", {})
+        allowed: Optional[Set[Edge]] = ctx.shared.get("allowed_edges")
+        self.mate: Optional[int] = initial.get(ctx.node_id)
+        self.eligible: Set[int] = {
+            u for u in ctx.neighbors
+            if allowed is None or edge_key(ctx.node_id, u) in allowed
+        }
+        self.free_neighbors: Set[int] = set()
+        self.phase = "announce"
+        self.target: Optional[int] = None
+
+    def _heaviest_free(self) -> Optional[int]:
+        """The free neighbor across the heaviest eligible edge (ties by id)."""
+        best: Optional[Tuple[float, int]] = None
+        for u in self.free_neighbors:
+            cand = (self.ctx.weight(u), -u)
+            if best is None or cand > best:
+                best = cand
+        return -best[1] if best is not None else None
+
+    def _stuck(self) -> Optional[Outbox]:
+        if self.mate is not None or not self.free_neighbors:
+            return self.halt({"mate": self.mate})
+        return None
+
+    def _point(self) -> Outbox:
+        self.phase = "point"
+        self.target = self._heaviest_free()
+        assert self.target is not None
+        return {self.target: _POINT}
+
+    def start(self) -> Outbox:
+        if not self.eligible:
+            return self.halt({"mate": self.mate})
+        tag = _FREE if self.mate is None else _MATCHED
+        return {u: tag for u in self.eligible}
+
+    def on_round(self, inbox: Inbox) -> Outbox:
+        if self.phase == "announce":
+            self.free_neighbors = {u for u, t in inbox.items()
+                                   if t == _FREE and u in self.eligible}
+            stuck = self._stuck()
+            if stuck is not None:
+                return stuck
+            return self._point()
+        if self.phase == "point":
+            # pointers arrive; mutual pointer = matched edge
+            self.phase = "notify"
+            pointers = {u for u, t in inbox.items() if t == _POINT}
+            if self.target in pointers:
+                self.mate = self.target
+                return {u: _MATCHED for u in self.eligible}
+            return {}
+        # phase == "notify": prune matched neighbors and point again
+        for u, t in inbox.items():
+            if t == _MATCHED:
+                self.free_neighbors.discard(u)
+        stuck = self._stuck()
+        if stuck is not None:
+            return stuck
+        return self._point()
+
+
+def local_greedy_mwm(graph: Graph, seed: int = 0,
+                     policy: BandwidthPolicy = CONGEST,
+                     initial: Optional[Matching] = None,
+                     allowed_edges: Optional[Iterable[Edge]] = None,
+                     network: Optional[Network] = None) -> Tuple[Matching, Network]:
+    """Run the mutual-pointer 1/2-MWM; returns (matching, network)."""
+    net = network if network is not None else Network(graph, policy=policy, seed=seed)
+    initial = initial if initial is not None else Matching()
+    shared: Dict[str, object] = {
+        "initial_mate": {v: initial.mate(v) for v in graph.nodes},
+    }
+    if allowed_edges is not None:
+        shared["allowed_edges"] = {edge_key(u, v) for u, v in allowed_edges}
+    result = net.run(LocalGreedyNode, protocol="local_greedy", shared=shared)
+    mate_map = {v: out["mate"] if out else None
+                for v, out in result.outputs.items()}
+    return Matching.from_mate_map(mate_map), net

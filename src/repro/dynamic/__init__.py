@@ -1,0 +1,5 @@
+"""Dynamic matching maintenance (local repair, LCA-style locality)."""
+
+from .maintainer import DynamicMatcher, UpdateStats
+
+__all__ = ["DynamicMatcher", "UpdateStats"]

@@ -1,0 +1,19 @@
+"""Experiment harness: tables T1-T18 validating every claim of the paper."""
+
+from .report import build_report, table_to_markdown, write_report
+from .stats import Summary, ratio_of_means, significantly_greater, summarize
+from .suite import ALL_EXPERIMENTS, run_all
+from .tables import Table
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "run_all",
+    "Table",
+    "build_report",
+    "table_to_markdown",
+    "write_report",
+    "Summary",
+    "ratio_of_means",
+    "significantly_greater",
+    "summarize",
+]

@@ -1,0 +1,104 @@
+"""Summary statistics for experiment measurements.
+
+Experiments in the suite report means over a handful of seeds; when more
+rigor is wanted (e.g. comparing two schedulers whose means are close),
+:func:`summarize` provides mean / standard deviation / a Student-t
+confidence interval, and :func:`significantly_greater` a one-sided Welch
+test.  scipy is used when available; without it, a normal-approximation
+fallback keeps the library dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+# 97.5% quantiles of the t distribution for small df (fallback table)
+_T_975 = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+          7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 15: 2.131, 20: 2.086,
+          30: 2.042, 60: 2.000}
+
+
+def _t_quantile(df: int, confidence: float = 0.95) -> float:
+    try:
+        from scipy import stats as sps
+
+        return float(sps.t.ppf(0.5 + confidence / 2.0, df))
+    except ImportError:  # pragma: no cover - scipy is present in this env
+        keys = sorted(_T_975)
+        for key in keys:
+            if df <= key:
+                return _T_975[key]
+        return 1.96
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / spread / confidence interval of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    ci_low: float
+    ci_high: float
+
+    def __str__(self) -> str:
+        return (f"{self.mean:.4g} ± {self.ci_high - self.mean:.2g} "
+                f"(n={self.n}, range [{self.minimum:.4g}, "
+                f"{self.maximum:.4g}])")
+
+
+def summarize(values: Iterable[float], confidence: float = 0.95) -> Summary:
+    """Mean, sample std, and a Student-t confidence interval."""
+    data: List[float] = [float(v) for v in values]
+    if not data:
+        raise ValueError("cannot summarize an empty sample")
+    mean = statistics.fmean(data)
+    if len(data) == 1:
+        return Summary(1, mean, 0.0, mean, mean, mean, mean)
+    std = statistics.stdev(data)
+    half = _t_quantile(len(data) - 1, confidence) * std / math.sqrt(len(data))
+    return Summary(
+        n=len(data), mean=mean, std=std,
+        minimum=min(data), maximum=max(data),
+        ci_low=mean - half, ci_high=mean + half,
+    )
+
+
+def significantly_greater(a: Sequence[float], b: Sequence[float],
+                          alpha: float = 0.05) -> bool:
+    """One-sided Welch t-test: is mean(a) > mean(b) at level ``alpha``?
+
+    With fewer than two observations on either side, falls back to a plain
+    mean comparison (no significance claim possible).
+    """
+    if len(a) < 2 or len(b) < 2:
+        return statistics.fmean(a) > statistics.fmean(b)
+    try:
+        from scipy import stats as sps
+
+        stat, pvalue = sps.ttest_ind(list(a), list(b), equal_var=False,
+                                     alternative="greater")
+        return bool(pvalue < alpha)
+    except ImportError:  # pragma: no cover
+        sa = summarize(a)
+        sb = summarize(b)
+        se = math.sqrt(sa.std ** 2 / sa.n + sb.std ** 2 / sb.n)
+        if se == 0:
+            return sa.mean > sb.mean
+        return (sa.mean - sb.mean) / se > 1.66
+
+
+def ratio_of_means(numerators: Sequence[float],
+                   denominators: Sequence[float]) -> float:
+    """Paired ratio aggregate used by speedup-style columns."""
+    if len(numerators) != len(denominators) or not numerators:
+        raise ValueError("need equal-length non-empty samples")
+    total_d = sum(denominators)
+    if total_d == 0:
+        raise ValueError("denominator sum is zero")
+    return sum(numerators) / total_d

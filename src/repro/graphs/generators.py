@@ -1,0 +1,274 @@
+"""Graph generators used by tests, examples, and the benchmark harness.
+
+All generators take an explicit :class:`random.Random` instance (or a seed)
+so that every experiment in the library is reproducible.  Node ids are dense
+integers starting at 0; for bipartite generators, the left side occupies
+``0 .. n_left-1`` and the right side ``n_left .. n_left+n_right-1``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .graph import BipartiteGraph, Graph, GraphError
+
+RngLike = Union[int, random.Random, None]
+WeightFn = Callable[[random.Random], float]
+
+
+def _rng(rng: RngLike) -> random.Random:
+    if isinstance(rng, random.Random):
+        return rng
+    return random.Random(rng)
+
+
+def _weight(rng: random.Random, weight_fn: Optional[WeightFn]) -> float:
+    return 1.0 if weight_fn is None else weight_fn(rng)
+
+
+# ----------------------------------------------------------------------
+# deterministic topologies
+# ----------------------------------------------------------------------
+def path_graph(n: int) -> Graph:
+    """A simple path on ``n`` nodes, ``0 - 1 - ... - n-1``."""
+    g = Graph()
+    g.add_nodes(range(n))
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+def cycle_graph(n: int) -> Graph:
+    """The ring C_n (the paper's diameter lower-bound instance for n even)."""
+    if n < 3:
+        raise GraphError("a cycle needs at least 3 nodes")
+    g = path_graph(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+def complete_graph(n: int, weight_fn: Optional[WeightFn] = None, rng: RngLike = None) -> Graph:
+    r = _rng(rng)
+    g = Graph()
+    g.add_nodes(range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            g.add_edge(u, v, _weight(r, weight_fn))
+    return g
+
+
+def star_graph(n_leaves: int) -> Graph:
+    """A star: center 0 joined to leaves ``1 .. n_leaves``."""
+    g = Graph()
+    g.add_node(0)
+    for v in range(1, n_leaves + 1):
+        g.add_edge(0, v)
+    return g
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """A rows x cols grid; node ``(r, c)`` has id ``r * cols + c``."""
+    g = Graph()
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            g.add_node(v)
+            if c + 1 < cols:
+                g.add_edge(v, v + 1)
+            if r + 1 < rows:
+                g.add_edge(v, v + cols)
+    return g
+
+
+def complete_bipartite(n_left: int, n_right: int,
+                       weight_fn: Optional[WeightFn] = None,
+                       rng: RngLike = None) -> BipartiteGraph:
+    r = _rng(rng)
+    g = BipartiteGraph(range(n_left), range(n_left, n_left + n_right))
+    for u in range(n_left):
+        for v in range(n_left, n_left + n_right):
+            g.add_edge(u, v, _weight(r, weight_fn))
+    return g
+
+
+# ----------------------------------------------------------------------
+# random graphs
+# ----------------------------------------------------------------------
+def gnp(n: int, p: float, rng: RngLike = None,
+        weight_fn: Optional[WeightFn] = None) -> Graph:
+    """Erdos-Renyi G(n, p)."""
+    r = _rng(rng)
+    g = Graph()
+    g.add_nodes(range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if r.random() < p:
+                g.add_edge(u, v, _weight(r, weight_fn))
+    return g
+
+
+def random_bipartite(n_left: int, n_right: int, p: float, rng: RngLike = None,
+                     weight_fn: Optional[WeightFn] = None) -> BipartiteGraph:
+    """Bipartite G(n_left, n_right, p): each cross edge present independently."""
+    r = _rng(rng)
+    g = BipartiteGraph(range(n_left), range(n_left, n_left + n_right))
+    for u in range(n_left):
+        for v in range(n_left, n_left + n_right):
+            if r.random() < p:
+                g.add_edge(u, v, _weight(r, weight_fn))
+    return g
+
+
+def random_tree(n: int, rng: RngLike = None,
+                weight_fn: Optional[WeightFn] = None) -> Graph:
+    """A uniformly random recursive tree on ``n`` nodes."""
+    r = _rng(rng)
+    g = Graph()
+    g.add_node(0)
+    for v in range(1, n):
+        g.add_edge(v, r.randrange(v), _weight(r, weight_fn))
+    return g
+
+
+def random_regular(n: int, d: int, rng: RngLike = None,
+                   weight_fn: Optional[WeightFn] = None,
+                   max_tries: int = 200) -> Graph:
+    """A random ``d``-regular simple graph via the configuration model.
+
+    Retries the pairing until it is simple (no loops / parallel edges), which
+    succeeds quickly for the moderate degrees used in experiments.
+    """
+    if n * d % 2 != 0:
+        raise GraphError("n * d must be even for a d-regular graph")
+    if d >= n:
+        raise GraphError("degree must be smaller than n")
+    r = _rng(rng)
+    for _ in range(max_tries):
+        stubs = [v for v in range(n) for _ in range(d)]
+        r.shuffle(stubs)
+        pairs = [(stubs[i], stubs[i + 1]) for i in range(0, len(stubs), 2)]
+        seen = set()
+        ok = True
+        for u, v in pairs:
+            if u == v or (min(u, v), max(u, v)) in seen:
+                ok = False
+                break
+            seen.add((min(u, v), max(u, v)))
+        if ok:
+            g = Graph()
+            g.add_nodes(range(n))
+            for u, v in pairs:
+                g.add_edge(u, v, _weight(r, weight_fn))
+            return g
+    raise GraphError(
+        f"failed to sample a simple {d}-regular graph on {n} nodes "
+        f"after {max_tries} tries"
+    )
+
+
+def power_law_graph(n: int, exponent: float = 2.5, min_degree: int = 1,
+                    rng: RngLike = None,
+                    weight_fn: Optional[WeightFn] = None) -> Graph:
+    """A heavy-tailed graph via the configuration model.
+
+    Degrees are sampled from a discrete power law with the given exponent,
+    then stubs are paired; self-loops and parallel edges produced by the
+    pairing are dropped (the standard erased configuration model).
+    """
+    if exponent <= 1.0:
+        raise GraphError("power-law exponent must exceed 1")
+    r = _rng(rng)
+    max_degree = max(min_degree + 1, int(round(n ** 0.5)))
+    weights = [k ** (-exponent) for k in range(min_degree, max_degree + 1)]
+    degrees = r.choices(range(min_degree, max_degree + 1), weights=weights, k=n)
+    if sum(degrees) % 2 == 1:
+        degrees[0] += 1
+    stubs = [v for v, deg in enumerate(degrees) for _ in range(deg)]
+    r.shuffle(stubs)
+    g = Graph()
+    g.add_nodes(range(n))
+    for i in range(0, len(stubs) - 1, 2):
+        u, v = stubs[i], stubs[i + 1]
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v, _weight(r, weight_fn))
+    return g
+
+
+# ----------------------------------------------------------------------
+# structured matching instances
+# ----------------------------------------------------------------------
+def augmenting_chain(num_links: int, link_length: int = 3) -> Graph:
+    """A disjoint union of paths, each an augmenting-path gadget.
+
+    Each link is a path of ``link_length`` edges whose maximum matching uses
+    ``ceil(link_length / 2)`` edges; greedy/maximal algorithms that pick the
+    middle edges get stuck at roughly half.  Useful as a worst case for
+    half-approximations.
+    """
+    if link_length < 1:
+        raise GraphError("links need at least one edge")
+    g = Graph()
+    next_id = 0
+    for _ in range(num_links):
+        ids = list(range(next_id, next_id + link_length + 1))
+        next_id += link_length + 1
+        g.add_nodes(ids)
+        for a, b in zip(ids, ids[1:]):
+            g.add_edge(a, b)
+    return g
+
+
+def crown_graph(k: int) -> BipartiteGraph:
+    """The crown S_k^0: complete bipartite K_{k,k} minus a perfect matching.
+
+    A classic instance where short-sighted choices are costly; has a perfect
+    matching for k >= 2.
+    """
+    if k < 2:
+        raise GraphError("crown graphs need k >= 2")
+    g = BipartiteGraph(range(k), range(k, 2 * k))
+    for u in range(k):
+        for v in range(k, 2 * k):
+            if v - k != u:
+                g.add_edge(u, v)
+    return g
+
+
+def blossom_gadget(num_blossoms: int = 1) -> Graph:
+    """Disjoint odd 5-cycles each with a pendant edge.
+
+    The smallest structures where bipartite-style augmentation fails and
+    general-graph reasoning (or the paper's random bipartition trick) is
+    needed.  Maximum matching: 3 edges per gadget.
+    """
+    g = Graph()
+    base = 0
+    for _ in range(num_blossoms):
+        c = [base + i for i in range(5)]
+        pendant = base + 5
+        base += 6
+        g.add_nodes(c + [pendant])
+        for i in range(5):
+            g.add_edge(c[i], c[(i + 1) % 5])
+        g.add_edge(c[0], pendant)
+    return g
+
+
+def switch_request_graph(num_ports: int, occupancy: Sequence[Sequence[int]],
+                         weighted: bool = True) -> BipartiteGraph:
+    """The per-cycle request graph of an input-queued switch (paper Figure 1).
+
+    ``occupancy[i][j]`` is the number of cells queued at input ``i`` destined
+    to output ``j``.  Inputs are the left side (ids ``0..P-1``), outputs the
+    right side (ids ``P..2P-1``).  If ``weighted``, edge weights are the queue
+    occupancies (longest-queue-first scheduling); otherwise all requests
+    weigh 1.
+    """
+    g = BipartiteGraph(range(num_ports), range(num_ports, 2 * num_ports))
+    for i in range(num_ports):
+        for j in range(num_ports):
+            cells = occupancy[i][j]
+            if cells > 0:
+                g.add_edge(i, num_ports + j, float(cells) if weighted else 1.0)
+    return g

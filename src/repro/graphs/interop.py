@@ -1,0 +1,41 @@
+"""Conversions between :class:`repro.graphs.Graph` and ``networkx`` graphs.
+
+networkx is an optional dependency of the library proper (the core has none);
+the test and benchmark harness uses it as an independent reference
+implementation for exact matchings.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .graph import BipartiteGraph, Graph
+
+
+def to_networkx(graph: Graph):
+    """Convert to ``networkx.Graph`` (weights on the ``weight`` attribute)."""
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(graph.nodes)
+    for u, v, w in graph.edges():
+        g.add_edge(u, v, weight=w)
+    return g
+
+
+def from_networkx(nx_graph, bipartite_left: Optional[set] = None) -> Graph:
+    """Convert from ``networkx.Graph``.
+
+    If ``bipartite_left`` is given, a :class:`BipartiteGraph` is built with
+    that node set on the left; otherwise a plain :class:`Graph` results.
+    Missing ``weight`` attributes default to 1.0.
+    """
+    if bipartite_left is not None:
+        right = [v for v in nx_graph.nodes if v not in bipartite_left]
+        g: Graph = BipartiteGraph(sorted(bipartite_left), sorted(right))
+    else:
+        g = Graph()
+        g.add_nodes(nx_graph.nodes)
+    for u, v, data in nx_graph.edges(data=True):
+        g.add_edge(u, v, float(data.get("weight", 1.0)))
+    return g

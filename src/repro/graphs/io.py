@@ -1,0 +1,87 @@
+"""Reading and writing graphs (edge lists and JSON).
+
+The formats are deliberately simple and line-oriented so that instances can
+be shared with other tools:
+
+* **edge list**: one ``u v [weight]`` triple per line; ``#`` comments and
+  blank lines ignored; isolated nodes can be declared as a bare ``u``.
+* **JSON**: ``{"nodes": [...], "edges": [[u, v, w], ...], "left": [...]}``
+  where the optional ``left`` key marks a bipartition and round-trips
+  :class:`BipartiteGraph`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from .graph import BipartiteGraph, Graph, GraphError
+
+PathLike = Union[str, Path]
+
+
+def write_edge_list(graph: Graph, path: PathLike) -> None:
+    """Write ``u v weight`` lines (plus bare lines for isolated nodes)."""
+    lines = ["# repro edge list"]
+    touched = set()
+    for u, v, w in graph.edges():
+        touched.add(u)
+        touched.add(v)
+        if w == 1.0:
+            lines.append(f"{u} {v}")
+        else:
+            lines.append(f"{u} {v} {w!r}")
+    for v in graph.nodes:
+        if v not in touched:
+            lines.append(str(v))
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_edge_list(path: PathLike) -> Graph:
+    """Parse a file written by :func:`write_edge_list` (or compatible)."""
+    g = Graph()
+    for lineno, raw in enumerate(Path(path).read_text().splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        try:
+            if len(parts) == 1:
+                g.add_node(int(parts[0]))
+            elif len(parts) == 2:
+                g.add_edge(int(parts[0]), int(parts[1]))
+            elif len(parts) == 3:
+                g.add_edge(int(parts[0]), int(parts[1]), float(parts[2]))
+            else:
+                raise ValueError("too many fields")
+        except ValueError as exc:
+            raise GraphError(f"{path}:{lineno}: cannot parse {raw!r}: {exc}")
+    return g
+
+
+def write_json(graph: Graph, path: PathLike) -> None:
+    """Write the JSON format (preserves bipartite structure)."""
+    payload = {
+        "nodes": graph.nodes,
+        "edges": [[u, v, w] for u, v, w in graph.edges()],
+    }
+    if isinstance(graph, BipartiteGraph):
+        payload["left"] = graph.left
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def read_json(path: PathLike) -> Graph:
+    """Read the JSON format; returns BipartiteGraph when ``left`` present."""
+    payload = json.loads(Path(path).read_text())
+    nodes = payload.get("nodes", [])
+    if "left" in payload:
+        left = set(payload["left"])
+        right = [v for v in nodes if v not in left]
+        g: Graph = BipartiteGraph(sorted(left), sorted(right))
+    else:
+        g = Graph()
+        g.add_nodes(nodes)
+    for u, v, w in payload.get("edges", []):
+        g.add_edge(int(u), int(v), float(w))
+    return g

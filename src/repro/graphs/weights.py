@@ -1,0 +1,99 @@
+"""Edge-weight distributions for weighted-matching experiments.
+
+Each factory returns a ``weight_fn(rng) -> float`` suitable for the
+``weight_fn`` parameter of the generators in :mod:`repro.graphs.generators`,
+plus helpers to (re)weight an existing graph deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Union
+
+from .graph import Graph
+
+WeightFn = Callable[[random.Random], float]
+RngLike = Union[int, random.Random, None]
+
+
+def uniform_weights(low: float = 1.0, high: float = 100.0) -> WeightFn:
+    """Weights uniform on ``[low, high]``."""
+    if not 0 < low <= high:
+        raise ValueError("need 0 < low <= high")
+
+    def fn(rng: random.Random) -> float:
+        return rng.uniform(low, high)
+
+    return fn
+
+
+def integer_weights(low: int = 1, high: int = 100) -> WeightFn:
+    """Integer weights uniform on ``{low, ..., high}``."""
+    if not 0 < low <= high:
+        raise ValueError("need 0 < low <= high")
+
+    def fn(rng: random.Random) -> float:
+        return float(rng.randint(low, high))
+
+    return fn
+
+
+def exponential_weights(mean: float = 10.0) -> WeightFn:
+    """Exponentially distributed weights (heavy spread across scales)."""
+    if mean <= 0:
+        raise ValueError("mean must be positive")
+
+    def fn(rng: random.Random) -> float:
+        return rng.expovariate(1.0 / mean) + 1e-9
+
+    return fn
+
+
+def power_of_two_weights(max_class: int = 10) -> WeightFn:
+    """Weights of the form 2^i, i uniform in ``{0..max_class}``.
+
+    Exercises the weight-class machinery of the delta-MWM black box with no
+    rounding slack at all.
+    """
+    if max_class < 0:
+        raise ValueError("max_class must be nonnegative")
+
+    def fn(rng: random.Random) -> float:
+        return float(2 ** rng.randint(0, max_class))
+
+    return fn
+
+
+def polarized_weights(heavy_fraction: float = 0.05, heavy: float = 1000.0,
+                      light: float = 1.0) -> WeightFn:
+    """A few very heavy edges among many light ones.
+
+    Adversarial for cardinality-style algorithms: grabbing many light edges
+    loses to a handful of heavy ones.
+    """
+    if not 0 <= heavy_fraction <= 1:
+        raise ValueError("heavy_fraction must be in [0, 1]")
+
+    def fn(rng: random.Random) -> float:
+        return heavy if rng.random() < heavy_fraction else light
+
+    return fn
+
+
+def reweight(graph: Graph, weight_fn: WeightFn, rng: RngLike = None) -> Graph:
+    """A copy of ``graph`` with every edge weight redrawn from ``weight_fn``."""
+    r = rng if isinstance(rng, random.Random) else random.Random(rng)
+    out = graph.copy()
+    for u, v, _ in list(out.edges()):
+        out.remove_edge(u, v)
+        out.add_edge(u, v, weight_fn(r))
+    return out
+
+
+def weight_spread(graph: Graph) -> float:
+    """log2(w_max / w_min) over the graph's edges (0 for <=1 distinct weight)."""
+    weights = [w for _, _, w in graph.edges()]
+    if len(weights) < 2:
+        return 0.0
+    return math.log2(max(weights) / min(weights)) if min(weights) > 0 else math.inf

@@ -1,0 +1,5 @@
+"""Local computation algorithm (LCA) extension: a matching oracle."""
+
+from .oracle import MatchingOracle
+
+__all__ = ["MatchingOracle"]

@@ -1,0 +1,144 @@
+"""A local computation algorithm (LCA) for maximal matching.
+
+The paper's "More Related Work" section points out that distributed
+algorithms transform into sublinear-time local algorithms [Parnas & Ron
+2007], and that the matching LCAs of Mansour-Vardi and Even et al. build on
+its techniques.  This module implements the transformation for the
+Israeli-Itai baseline:
+
+* a query ``edge_in_matching(u, v)`` is answered by *locally* simulating
+  ``k`` Israeli-Itai iterations on the ball of radius ``3k + 1`` around the
+  edge (each iteration consumes three communication rounds, so information
+  travels at most three hops per iteration);
+* all randomness is derived deterministically from ``(seed, node,
+  iteration)``, so every query sees the same global execution — answers
+  across queries are mutually consistent and jointly form the matching the
+  full distributed run would output.
+
+Probe complexity (adjacency-list accesses) is ``O(Delta^{3k+1})`` per query
+— independent of n, the defining property of an LCA.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..graphs.graph import Graph
+
+
+def _mix(seed: int, node: int, iteration: int) -> random.Random:
+    """A deterministic, process-independent per-(node, iteration) stream."""
+    value = (seed * 0x9E3779B97F4A7C15
+             + node * 0x100000001B3
+             + iteration * 0x1003F) & ((1 << 64) - 1)
+    return random.Random(value)
+
+
+def _simulate_ii(neighbors_of: Callable[[int], List[int]],
+                 nodes: Set[int], iterations: int,
+                 seed: int) -> Dict[int, Optional[int]]:
+    """Deterministic-given-seed Israeli-Itai on an explicit node set.
+
+    The decision of a node at iteration t depends only on its radius-3t
+    ball, so running this on a large-enough ball reproduces the global
+    execution exactly for the central nodes.
+    """
+    mate: Dict[int, Optional[int]] = {v: None for v in nodes}
+    for t in range(1, iterations + 1):
+        # propose: males pick a uniformly random free neighbor
+        proposals: Dict[int, List[int]] = {}
+        for v in sorted(nodes):
+            if mate[v] is not None:
+                continue
+            rng = _mix(seed, v, t)
+            male = rng.random() < 0.5
+            free_nbrs = [u for u in neighbors_of(v)
+                         if u in nodes and mate.get(u) is None]
+            if male and free_nbrs:
+                target = rng.choice(sorted(free_nbrs))
+                proposals.setdefault(target, []).append(v)
+        # accept: females pick one proposal (females = nodes that did not
+        # propose this iteration; their rng stream replays identically)
+        for v in sorted(nodes):
+            if mate[v] is not None or v not in proposals:
+                continue
+            rng = _mix(seed, v, t)
+            male = rng.random() < 0.5
+            free_nbrs = [u for u in neighbors_of(v)
+                         if u in nodes and mate.get(u) is None]
+            if male and free_nbrs:
+                rng.choice(sorted(free_nbrs))  # replay the male's own pick
+                continue  # males do not accept
+            senders = [s for s in sorted(proposals[v]) if mate.get(s) is None]
+            if senders:
+                chosen = rng.choice(senders)
+                mate[v] = chosen
+                mate[chosen] = v
+    return mate
+
+
+class MatchingOracle:
+    """Consistent per-edge membership queries against a fixed matching.
+
+    ``graph_access`` is the only way the oracle touches the graph; probes
+    (adjacency-list accesses) are counted per query and in total.
+    """
+
+    def __init__(self, graph: Graph, seed: int = 0,
+                 iterations: Optional[int] = None) -> None:
+        self.graph = graph
+        self.seed = seed
+        if iterations is None:
+            # O(log n) iterations suffice w.h.p. for II to become maximal
+            n = max(2, graph.num_nodes)
+            iterations = max(4, 2 * n.bit_length())
+        self.iterations = iterations
+        self.total_probes = 0
+        self.last_query_probes = 0
+
+    # -- graph access with probe counting -------------------------------
+    def _neighbors(self, v: int) -> List[int]:
+        self.total_probes += 1
+        self.last_query_probes += 1
+        return self.graph.neighbors(v)
+
+    def _ball(self, u: int, v: int, radius: int) -> Set[int]:
+        ball: Set[int] = {u, v}
+        frontier = [u, v]
+        for _ in range(radius):
+            nxt = []
+            for x in frontier:
+                for y in self._neighbors(x):
+                    if y not in ball:
+                        ball.add(y)
+                        nxt.append(y)
+            frontier = nxt
+            if not frontier:
+                break
+        return ball
+
+    # -- queries ---------------------------------------------------------
+    def edge_in_matching(self, u: int, v: int) -> bool:
+        """Is edge (u, v) in the (fixed, implicitly defined) matching?"""
+        if not self.graph.has_edge(u, v):
+            raise ValueError(f"({u}, {v}) is not an edge of the graph")
+        self.last_query_probes = 0
+        radius = 3 * self.iterations + 1
+        ball = self._ball(u, v, radius)
+        mate = _simulate_ii(self._neighbors, ball, self.iterations, self.seed)
+        return mate.get(u) == v
+
+    def node_mate(self, v: int) -> Optional[int]:
+        """The mate of ``v`` in the implicit matching (None if free)."""
+        self.last_query_probes = 0
+        radius = 3 * self.iterations + 1
+        ball = self._ball(v, v, radius)
+        mate = _simulate_ii(self._neighbors, ball, self.iterations, self.seed)
+        return mate.get(v)
+
+    def global_matching(self) -> Dict[int, Optional[int]]:
+        """The full matching (reference: what all queries jointly describe)."""
+        nodes = set(self.graph.nodes)
+        return _simulate_ii(self.graph.neighbors, nodes, self.iterations,
+                            self.seed)

@@ -1,0 +1,181 @@
+"""The :class:`Matching` data type and augmentation primitives.
+
+A matching is stored as a symmetric mate map ``{u: v, v: u}``.  Augmenting
+paths are node sequences whose first and last nodes are free and whose edges
+alternate non-matching / matching / ... / non-matching; :meth:`Matching.augment`
+applies the symmetric difference along such a path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..graphs.graph import Edge, Graph, edge_key
+
+
+class MatchingError(ValueError):
+    """Raised when a matching invariant would be violated."""
+
+
+class Matching:
+    """A matching over integer node ids.
+
+    The matching is independent of any particular graph; validity against a
+    graph (edges exist, endpoints exist) is checked by
+    :func:`repro.matching.verify.verify_matching`.
+    """
+
+    def __init__(self, edges: Iterable[Edge] = ()) -> None:
+        self._mate: Dict[int, int] = {}
+        for u, v in edges:
+            self.add(u, v)
+
+    # ------------------------------------------------------------------
+    # construction / mutation
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mate_map(cls, mate: Dict[int, Optional[int]]) -> "Matching":
+        """Build from a (possibly one-sided) mate map, validating symmetry."""
+        m = cls()
+        for u, v in mate.items():
+            if v is None:
+                continue
+            if mate.get(v, u) != u:
+                raise MatchingError(f"mate map is not symmetric at ({u}, {v})")
+            if not m.contains_edge(u, v):
+                m.add(u, v)
+        return m
+
+    def add(self, u: int, v: int) -> None:
+        """Add edge ``{u, v}``; both endpoints must currently be free."""
+        if u == v:
+            raise MatchingError(f"cannot match node {u} to itself")
+        if u in self._mate:
+            raise MatchingError(f"node {u} is already matched to {self._mate[u]}")
+        if v in self._mate:
+            raise MatchingError(f"node {v} is already matched to {self._mate[v]}")
+        self._mate[u] = v
+        self._mate[v] = u
+
+    def remove(self, u: int, v: int) -> None:
+        if self._mate.get(u) != v:
+            raise MatchingError(f"edge ({u}, {v}) is not in the matching")
+        del self._mate[u]
+        del self._mate[v]
+
+    def copy(self) -> "Matching":
+        m = Matching()
+        m._mate = dict(self._mate)
+        return m
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def mate(self, v: int) -> Optional[int]:
+        """The node matched to ``v``, or ``None`` if ``v`` is free."""
+        return self._mate.get(v)
+
+    def is_matched(self, v: int) -> bool:
+        return v in self._mate
+
+    def is_free(self, v: int) -> bool:
+        return v not in self._mate
+
+    def contains_edge(self, u: int, v: int) -> bool:
+        return self._mate.get(u) == v
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over matched edges in canonical sorted order."""
+        for u in sorted(self._mate):
+            v = self._mate[u]
+            if u < v:
+                yield (u, v)
+
+    def edge_set(self) -> FrozenSet[Edge]:
+        return frozenset(self.edges())
+
+    def matched_nodes(self) -> Set[int]:
+        return set(self._mate)
+
+    @property
+    def size(self) -> int:
+        """Number of edges in the matching."""
+        return len(self._mate) // 2
+
+    def weight(self, graph: Graph) -> float:
+        """Total weight of the matching under ``graph``'s weight function."""
+        return sum(graph.weight(u, v) for u, v in self.edges())
+
+    def as_mate_map(self, nodes: Iterable[int]) -> Dict[int, Optional[int]]:
+        """The output-register view of the paper: node -> mate or None."""
+        return {v: self._mate.get(v) for v in nodes}
+
+    # ------------------------------------------------------------------
+    # augmentation
+    # ------------------------------------------------------------------
+    def is_augmenting_path(self, path: Sequence[int]) -> bool:
+        """Check that ``path`` (a node sequence) augments this matching.
+
+        Requires: odd number of edges, simple, free endpoints, edges
+        alternating unmatched/matched starting and ending with unmatched.
+        Edge *existence in a graph* is not checked here.
+        """
+        if len(path) < 2 or len(path) % 2 != 0:
+            return False
+        if len(set(path)) != len(path):
+            return False
+        if self.is_matched(path[0]) or self.is_matched(path[-1]):
+            return False
+        for i in range(len(path) - 1):
+            u, v = path[i], path[i + 1]
+            if i % 2 == 0:
+                if self.contains_edge(u, v):
+                    return False
+            else:
+                if not self.contains_edge(u, v):
+                    return False
+        return True
+
+    def augment(self, path: Sequence[int]) -> None:
+        """Flip matched/unmatched status along an augmenting path in place."""
+        if not self.is_augmenting_path(path):
+            raise MatchingError(f"not an augmenting path: {list(path)}")
+        for i in range(1, len(path) - 1, 2):
+            self.remove(path[i], path[i + 1])
+        for i in range(0, len(path) - 1, 2):
+            self.add(path[i], path[i + 1])
+
+    def symmetric_difference(self, edges: Iterable[Edge]) -> "Matching":
+        """Return ``self (+) edges`` as a new matching.
+
+        Raises :class:`MatchingError` if the result is not a matching — the
+        paper's ``M <- M (+) P`` steps are only applied to non-conflicting
+        augmenting sets, and this method enforces that.
+        """
+        flip = {edge_key(u, v) for u, v in edges}
+        result = self.edge_set() ^ flip
+        return Matching(result)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Matching):
+            return NotImplemented
+        return self._mate == other._mate
+
+    def __hash__(self) -> int:
+        return hash(self.edge_set())
+
+    def __repr__(self) -> str:
+        return f"<Matching size={self.size}>"
+
+
+def matching_from_edges(graph: Graph, edges: Iterable[Edge]) -> Matching:
+    """Build a matching and check that every edge exists in ``graph``."""
+    m = Matching()
+    for u, v in edges:
+        if not graph.has_edge(u, v):
+            raise MatchingError(f"edge ({u}, {v}) not present in the graph")
+        m.add(u, v)
+    return m

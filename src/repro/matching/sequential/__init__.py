@@ -1,0 +1,35 @@
+"""Sequential exact and approximate matching baselines."""
+
+from .blossom import max_cardinality, max_cardinality_general
+from .brute import BruteForceLimitError, brute_force_mcm, brute_force_mwm
+from .greedy import greedy_mcm, greedy_mwm, locally_heaviest_mwm, path_growing_mwm
+from .hopcroft_karp import (
+    HopcroftKarpResult,
+    PhaseTrace,
+    hopcroft_karp,
+    max_cardinality_bipartite,
+)
+from .hungarian import max_weight_bipartite
+from .local_search import guarantee_of, local_search_mwm
+from .tree_dp import is_forest, max_weight_forest
+
+__all__ = [
+    "max_cardinality",
+    "max_cardinality_general",
+    "BruteForceLimitError",
+    "brute_force_mcm",
+    "brute_force_mwm",
+    "greedy_mcm",
+    "greedy_mwm",
+    "locally_heaviest_mwm",
+    "path_growing_mwm",
+    "HopcroftKarpResult",
+    "PhaseTrace",
+    "hopcroft_karp",
+    "max_cardinality_bipartite",
+    "max_weight_bipartite",
+    "guarantee_of",
+    "local_search_mwm",
+    "is_forest",
+    "max_weight_forest",
+]

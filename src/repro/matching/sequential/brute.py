@@ -1,0 +1,125 @@
+"""Brute-force exact matchers for small graphs.
+
+Exponential-time reference implementations used only to cross-validate the
+polynomial exact algorithms (and the networkx oracle) in tests.  Guarded by
+a size limit so accidental misuse fails loudly instead of hanging.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ...graphs.graph import Graph
+from ..core import Matching
+
+MAX_BRUTE_EDGES = 24
+
+
+class BruteForceLimitError(ValueError):
+    """Raised when a graph is too large for exhaustive search."""
+
+
+def _check(graph: Graph) -> List[Tuple[int, int, float]]:
+    edges = list(graph.edges())
+    if len(edges) > MAX_BRUTE_EDGES:
+        raise BruteForceLimitError(
+            f"brute force limited to {MAX_BRUTE_EDGES} edges, got {len(edges)}"
+        )
+    return edges
+
+
+def brute_force_mcm(graph: Graph) -> Matching:
+    """Exhaustive maximum-cardinality matching (small graphs only)."""
+    return _search(graph, weighted=False)
+
+
+def brute_force_mwm(graph: Graph) -> Matching:
+    """Exhaustive maximum-weight matching (small graphs only)."""
+    return _search(graph, weighted=True)
+
+
+def brute_force_mwbm(graph: Graph, capacity) -> "set":
+    """Exhaustive maximum-weight b-matching (small graphs only).
+
+    ``capacity`` maps node -> degree budget (missing nodes default to 1).
+    Returns the optimal edge set (canonical tuples).
+    """
+    edges = _check(graph)
+    best_value = -1.0
+    best: list = []
+    load: dict = {}
+    chosen: list = []
+
+    def recurse(i: int, value: float) -> None:
+        nonlocal best_value, best
+        remaining = sum(w for _, _, w in edges[i:])
+        if value + remaining <= best_value:
+            return
+        if i == len(edges):
+            if value > best_value:
+                best_value = value
+                best = list(chosen)
+            return
+        u, v, w = edges[i]
+        if (load.get(u, 0) < capacity.get(u, 1)
+                and load.get(v, 0) < capacity.get(v, 1)):
+            load[u] = load.get(u, 0) + 1
+            load[v] = load.get(v, 0) + 1
+            chosen.append((u, v))
+            recurse(i + 1, value + w)
+            chosen.pop()
+            load[u] -= 1
+            load[v] -= 1
+        recurse(i + 1, value)
+
+    recurse(0, 0.0)
+    return {(min(u, v), max(u, v)) for u, v in best}
+
+
+def greedy_mwbm(graph: Graph, capacity) -> "set":
+    """Sequential greedy b-matching (heaviest edge first): 1/2-approximate."""
+    load: dict = {}
+    chosen = set()
+    for u, v, w in sorted(graph.edges(), key=lambda e: (-e[2], e[0], e[1])):
+        if (load.get(u, 0) < capacity.get(u, 1)
+                and load.get(v, 0) < capacity.get(v, 1)):
+            chosen.add((u, v))
+            load[u] = load.get(u, 0) + 1
+            load[v] = load.get(v, 0) + 1
+    return chosen
+
+
+def _search(graph: Graph, weighted: bool) -> Matching:
+    edges = _check(graph)
+    best_value = -1.0
+    best_edges: List[Tuple[int, int]] = []
+
+    used: set = set()
+    chosen: List[Tuple[int, int]] = []
+
+    def recurse(i: int, value: float) -> None:
+        nonlocal best_value, best_edges
+        # optimistic bound: every remaining edge could still be added
+        remaining = edges[i:]
+        bound = value + (sum(w for _, _, w in remaining) if weighted
+                         else len(remaining))
+        if bound <= best_value:
+            return
+        if i == len(edges):
+            if value > best_value:
+                best_value = value
+                best_edges = list(chosen)
+            return
+        u, v, w = edges[i]
+        if u not in used and v not in used:
+            used.add(u)
+            used.add(v)
+            chosen.append((u, v))
+            recurse(i + 1, value + (w if weighted else 1.0))
+            chosen.pop()
+            used.discard(u)
+            used.discard(v)
+        recurse(i + 1, value)
+
+    recurse(0, 0.0)
+    return Matching(best_edges)

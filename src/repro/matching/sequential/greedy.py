@@ -1,0 +1,100 @@
+"""Sequential greedy baselines for weighted and unweighted matching.
+
+The paper's Section 1 observes that the global greedy (repeatedly take the
+heaviest remaining edge) is a 1/2-MWM; Drake-Hougardy's path growing and the
+Preis-style locally-heaviest rule achieve the same factor in linear time.
+These are the sequential comparison points for the weighted experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Set, Tuple, Union
+
+from ...graphs.graph import Graph
+from ..core import Matching
+
+RngLike = Union[int, random.Random, None]
+
+
+def greedy_mwm(graph: Graph) -> Matching:
+    """Global greedy: scan edges by decreasing weight (ties by edge id).
+
+    Classic 1/2-approximation to the maximum-weight matching.
+    """
+    m = Matching()
+    edges = sorted(graph.edges(), key=lambda e: (-e[2], e[0], e[1]))
+    for u, v, _ in edges:
+        if m.is_free(u) and m.is_free(v):
+            m.add(u, v)
+    return m
+
+
+def greedy_mcm(graph: Graph, rng: RngLike = None) -> Matching:
+    """Greedy maximal matching in (optionally shuffled) edge order.
+
+    Maximality gives the classic 1/2-approximation to maximum cardinality.
+    """
+    r = rng if isinstance(rng, random.Random) else random.Random(rng)
+    edges = list(graph.edges())
+    if rng is not None:
+        r.shuffle(edges)
+    m = Matching()
+    for u, v, _ in edges:
+        if m.is_free(u) and m.is_free(v):
+            m.add(u, v)
+    return m
+
+
+def path_growing_mwm(graph: Graph) -> Matching:
+    """Drake-Hougardy path growing: a linear-time 1/2-MWM.
+
+    Grows heaviest-edge paths, alternately assigning edges to two candidate
+    matchings, and returns the heavier of the two.
+    """
+    remaining = graph.copy()
+    m1 = Matching()
+    m2 = Matching()
+    current = 0
+    for start in graph.nodes:
+        v = start
+        while remaining.has_node(v) and remaining.degree(v) > 0:
+            best: Optional[Tuple[float, int]] = None
+            for u in remaining.neighbors(v):
+                w = remaining.weight(v, u)
+                if best is None or (w, -u) > (best[0], -best[1]):
+                    best = (w, u)
+            assert best is not None
+            u = best[1]
+            target = m1 if current == 0 else m2
+            if target.is_free(v) and target.is_free(u):
+                target.add(v, u)
+            current = 1 - current
+            remaining.remove_node(v)
+            v = u
+    return m1 if m1.weight(graph) >= m2.weight(graph) else m2
+
+
+def locally_heaviest_mwm(graph: Graph) -> Matching:
+    """Preis-style greedy: repeatedly add any locally heaviest edge.
+
+    An edge is locally heaviest if no strictly heavier edge shares an
+    endpoint (ties broken by edge id, making the rule total).  1/2-MWM.
+    """
+    m = Matching()
+    remaining = graph.copy()
+
+    def key(u: int, v: int) -> Tuple[float, int, int]:
+        a, b = (u, v) if u < v else (v, u)
+        return (remaining.weight(a, b), -a, -b)
+
+    active = set(remaining.edge_set())
+    while active:
+        # find any locally heaviest edge: the global heaviest certainly is
+        u, v = max(active, key=lambda e: key(*e))
+        m.add(u, v)
+        for x in (u, v):
+            for y in list(remaining.neighbors(x)):
+                active.discard((min(x, y), max(x, y)))
+            remaining.remove_node(x)
+    return m

@@ -1,0 +1,67 @@
+"""Sequential (1 - eps)-approximate MWM via bounded augmentations.
+
+The engine behind the paper's Lemma 4.2 [Pettie & Sanders 2004]: if no
+alternating path or cycle with at most ``k`` unmatched edges has positive
+gain, the matching weighs at least ``k/(k+1)`` of the optimum.  Iterating
+positive-gain augmentations of bounded size therefore converges to a
+(1 - 1/(k+1))-MWM — the sequential counterpart of the Section 4 Remark, and
+the reference implementation the weighted tests compare against.
+
+Each augmentation is found by bounded enumeration (cost exponential in k,
+fine for the k <= 4 regime where the guarantee already beats 4/5); the
+total number of augmentations is bounded because every one strictly
+increases the weight and gains are bounded below by the minimal nonzero
+gain of the instance (floating point: we stop when the best gain drops
+below a relative tolerance).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ...graphs.graph import Graph
+from ..core import Matching
+from ..paths import (
+    augmentation_edge_set,
+    enumerate_weighted_augmentations,
+)
+
+
+def local_search_mwm(graph: Graph, k: int = 2,
+                     initial: Optional[Matching] = None,
+                     max_augmentations: Optional[int] = None,
+                     relative_tolerance: float = 1e-12) -> Tuple[Matching, int]:
+    """Augment until no bounded-size positive-gain augmentation remains.
+
+    ``k`` bounds the number of *unmatched* edges per augmentation (the
+    Lemma 4.2 parameter); internally paths/cycles of up to ``2k + 1`` edges
+    are enumerated.  Returns ``(matching, augmentations_applied)``; the
+    result is a ``k/(k+1)``-approximate MWM.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    matching = initial.copy() if initial is not None else Matching()
+    max_edges = 2 * k + 1
+    limit = max_augmentations if max_augmentations is not None else (
+        4 * graph.num_nodes * max(1, graph.num_edges)
+    )
+    scale = max((w for _, _, w in graph.edges()), default=1.0)
+    applied = 0
+    while applied < limit:
+        augs = enumerate_weighted_augmentations(graph, matching, max_edges)
+        if not augs:
+            break
+        nodes, kind, gain = augs[0]  # enumeration returns best-gain first
+        if gain <= relative_tolerance * scale:
+            break
+        matching = matching.symmetric_difference(
+            augmentation_edge_set(nodes, kind))
+        applied += 1
+    return matching, applied
+
+
+def guarantee_of(k: int) -> float:
+    """The Lemma 4.2 corollary: local optimality at size k gives k/(k+1)."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    return k / (k + 1)

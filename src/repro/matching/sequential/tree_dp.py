@@ -1,0 +1,112 @@
+"""Exact maximum-weight matching on forests via dynamic programming.
+
+Trees are the one special case the distributed-matching literature treats
+separately (Hoepman, Kutten & Lotker 2006, cited in the paper's history
+section, match trees in expected constant time).  The exact tree optimum is
+computable in linear time with the classic two-state DP:
+
+* ``best[v][FREE]``    — best weight in v's subtree with v unmatched;
+* ``best[v][MATCHED]`` — best weight with v matched to one of its children.
+
+Used as the exact reference for tree/forest experiments, where the blossom
+algorithm would be overkill.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...graphs.graph import Graph, GraphError
+from ..core import Matching
+
+_FREE, _MATCHED = 0, 1
+
+
+def is_forest(graph: Graph) -> bool:
+    """True iff the graph has no cycles."""
+    seen: set = set()
+    for root in graph.nodes:
+        if root in seen:
+            continue
+        stack: List[Tuple[int, Optional[int]]] = [(root, None)]
+        seen.add(root)
+        while stack:
+            v, parent = stack.pop()
+            for u in graph.neighbors(v):
+                if u == parent:
+                    parent = None  # consume the single allowed back-step
+                    continue
+                if u in seen:
+                    return False
+                seen.add(u)
+                stack.append((u, v))
+    return True
+
+
+def max_weight_forest(graph: Graph) -> Matching:
+    """Exact maximum-weight matching of a forest (linear time)."""
+    if not is_forest(graph):
+        raise GraphError("max_weight_forest requires an acyclic graph")
+
+    matching = Matching()
+    visited: set = set()
+    for root in graph.nodes:
+        if root in visited:
+            continue
+        order = _post_order(graph, root)
+        visited.update(order)
+        best: Dict[int, List[float]] = {}
+        choice: Dict[int, Optional[int]] = {}  # matched child when MATCHED
+        parent = {root: None}
+        for v in reversed(order):
+            for u in graph.neighbors(v):
+                if u != parent.get(v):
+                    parent[u] = v
+        for v in order:  # order is post-order: children first
+            children = [u for u in graph.neighbors(v) if parent.get(u) == v]
+            base = sum(max(best[c]) for c in children)
+            best[v] = [base, float("-inf")]
+            choice[v] = None
+            for c in children:
+                candidate = (graph.weight(v, c) + best[c][_FREE]
+                             + base - max(best[c]))
+                if candidate > best[v][_MATCHED]:
+                    best[v][_MATCHED] = candidate
+                    choice[v] = c
+        _reconstruct(graph, root, parent, best, choice, matching)
+    return matching
+
+
+def _post_order(graph: Graph, root: int) -> List[int]:
+    order: List[int] = []
+    stack: List[Tuple[int, Optional[int]]] = [(root, None)]
+    while stack:
+        v, parent = stack.pop()
+        order.append(v)
+        for u in graph.neighbors(v):
+            if u != parent:
+                stack.append((u, v))
+    order.reverse()  # children before parents
+    return order
+
+
+def _reconstruct(graph: Graph, root: int, parent, best, choice,
+                 matching: Matching) -> None:
+    """Walk the DP table top-down, committing matched edges."""
+    stack: List[Tuple[int, int]] = [
+        (root, _MATCHED if best[root][_MATCHED] > best[root][_FREE] else _FREE)
+    ]
+    while stack:
+        v, state = stack.pop()
+        children = [u for u in graph.neighbors(v) if parent.get(u) == v]
+        matched_child = choice[v] if state == _MATCHED else None
+        if matched_child is not None:
+            matching.add(v, matched_child)
+        for c in children:
+            if c == matched_child:
+                stack.append((c, _FREE))
+            else:
+                stack.append(
+                    (c, _MATCHED if best[c][_MATCHED] > best[c][_FREE]
+                     else _FREE)
+                )

@@ -1,0 +1,89 @@
+"""Verification and certification of matchings.
+
+Every algorithm result in the library can be checked against these
+verifiers; the high-level API runs them automatically and attaches a
+:class:`Certificate` to each result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..graphs.graph import Graph
+from .core import Matching, MatchingError
+from .paths import shortest_augmenting_path_length
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """What was verified about a matching, and the measured quality."""
+
+    valid: bool
+    maximal: bool
+    size: int
+    weight: float
+    optimum_size: Optional[int] = None
+    optimum_weight: Optional[float] = None
+
+    @property
+    def cardinality_ratio(self) -> Optional[float]:
+        if self.optimum_size in (None, 0):
+            return None if self.optimum_size is None else 1.0
+        return self.size / self.optimum_size
+
+    @property
+    def weight_ratio(self) -> Optional[float]:
+        if self.optimum_weight is None:
+            return None
+        if self.optimum_weight == 0:
+            return 1.0
+        return self.weight / self.optimum_weight
+
+
+def verify_matching(graph: Graph, matching: Matching) -> None:
+    """Raise :class:`MatchingError` unless ``matching`` is valid in ``graph``.
+
+    Validity: every matched edge exists in the graph and no node is used
+    twice (the latter is structural in :class:`Matching`, but we re-check
+    defensively since distributed runs assemble matchings from node-local
+    registers).
+    """
+    seen = set()
+    for u, v in matching.edges():
+        if not graph.has_edge(u, v):
+            raise MatchingError(f"matched edge ({u}, {v}) is not a graph edge")
+        if u in seen or v in seen:
+            raise MatchingError(f"node reused by matched edge ({u}, {v})")
+        seen.add(u)
+        seen.add(v)
+
+
+def is_maximal(graph: Graph, matching: Matching) -> bool:
+    """True iff no graph edge has both endpoints free."""
+    for u, v, _ in graph.edges():
+        if matching.is_free(u) and matching.is_free(v):
+            return False
+    return True
+
+
+def has_augmenting_path_shorter_than(graph: Graph, matching: Matching,
+                                     ell: int) -> bool:
+    """True iff an augmenting path of length < ``ell`` exists."""
+    shortest = shortest_augmenting_path_length(graph, matching, max_len=ell - 1)
+    return shortest is not None
+
+
+def certify(graph: Graph, matching: Matching,
+            optimum_size: Optional[int] = None,
+            optimum_weight: Optional[float] = None) -> Certificate:
+    """Verify and measure a matching; raises if it is invalid."""
+    verify_matching(graph, matching)
+    return Certificate(
+        valid=True,
+        maximal=is_maximal(graph, matching),
+        size=matching.size,
+        weight=matching.weight(graph),
+        optimum_size=optimum_size,
+        optimum_weight=optimum_weight,
+    )

@@ -1,0 +1,38 @@
+"""Input-queued switch simulator (the paper's Figure 1 application)."""
+
+from .crossbar import VOQSwitch
+from .schedulers import (
+    DistributedMCMScheduler,
+    DistributedMWMScheduler,
+    ISLIP,
+    MaxSizeScheduler,
+    MaxWeightScheduler,
+    PIM,
+    Scheduler,
+)
+from .simulator import SwitchStats, simulate
+from .traffic import (
+    BernoulliDiagonal,
+    BernoulliUniform,
+    BurstyOnOff,
+    Hotspot,
+    TrafficPattern,
+)
+
+__all__ = [
+    "VOQSwitch",
+    "DistributedMCMScheduler",
+    "DistributedMWMScheduler",
+    "ISLIP",
+    "MaxSizeScheduler",
+    "MaxWeightScheduler",
+    "PIM",
+    "Scheduler",
+    "SwitchStats",
+    "simulate",
+    "BernoulliDiagonal",
+    "BernoulliUniform",
+    "BurstyOnOff",
+    "Hotspot",
+    "TrafficPattern",
+]

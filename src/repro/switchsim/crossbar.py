@@ -1,0 +1,67 @@
+"""The input-queued crossbar switch of the paper's Figure 1.
+
+Virtual output queues (VOQs): input ``i`` keeps one FIFO per output ``j``;
+head-of-line blocking is thereby avoided and the per-cycle scheduling
+decision is exactly a bipartite matching between inputs and outputs — the
+problem the paper's introduction motivates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Sequence, Tuple
+
+
+class VOQSwitch:
+    """State of a ``ports x ports`` crossbar with virtual output queues."""
+
+    def __init__(self, ports: int) -> None:
+        if ports < 2:
+            raise ValueError("a switch needs at least 2 ports")
+        self.ports = ports
+        # voq[i][j] holds the arrival cycles of queued cells (for delay stats)
+        self.voq: List[List[Deque[int]]] = [
+            [deque() for _ in range(ports)] for _ in range(ports)
+        ]
+        self.arrived = 0
+        self.delivered = 0
+        self.total_delay = 0
+
+    def enqueue(self, arrivals: Iterable[Tuple[int, int]], cycle: int) -> None:
+        for i, j in arrivals:
+            self.voq[i][j].append(cycle)
+            self.arrived += 1
+
+    def occupancy(self) -> List[List[int]]:
+        """The queue-length matrix the scheduler sees."""
+        return [[len(q) for q in row] for row in self.voq]
+
+    def transmit(self, matching: Sequence[Tuple[int, int]], cycle: int) -> int:
+        """Deliver one cell along each matched (input, output) pair.
+
+        The matching must use each input and each output at most once (the
+        crossbar constraint); violations raise.  Returns cells delivered.
+        """
+        seen_in = set()
+        seen_out = set()
+        delivered = 0
+        for i, j in matching:
+            if i in seen_in or j in seen_out:
+                raise ValueError(f"({i}, {j}) violates the crossbar constraint")
+            seen_in.add(i)
+            seen_out.add(j)
+            q = self.voq[i][j]
+            if q:
+                arrived_at = q.popleft()
+                self.delivered += 1
+                self.total_delay += cycle - arrived_at
+                delivered += 1
+        return delivered
+
+    @property
+    def backlog(self) -> int:
+        return sum(len(q) for row in self.voq for q in row)
+
+    @property
+    def mean_delay(self) -> float:
+        return self.total_delay / self.delivered if self.delivered else 0.0

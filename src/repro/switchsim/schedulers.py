@@ -1,0 +1,217 @@
+"""Crossbar schedulers: PIM, iSLIP, and matching-algorithm-backed ones.
+
+PIM [Anderson et al. 1993] and iSLIP [McKeown 1999] are the industrial
+descendants of Israeli-Itai that the paper's introduction discusses; the
+``Distributed*`` schedulers plug the paper's algorithms into the same
+per-cycle decision, letting experiment T9 compare them on equal footing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..congest.policies import PIPELINE
+from ..dist.bipartite_mcm import bipartite_mcm
+from ..dist.weighted.algorithm5 import approximate_mwm
+from ..graphs.generators import switch_request_graph
+from ..matching.sequential.hopcroft_karp import max_cardinality_bipartite
+from ..matching.sequential.hungarian import max_weight_bipartite
+
+Occupancy = Sequence[Sequence[int]]
+Match = List[Tuple[int, int]]
+
+
+class Scheduler:
+    """Base class: per-cycle matching of inputs to outputs."""
+
+    name = "scheduler"
+
+    def schedule(self, occupancy: Occupancy, cycle: int) -> Match:  # pragma: no cover
+        raise NotImplementedError
+
+
+class PIM(Scheduler):
+    """Parallel Iterative Matching: random request/grant/accept rounds."""
+
+    name = "pim"
+
+    def __init__(self, iterations: int = 3, seed: int = 0) -> None:
+        self.iterations = iterations
+        self.rng = random.Random(seed)
+
+    def schedule(self, occupancy: Occupancy, cycle: int) -> Match:
+        ports = len(occupancy)
+        free_in = set(range(ports))
+        free_out = set(range(ports))
+        matched: Match = []
+        for _ in range(self.iterations):
+            # request: every free input requests every output it has cells for
+            requests: List[List[int]] = [[] for _ in range(ports)]
+            for i in sorted(free_in):
+                for j in sorted(free_out):
+                    if occupancy[i][j] > 0:
+                        requests[j].append(i)
+            # grant: each free output grants one random request
+            grants: List[Tuple[int, int]] = []
+            for j in sorted(free_out):
+                if requests[j]:
+                    grants.append((self.rng.choice(requests[j]), j))
+            # accept: each input accepts one random grant
+            by_input: dict = {}
+            for i, j in grants:
+                by_input.setdefault(i, []).append(j)
+            progress = False
+            for i, outs in sorted(by_input.items()):
+                j = self.rng.choice(outs)
+                matched.append((i, j))
+                free_in.discard(i)
+                free_out.discard(j)
+                progress = True
+            if not progress:
+                break
+        return matched
+
+
+class ISLIP(Scheduler):
+    """iSLIP: PIM with round-robin grant/accept pointers (deterministic).
+
+    Pointers advance only for matches made in the first iteration — the rule
+    that gives iSLIP its desynchronization property.
+    """
+
+    name = "islip"
+
+    def __init__(self, ports: int, iterations: int = 3) -> None:
+        self.iterations = iterations
+        self.grant_ptr = [0] * ports   # one per output
+        self.accept_ptr = [0] * ports  # one per input
+
+    @staticmethod
+    def _round_robin(candidates: List[int], pointer: int, ports: int) -> int:
+        """The first candidate at or after ``pointer`` (cyclically)."""
+        return min(candidates, key=lambda c: (c - pointer) % ports)
+
+    def schedule(self, occupancy: Occupancy, cycle: int) -> Match:
+        ports = len(occupancy)
+        free_in = set(range(ports))
+        free_out = set(range(ports))
+        matched: Match = []
+        for it in range(self.iterations):
+            requests: List[List[int]] = [[] for _ in range(ports)]
+            for i in sorted(free_in):
+                for j in sorted(free_out):
+                    if occupancy[i][j] > 0:
+                        requests[j].append(i)
+            grants: dict = {}
+            for j in sorted(free_out):
+                if requests[j]:
+                    grants.setdefault(
+                        self._round_robin(requests[j], self.grant_ptr[j], ports),
+                        [],
+                    ).append(j)
+            progress = False
+            for i, outs in sorted(grants.items()):
+                j = self._round_robin(outs, self.accept_ptr[i], ports)
+                matched.append((i, j))
+                free_in.discard(i)
+                free_out.discard(j)
+                progress = True
+                if it == 0:
+                    self.grant_ptr[j] = (i + 1) % ports
+                    self.accept_ptr[i] = (j + 1) % ports
+            if not progress:
+                break
+        return matched
+
+
+class LQFScheduler(Scheduler):
+    """Longest-queue-first greedy: pick cells by queue length, greedily.
+
+    The simple weighted heuristic practitioners compare iSLIP against; a
+    sequential 1/2-approximation to the max-weight matching per cycle.
+    """
+
+    name = "lqf"
+
+    def schedule(self, occupancy: Occupancy, cycle: int) -> Match:
+        ports = len(occupancy)
+        requests = [(occupancy[i][j], i, j)
+                    for i in range(ports) for j in range(ports)
+                    if occupancy[i][j] > 0]
+        requests.sort(key=lambda t: (-t[0], t[1], t[2]))
+        used_in = set()
+        used_out = set()
+        matched: Match = []
+        for _, i, j in requests:
+            if i not in used_in and j not in used_out:
+                matched.append((i, j))
+                used_in.add(i)
+                used_out.add(j)
+        return matched
+
+
+class MaxSizeScheduler(Scheduler):
+    """Exact maximum-size matching per cycle (Hopcroft-Karp oracle)."""
+
+    name = "max_size"
+
+    def schedule(self, occupancy: Occupancy, cycle: int) -> Match:
+        ports = len(occupancy)
+        g = switch_request_graph(ports, occupancy, weighted=False)
+        m = max_cardinality_bipartite(g)
+        return [(u, v - ports) for u, v in m.edges()]
+
+
+class MaxWeightScheduler(Scheduler):
+    """Exact maximum-weight (longest-queue-first) matching per cycle."""
+
+    name = "max_weight"
+
+    def schedule(self, occupancy: Occupancy, cycle: int) -> Match:
+        ports = len(occupancy)
+        g = switch_request_graph(ports, occupancy, weighted=True)
+        if g.num_edges == 0:
+            return []
+        m = max_weight_bipartite(g)
+        return [(u, v - ports) for u, v in m.edges()]
+
+
+class DistributedMCMScheduler(Scheduler):
+    """The paper's bipartite (1 - 1/(k+1))-MCM as the fabric scheduler."""
+
+    name = "dist_mcm"
+
+    def __init__(self, k: int = 2, seed: int = 0) -> None:
+        self.k = k
+        self.seed = seed
+
+    def schedule(self, occupancy: Occupancy, cycle: int) -> Match:
+        ports = len(occupancy)
+        g = switch_request_graph(ports, occupancy, weighted=False)
+        if g.num_edges == 0:
+            return []
+        res = bipartite_mcm(g, k=self.k, seed=self.seed * 100003 + cycle,
+                            policy=PIPELINE)
+        return [(u, v - ports) for u, v in res.matching.edges()]
+
+
+class DistributedMWMScheduler(Scheduler):
+    """Algorithm 5 with queue-length weights as the fabric scheduler."""
+
+    name = "dist_mwm"
+
+    def __init__(self, eps: float = 0.2, seed: int = 0,
+                 black_box: str = "local_greedy") -> None:
+        self.eps = eps
+        self.seed = seed
+        self.black_box = black_box
+
+    def schedule(self, occupancy: Occupancy, cycle: int) -> Match:
+        ports = len(occupancy)
+        g = switch_request_graph(ports, occupancy, weighted=True)
+        if g.num_edges == 0:
+            return []
+        res = approximate_mwm(g, eps=self.eps, black_box=self.black_box,
+                              seed=self.seed * 100003 + cycle)
+        return [(u, v - ports) for u, v in res.matching.edges()]

@@ -1,0 +1,104 @@
+"""Traffic generators for the input-queued switch simulator.
+
+Each pattern yields, per cycle, the list of (input, output) cell arrivals.
+Loads are per-input-port offered loads in cells/cycle; admissible traffic
+keeps every input and output load below 1.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Tuple
+
+Arrival = Tuple[int, int]
+
+
+class TrafficPattern:
+    """Base class: subclasses implement :meth:`arrivals` for one cycle."""
+
+    def __init__(self, ports: int, load: float, seed: int = 0) -> None:
+        if ports < 2:
+            raise ValueError("a switch needs at least 2 ports")
+        if not 0.0 <= load <= 1.0:
+            raise ValueError("load must be in [0, 1]")
+        self.ports = ports
+        self.load = load
+        self.rng = random.Random(seed)
+
+    def arrivals(self, cycle: int) -> List[Arrival]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class BernoulliUniform(TrafficPattern):
+    """Each input receives a cell w.p. ``load``; destination uniform."""
+
+    def arrivals(self, cycle: int) -> List[Arrival]:
+        out = []
+        for i in range(self.ports):
+            if self.rng.random() < self.load:
+                out.append((i, self.rng.randrange(self.ports)))
+        return out
+
+
+class BernoulliDiagonal(TrafficPattern):
+    """Skewed traffic: input i sends mostly to output i, some to i+1.
+
+    The classic pattern that separates maximal-matching schedulers from
+    maximum/weighted ones: 2/3 of input i's cells go to output i, 1/3 to
+    output (i+1) mod P.
+    """
+
+    def arrivals(self, cycle: int) -> List[Arrival]:
+        out = []
+        for i in range(self.ports):
+            if self.rng.random() < self.load:
+                j = i if self.rng.random() < 2.0 / 3.0 else (i + 1) % self.ports
+                out.append((i, j))
+        return out
+
+
+class Hotspot(TrafficPattern):
+    """A fraction of all traffic converges on one hot output port."""
+
+    def __init__(self, ports: int, load: float, seed: int = 0,
+                 hot_fraction: float = 0.5, hot_port: int = 0) -> None:
+        super().__init__(ports, load, seed)
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        self.hot_fraction = hot_fraction
+        self.hot_port = hot_port % ports
+
+    def arrivals(self, cycle: int) -> List[Arrival]:
+        out = []
+        for i in range(self.ports):
+            if self.rng.random() < self.load:
+                if self.rng.random() < self.hot_fraction:
+                    j = self.hot_port
+                else:
+                    j = self.rng.randrange(self.ports)
+                out.append((i, j))
+        return out
+
+
+class BurstyOnOff(TrafficPattern):
+    """On/off bursts: during an on-period all cells go to one destination."""
+
+    def __init__(self, ports: int, load: float, seed: int = 0,
+                 mean_burst: int = 16) -> None:
+        super().__init__(ports, load, seed)
+        if mean_burst < 1:
+            raise ValueError("mean_burst must be >= 1")
+        self.mean_burst = mean_burst
+        self._state = [(0, 0) for _ in range(self.ports)]  # (remaining, dest)
+
+    def arrivals(self, cycle: int) -> List[Arrival]:
+        out = []
+        for i in range(self.ports):
+            remaining, dest = self._state[i]
+            if remaining <= 0:
+                dest = self.rng.randrange(self.ports)
+                remaining = 1 + int(self.rng.expovariate(1.0 / self.mean_burst))
+            if self.rng.random() < self.load:
+                out.append((i, dest))
+            self._state[i] = (remaining - 1, dest)
+        return out

@@ -1,0 +1,224 @@
+"""Tests for asynchronous execution with the alpha synchronizer."""
+
+import pytest
+
+from repro.congest import (
+    AsyncNetwork,
+    FixedDelay,
+    HeavyTailDelay,
+    Network,
+    ProtocolError,
+    SlowEdgeDelay,
+    UniformDelay,
+)
+from repro.dist.israeli_itai import IsraeliItaiNode
+from repro.dist.luby_mis import LubyMISNode
+from repro.graphs import cycle_graph, gnp, path_graph, star_graph
+from repro.matching import Matching, is_maximal, verify_matching
+
+
+def ii_shared(graph):
+    return {"initial_mate": {v: None for v in graph.nodes}}
+
+
+class TestDelayModels:
+    def test_fixed(self):
+        import random
+
+        assert FixedDelay(2.0).delay(0, 1, random.Random(0)) == 2.0
+        with pytest.raises(ValueError):
+            FixedDelay(0)
+
+    def test_uniform_range(self):
+        import random
+
+        rng = random.Random(1)
+        model = UniformDelay(0.5, 2.0)
+        for _ in range(100):
+            assert 0.5 <= model.delay(0, 1, rng) <= 2.0
+        with pytest.raises(ValueError):
+            UniformDelay(2.0, 1.0)
+
+    def test_heavy_tail_positive(self):
+        import random
+
+        rng = random.Random(2)
+        model = HeavyTailDelay()
+        assert all(model.delay(0, 1, rng) > 0 for _ in range(200))
+        with pytest.raises(ValueError):
+            HeavyTailDelay(tail_probability=2.0)
+
+    def test_slow_edge(self):
+        import random
+
+        model = SlowEdgeDelay((3, 1), slow=50.0, fast=1.0)
+        rng = random.Random(0)
+        assert model.delay(1, 3, rng) == 50.0
+        assert model.delay(3, 1, rng) == 50.0
+        assert model.delay(0, 1, rng) == 1.0
+
+
+class TestSynchronizerEquivalence:
+    """Footnote 2: synchrony is WLOG — same outputs under any delays."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_israeli_itai_identical_outputs(self, seed):
+        g = gnp(30, 0.15, rng=seed)
+        shared = ii_shared(g)
+        sync = Network(g, seed=seed).run(IsraeliItaiNode, shared=shared)
+        rep = AsyncNetwork(g, UniformDelay(0.1, 5.0), seed=seed).run(
+            IsraeliItaiNode, shared=shared)
+        assert rep.outputs == sync.outputs
+
+    @pytest.mark.parametrize("model", [
+        FixedDelay(1.0),
+        UniformDelay(0.5, 3.0),
+        HeavyTailDelay(),
+    ])
+    def test_luby_identical_under_any_delays(self, model):
+        g = gnp(25, 0.2, rng=4)
+        sync = Network(g, seed=4).run(LubyMISNode)
+        rep = AsyncNetwork(g, model, seed=4).run(LubyMISNode)
+        assert rep.outputs == sync.outputs
+
+    def test_result_still_maximal(self):
+        g = cycle_graph(21)
+        rep = AsyncNetwork(g, HeavyTailDelay(), seed=9).run(
+            IsraeliItaiNode, shared=ii_shared(g))
+        m = Matching.from_mate_map(
+            {v: o["mate"] if o else None for v, o in rep.outputs.items()})
+        verify_matching(g, m)
+        assert is_maximal(g, m)
+
+
+class TestSynchronizerCosts:
+    def test_pulse_overhead_reported(self):
+        g = gnp(20, 0.2, rng=1)
+        rep = AsyncNetwork(g, FixedDelay(1.0), seed=1).run(
+            IsraeliItaiNode, shared=ii_shared(g))
+        assert rep.envelopes >= rep.payload_messages
+        assert 0.0 <= rep.pulse_overhead < 1.0
+        assert rep.payload_bits > 0
+
+    def test_slow_edge_dominates_virtual_time(self):
+        g = cycle_graph(8)
+        fast = AsyncNetwork(g, FixedDelay(1.0), seed=2).run(
+            IsraeliItaiNode, shared=ii_shared(g))
+        slow = AsyncNetwork(g, SlowEdgeDelay((0, 1), slow=40.0), seed=2).run(
+            IsraeliItaiNode, shared=ii_shared(g))
+        assert slow.virtual_time > fast.virtual_time
+        assert slow.rounds == fast.rounds  # same logical execution
+
+    def test_rounds_match_synchronous(self):
+        g = gnp(18, 0.25, rng=3)
+        shared = ii_shared(g)
+        sync_net = Network(g, seed=3)
+        sync_net.run(IsraeliItaiNode, shared=shared)
+        rep = AsyncNetwork(g, UniformDelay(), seed=3).run(
+            IsraeliItaiNode, shared=shared)
+        # the synchronizer executes the same logical rounds (+-1 for the tail)
+        assert abs(rep.rounds - sync_net.metrics.rounds) <= 1
+
+
+class TestAsyncEngineGuards:
+    def test_bad_target_rejected(self):
+        from repro.congest import NodeAlgorithm
+
+        class Bad(NodeAlgorithm):
+            def start(self):
+                return {42: 1}
+
+            def on_round(self, inbox):
+                return {}
+
+        with pytest.raises(ProtocolError):
+            AsyncNetwork(path_graph(2), FixedDelay(1.0), seed=0).run(Bad)
+
+    def test_nonpositive_delay_rejected(self):
+        class Zero(FixedDelay):
+            def __init__(self):
+                self.latency = 1.0
+
+            def delay(self, s, r, rng):
+                return 0.0
+
+        g = path_graph(2)
+        with pytest.raises(ProtocolError):
+            AsyncNetwork(g, Zero(), seed=0).run(
+                IsraeliItaiNode, shared=ii_shared(g))
+
+    def test_round_limit(self):
+        from repro.congest import BROADCAST, NodeAlgorithm
+
+        class Forever(NodeAlgorithm):
+            def start(self):
+                return {BROADCAST: 0}
+
+            def on_round(self, inbox):
+                return {BROADCAST: 0}
+
+        with pytest.raises(ProtocolError):
+            AsyncNetwork(path_graph(2), FixedDelay(1.0), seed=0).run(
+                Forever, max_rounds=20)
+
+    def test_star_topology(self):
+        g = star_graph(6)
+        rep = AsyncNetwork(g, UniformDelay(), seed=5).run(
+            IsraeliItaiNode, shared=ii_shared(g))
+        assert rep.all_finished
+        matched = [o["mate"] for o in rep.outputs.values()
+                   if o and o["mate"] is not None]
+        assert len(matched) == 2  # exactly one edge in a star
+
+
+class TestSynchronizedNetworkDrivers:
+    """Full drivers run unchanged (and identically) over the async engine."""
+
+    def test_bipartite_mcm_end_to_end(self):
+        from repro.congest import SynchronizedNetwork
+        from repro.dist import bipartite_mcm
+        from repro.graphs import random_bipartite
+
+        g = random_bipartite(14, 14, 0.2, rng=2)
+        sync = bipartite_mcm(g, k=2, seed=5)
+        net = SynchronizedNetwork(g, UniformDelay(0.2, 4.0), seed=5)
+        asy = bipartite_mcm(g, k=2, seed=5, network=net)
+        assert asy.matching == sync.matching
+        assert net.virtual_time > 0
+        assert net.envelopes > net.metrics.messages
+
+    def test_general_mcm_end_to_end(self):
+        from repro.congest import SynchronizedNetwork
+        from repro.dist import general_mcm
+        from repro.graphs import gnp
+
+        g = gnp(16, 0.2, rng=3)
+        sync = general_mcm(g, k=2, seed=7, stopping="exact")
+        asy = general_mcm(g, k=2, seed=7, stopping="exact",
+                          network=SynchronizedNetwork(g, HeavyTailDelay(),
+                                                      seed=7))
+        assert asy.matching == sync.matching
+
+    def test_tree_mwm_end_to_end(self):
+        from repro.congest import SynchronizedNetwork
+        from repro.dist import tree_mwm
+        from repro.graphs import random_tree, uniform_weights
+
+        g = random_tree(20, rng=4, weight_fn=uniform_weights())
+        sync, _ = tree_mwm(g, seed=2)
+        asy, net = tree_mwm(g, seed=2,
+                            network=SynchronizedNetwork(g, UniformDelay(),
+                                                        seed=2))
+        assert asy == sync
+
+    def test_metrics_accumulate_across_protocols(self):
+        from repro.congest import SynchronizedNetwork
+        from repro.dist import bipartite_mcm
+        from repro.graphs import random_bipartite
+
+        g = random_bipartite(10, 10, 0.3, rng=5)
+        net = SynchronizedNetwork(g, FixedDelay(1.0), seed=1)
+        bipartite_mcm(g, k=2, seed=1, network=net)
+        assert "counting" in net.metrics.protocol_rounds
+        assert "token_selection" in net.metrics.protocol_rounds
+        assert net.metrics.messages > 0

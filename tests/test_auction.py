@@ -1,0 +1,99 @@
+"""Tests for the Bertsekas auction MWM."""
+
+import pytest
+
+from repro.congest import CONGEST, Network
+from repro.congest.asynchrony import HeavyTailDelay, SynchronizedNetwork, UniformDelay
+from repro.dist import auction_mwm
+from repro.graphs import (
+    BipartiteGraph,
+    complete_bipartite,
+    cycle_graph,
+    random_bipartite,
+    uniform_weights,
+)
+from repro.graphs.graph import Graph, GraphError
+from repro.matching.sequential import max_weight_bipartite
+from repro.matching.verify import verify_matching
+
+
+class TestAuctionQuality:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_one_minus_eps_guarantee(self, seed):
+        g = random_bipartite(14, 14, 0.3, rng=seed,
+                             weight_fn=uniform_weights())
+        m, _ = auction_mwm(g, eps=0.1, seed=seed)
+        verify_matching(g, m)
+        opt = max_weight_bipartite(g).weight(g)
+        assert m.weight(g) >= (1 - 0.1) * opt - 1e-9
+
+    def test_tighter_eps_tighter_result(self):
+        g = random_bipartite(12, 12, 0.4, rng=5, weight_fn=uniform_weights())
+        opt = max_weight_bipartite(g).weight(g)
+        loose, _ = auction_mwm(g, eps=0.5, seed=1)
+        tight, _ = auction_mwm(g, eps=0.02, seed=1)
+        assert tight.weight(g) >= (1 - 0.02) * opt - 1e-9
+        assert loose.weight(g) >= (1 - 0.5) * opt - 1e-9
+
+    def test_prefers_heavy_edge(self):
+        g = BipartiteGraph([0, 1], [2, 3])
+        g.add_edge(0, 2, 10.0)
+        g.add_edge(0, 3, 1.0)
+        g.add_edge(1, 2, 1.0)
+        m, _ = auction_mwm(g, eps=0.05, seed=0)
+        assert m.contains_edge(0, 2)
+
+    def test_complete_bipartite_perfect(self):
+        g = complete_bipartite(5, 5)
+        m, _ = auction_mwm(g, eps=0.1, seed=0)
+        assert m.size == 5
+
+    def test_unbalanced_sides(self):
+        g = random_bipartite(6, 14, 0.4, rng=7, weight_fn=uniform_weights())
+        m, _ = auction_mwm(g, eps=0.1, seed=7)
+        verify_matching(g, m)
+        assert m.size <= 6
+
+
+class TestAuctionMechanics:
+    def test_empty_graph(self):
+        g = BipartiteGraph([0, 1], [2, 3])
+        m, _ = auction_mwm(g, eps=0.1, seed=0)
+        assert m.size == 0
+
+    def test_rejects_non_bipartite(self):
+        with pytest.raises(GraphError):
+            auction_mwm(cycle_graph(5), eps=0.1)
+
+    def test_eps_validation(self):
+        g = complete_bipartite(2, 2)
+        with pytest.raises(ValueError):
+            auction_mwm(g, eps=1.5)
+        with pytest.raises(ValueError):
+            auction_mwm(g, eps=0.1, epsilon=0.0)
+
+    def test_congest_compliant(self):
+        g = random_bipartite(20, 20, 0.2, rng=1, weight_fn=uniform_weights())
+        m, net = auction_mwm(g, eps=0.1, seed=1, policy=CONGEST)
+        assert net.metrics.max_message_bits <= CONGEST.budget_bits(40)
+
+    def test_deterministic(self):
+        g = random_bipartite(10, 10, 0.4, rng=2, weight_fn=uniform_weights())
+        a, _ = auction_mwm(g, eps=0.1, seed=4)
+        b, _ = auction_mwm(g, eps=0.1, seed=4)
+        assert a == b
+
+    def test_async_identical(self):
+        g = random_bipartite(10, 10, 0.4, rng=3, weight_fn=uniform_weights())
+        sync, _ = auction_mwm(g, eps=0.1, seed=5)
+        for model in (UniformDelay(0.2, 3.0), HeavyTailDelay()):
+            asy, _ = auction_mwm(
+                g, eps=0.1, seed=5,
+                network=SynchronizedNetwork(g, model, seed=5))
+            assert asy == sync
+
+    def test_rounds_grow_as_eps_shrinks(self):
+        g = random_bipartite(12, 12, 0.5, rng=6, weight_fn=uniform_weights())
+        _, loose_net = auction_mwm(g, eps=0.5, seed=2)
+        _, tight_net = auction_mwm(g, eps=0.01, seed=2)
+        assert tight_net.metrics.rounds >= loose_net.metrics.rounds

@@ -1,0 +1,131 @@
+"""Tests for the distributed b-matching extension (c-matching)."""
+
+import pytest
+
+from repro.dist.b_matching import (
+    BMatchingError,
+    b_matching_as_matching,
+    b_matching_weight,
+    distributed_b_matching,
+    validate_b_matching,
+)
+from repro.dist.weighted import local_greedy_mwm
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    gnp,
+    path_graph,
+    star_graph,
+    uniform_weights,
+)
+from repro.matching.sequential.brute import brute_force_mwbm, greedy_mwbm
+
+
+def unit_caps(graph, c=1):
+    return {v: c for v in graph.nodes}
+
+
+class TestValidation:
+    def test_accepts_valid(self):
+        g = path_graph(4)
+        validate_b_matching(g, {(0, 1), (2, 3)}, unit_caps(g))
+
+    def test_rejects_overload(self):
+        g = star_graph(3)
+        with pytest.raises(BMatchingError):
+            validate_b_matching(g, {(0, 1), (0, 2)}, unit_caps(g))
+        validate_b_matching(g, {(0, 1), (0, 2)}, {0: 2, 1: 1, 2: 1, 3: 1})
+
+    def test_rejects_non_edge(self):
+        g = path_graph(3)
+        with pytest.raises(BMatchingError):
+            validate_b_matching(g, {(0, 2)}, unit_caps(g))
+
+
+class TestDistributedBMatching:
+    def test_capacity_one_is_a_matching(self):
+        g = gnp(20, 0.3, rng=1, weight_fn=uniform_weights())
+        edges, _ = distributed_b_matching(g, unit_caps(g), seed=1)
+        m = b_matching_as_matching(edges)  # validates no node reuse
+        assert m.size == len(edges)
+
+    def test_capacity_one_agrees_with_local_greedy(self):
+        g = gnp(18, 0.3, rng=2, weight_fn=uniform_weights())
+        edges, _ = distributed_b_matching(g, unit_caps(g), seed=2)
+        lg, _ = local_greedy_mwm(g, seed=2)
+        assert edges == set(lg.edges())
+
+    def test_star_with_center_capacity(self):
+        g = star_graph(5)
+        edges, _ = distributed_b_matching(g, {0: 3, **{v: 1 for v in range(1, 6)}},
+                                          seed=0)
+        assert len(edges) == 3
+        assert all(u == 0 for u, _ in edges)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_half_approximation(self, seed):
+        g = gnp(10, 0.4, rng=seed, weight_fn=uniform_weights())
+        if g.num_edges > 20:
+            pytest.skip("too large for the brute-force reference")
+        caps = {v: 1 + (v % 3) for v in g.nodes}
+        edges, _ = distributed_b_matching(g, caps, seed=seed)
+        validate_b_matching(g, edges, caps)
+        opt = b_matching_weight(g, brute_force_mwbm(g, caps))
+        assert b_matching_weight(g, edges) >= 0.5 * opt - 1e-9
+
+    def test_maximality(self):
+        g = gnp(16, 0.3, rng=4, weight_fn=uniform_weights())
+        caps = {v: 2 for v in g.nodes}
+        edges, _ = distributed_b_matching(g, caps, seed=4)
+        load = {}
+        for u, v in edges:
+            load[u] = load.get(u, 0) + 1
+            load[v] = load.get(v, 0) + 1
+        for u, v, _ in g.edges():
+            if (u, v) in edges:
+                continue
+            # at least one endpoint must be saturated
+            assert load.get(u, 0) >= caps[u] or load.get(v, 0) >= caps[v]
+
+    def test_zero_capacity_nodes_sit_out(self):
+        g = path_graph(3)
+        edges, _ = distributed_b_matching(g, {0: 1, 1: 0, 2: 1}, seed=0)
+        assert edges == set()
+
+    def test_negative_capacity_rejected(self):
+        g = path_graph(2)
+        with pytest.raises(BMatchingError):
+            distributed_b_matching(g, {0: -1, 1: 1}, seed=0)
+
+    def test_complete_graph_high_capacity(self):
+        g = complete_graph(6)
+        caps = {v: 5 for v in g.nodes}
+        edges, _ = distributed_b_matching(g, caps, seed=1)
+        # with capacity = degree every edge fits
+        assert len(edges) == g.num_edges
+
+    def test_deterministic(self):
+        g = gnp(14, 0.3, rng=5, weight_fn=uniform_weights())
+        caps = {v: 2 for v in g.nodes}
+        e1, _ = distributed_b_matching(g, caps, seed=9)
+        e2, _ = distributed_b_matching(g, caps, seed=9)
+        assert e1 == e2
+
+
+class TestSequentialBMatchingReferences:
+    def test_greedy_vs_brute(self):
+        for seed in range(3):
+            g = gnp(9, 0.4, rng=seed, weight_fn=uniform_weights())
+            if g.num_edges > 20:
+                continue
+            caps = {v: 2 for v in g.nodes}
+            greedy = b_matching_weight(g, greedy_mwbm(g, caps))
+            opt = b_matching_weight(g, brute_force_mwbm(g, caps))
+            assert greedy >= 0.5 * opt - 1e-9
+
+    def test_brute_respects_capacity(self):
+        g = star_graph(4)
+        caps = {0: 2, 1: 1, 2: 1, 3: 1, 4: 1}
+        edges = brute_force_mwbm(g, caps)
+        validate_b_matching(g, edges, caps)
+        assert len(edges) == 2

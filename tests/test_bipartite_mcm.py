@@ -1,0 +1,126 @@
+"""Tests for the Theorem 3.10 bipartite CONGEST driver."""
+
+import pytest
+
+from repro.congest import PIPELINE, Network
+from repro.dist import augment_to_level, bipartite_mcm, side_map_of
+from repro.dist.bipartite_counting import X_SIDE, Y_SIDE
+from repro.graphs import (
+    BipartiteGraph,
+    complete_bipartite,
+    crown_graph,
+    cycle_graph,
+    path_graph,
+    random_bipartite,
+)
+from repro.graphs.graph import GraphError
+from repro.matching import (
+    Matching,
+    shortest_augmenting_path_length,
+    verify_matching,
+)
+from repro.matching.sequential import max_cardinality_bipartite
+
+
+class TestSideMap:
+    def test_bipartite_graph_sides(self):
+        g = BipartiteGraph([0, 1], [2, 3])
+        g.add_edge(0, 2)
+        side = side_map_of(g)
+        assert side[0] == X_SIDE and side[2] == Y_SIDE
+
+    def test_plain_bipartite_graph(self):
+        side = side_map_of(path_graph(4))
+        for u in range(3):
+            assert side[u] != side[u + 1]
+
+    def test_non_bipartite_raises(self):
+        with pytest.raises(GraphError):
+            side_map_of(cycle_graph(5))
+
+
+class TestBipartiteMCM:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_guarantee_and_no_short_paths(self, k, seed):
+        g = random_bipartite(20, 20, 0.15, rng=seed)
+        opt = max_cardinality_bipartite(g).size
+        res = bipartite_mcm(g, k=k, seed=seed)
+        verify_matching(g, res.matching)
+        assert res.matching.size >= (1 - 1 / (k + 1)) * opt - 1e-9
+        assert shortest_augmenting_path_length(
+            g, res.matching, max_len=2 * k - 1) is None
+
+    def test_perfect_on_complete_bipartite(self):
+        g = complete_bipartite(6, 6)
+        res = bipartite_mcm(g, k=3, seed=0)
+        assert res.matching.size == 6
+
+    def test_crown_graph(self):
+        g = crown_graph(8)
+        res = bipartite_mcm(g, k=3, seed=1)
+        assert res.matching.size >= 6  # (1 - 1/4) * 8
+
+    def test_empty_graph(self):
+        g = random_bipartite(5, 5, 0.0, rng=0)
+        res = bipartite_mcm(g, k=2, seed=0)
+        assert res.matching.size == 0
+
+    def test_phase_stats_recorded(self):
+        g = random_bipartite(15, 15, 0.2, rng=3)
+        res = bipartite_mcm(g, k=3, seed=3)
+        assert [p.ell for p in res.stats.phases] == [1, 3, 5]
+        sizes = [p.matching_size for p in res.stats.phases]
+        assert sizes == sorted(sizes)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            bipartite_mcm(path_graph(2), k=0)
+
+    def test_initial_matching_respected(self):
+        g = complete_bipartite(3, 3)
+        initial = Matching([(0, 3)])
+        res = bipartite_mcm(g, k=2, seed=0, initial=initial)
+        assert res.matching.size == 3
+
+    def test_deterministic_given_seed(self):
+        g = random_bipartite(15, 15, 0.2, rng=5)
+        a = bipartite_mcm(g, k=2, seed=7).matching
+        b = bipartite_mcm(g, k=2, seed=7).matching
+        assert a == b
+
+    def test_monotone_in_k(self):
+        g = random_bipartite(25, 25, 0.08, rng=6)
+        sizes = [bipartite_mcm(g, k=k, seed=2).matching.size for k in (1, 2, 3)]
+        assert sizes[0] <= sizes[-1]
+
+    def test_metrics_populated(self):
+        g = random_bipartite(10, 10, 0.3, rng=1)
+        res = bipartite_mcm(g, k=2, seed=1)
+        m = res.network.metrics
+        assert m.rounds > 0
+        assert m.messages > 0
+        assert "counting" in m.protocol_rounds
+
+
+class TestAugmentToLevel:
+    def test_respects_allowed_edges(self):
+        g = complete_bipartite(2, 2)
+        net = Network(g, policy=PIPELINE, seed=0)
+        side = side_map_of(g)
+        mate = {v: None for v in g.nodes}
+        allowed = {(0, 2)}
+        new_mate, stats = augment_to_level(net, side, mate, 1, allowed=allowed)
+        m = Matching.from_mate_map(new_mate)
+        assert m.edge_set() <= {(0, 2)}
+
+    def test_skips_non_participants(self):
+        g = complete_bipartite(2, 2)
+        net = Network(g, policy=PIPELINE, seed=0)
+        side = side_map_of(g)
+        side[0] = None  # node 0 sits out
+        mate = {v: None for v in g.nodes}
+        new_mate, _ = augment_to_level(net, side, mate, 1)
+        assert new_mate[0] is None
+        m = Matching.from_mate_map(new_mate)
+        assert m.size == 1  # only node 1 can match

@@ -1,0 +1,110 @@
+"""Tests for the cellular coverage application."""
+
+import pytest
+
+from repro.cellular import (
+    CellularScenario,
+    Client,
+    RadioModel,
+    Station,
+    assign_distributed,
+    assign_greedy_snr,
+    assign_optimal,
+    assign_sequential_greedy,
+)
+from repro.dist.b_matching import validate_b_matching
+
+
+class TestRadioModel:
+    def test_rate_decreases_with_distance(self):
+        radio = RadioModel()
+        near = radio.rate(0.01, 0.0)
+        far = radio.rate(0.3, 0.0)
+        assert near is not None and far is not None
+        assert near > far
+
+    def test_out_of_range_is_none(self):
+        radio = RadioModel(max_range=0.2)
+        assert radio.rate(0.5, 0.0) is None
+
+    def test_symmetric_in_displacement(self):
+        radio = RadioModel()
+        assert radio.rate(0.1, 0.2) == radio.rate(-0.1, -0.2)
+
+
+class TestScenario:
+    def test_random_reproducible(self):
+        a = CellularScenario.random(4, 10, rng=1)
+        b = CellularScenario.random(4, 10, rng=1)
+        assert [(c.x, c.y) for c in a.clients] == [(c.x, c.y) for c in b.clients]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CellularScenario.random(0, 5)
+        with pytest.raises(ValueError):
+            CellularScenario.random(3, 5, capacity=0)
+
+    def test_association_graph_structure(self):
+        sc = CellularScenario.random(3, 8, capacity=2, rng=2)
+        graph, capacity = sc.association_graph()
+        offset = sc.station_offset
+        assert offset == 8
+        for u, v, w in graph.edges():
+            assert w > 0
+            assert min(u, v) < offset <= max(u, v)
+        for c in sc.clients:
+            assert capacity[c.client_id] == 1
+        for s in sc.stations:
+            assert capacity[offset + s.station_id] == 2
+
+    def test_clustered_placement_in_bounds(self):
+        sc = CellularScenario.random(4, 30, rng=3, clustered=True)
+        for c in sc.clients:
+            assert 0.0 <= c.x <= 1.0 and 0.0 <= c.y <= 1.0
+
+
+class TestAssignment:
+    def test_distributed_respects_capacities(self):
+        sc = CellularScenario.random(5, 30, capacity=3, rng=4, clustered=True)
+        result = assign_distributed(sc, seed=4)
+        graph, capacity = sc.association_graph()
+        validate_b_matching(graph, result.edges, capacity)
+
+    def test_distributed_beats_or_ties_naive(self):
+        for seed in range(4):
+            sc = CellularScenario.random(6, 40, capacity=3, rng=seed,
+                                         clustered=True)
+            dist = assign_distributed(sc, seed=seed)
+            naive = assign_greedy_snr(sc)
+            assert dist.total_rate >= naive.total_rate - 1e-9
+
+    def test_half_of_optimal_on_small_instances(self):
+        sc = CellularScenario.random(3, 8, capacity=2, rng=5)
+        graph, _ = sc.association_graph()
+        if graph.num_edges > 20:
+            pytest.skip("instance too large for the brute-force reference")
+        dist = assign_distributed(sc, seed=5)
+        opt = assign_optimal(sc)
+        assert dist.total_rate >= 0.5 * opt.total_rate - 1e-9
+
+    def test_metrics_fields(self):
+        sc = CellularScenario.random(4, 12, capacity=2, rng=6)
+        r = assign_distributed(sc, seed=6)
+        assert 0.0 <= r.coverage <= 1.0
+        assert 0.0 <= r.fairness <= 1.0 + 1e-9
+        assert r.served_clients <= r.total_clients
+        assert r.rounds is not None
+
+    def test_sequential_greedy_valid(self):
+        sc = CellularScenario.random(5, 25, capacity=2, rng=7, clustered=True)
+        result = assign_sequential_greedy(sc)
+        graph, capacity = sc.association_graph()
+        validate_b_matching(graph, result.edges, capacity)
+
+    def test_empty_association(self):
+        # stations far outside every client's range
+        radio = RadioModel(max_range=1e-6)
+        sc = CellularScenario.random(3, 5, rng=8, radio=radio)
+        result = assign_distributed(sc, seed=8)
+        assert result.total_rate == 0.0
+        assert result.coverage == 0.0

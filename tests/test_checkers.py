@@ -1,0 +1,67 @@
+"""Tests for distributed self-verification."""
+
+import pytest
+
+from repro.congest import Network
+from repro.dist import israeli_itai
+from repro.dist.checkers import check_matching, check_maximality
+from repro.graphs import Graph, gnp, path_graph
+
+
+class TestCheckMatching:
+    def test_accepts_correct_output(self):
+        g = gnp(30, 0.15, rng=1)
+        net = Network(g, seed=1)
+        m = israeli_itai(net)
+        mate = m.as_mate_map(g.nodes)
+        assert check_matching(net, mate) == set()
+
+    def test_detects_asymmetric_register(self):
+        g = path_graph(3)
+        net = Network(g, seed=0)
+        mate = {0: 1, 1: None, 2: None}  # 0 claims 1, 1 denies
+        bad = check_matching(net, mate)
+        assert 0 in bad or 1 in bad
+
+    def test_detects_non_neighbor_register(self):
+        g = path_graph(3)
+        net = Network(g, seed=0)
+        mate = {0: 2, 1: None, 2: 0}  # 0-2 is not an edge
+        assert check_matching(net, mate) != set()
+
+    def test_isolated_node_must_be_free(self):
+        g = Graph()
+        g.add_node(0)
+        g.add_edge(1, 2)
+        net = Network(g, seed=0)
+        assert check_matching(net, {0: 5, 1: 2, 2: 1}) == {0}
+
+
+class TestCheckMaximality:
+    def test_accepts_maximal(self):
+        g = gnp(25, 0.2, rng=2)
+        net = Network(g, seed=2)
+        m = israeli_itai(net)
+        assert check_maximality(net, m.as_mate_map(g.nodes)) == set()
+
+    def test_flags_free_free_edge(self):
+        g = path_graph(2)
+        net = Network(g, seed=0)
+        witnesses = check_maximality(net, {0: None, 1: None})
+        assert witnesses == {0, 1}
+
+    def test_non_maximal_partial(self):
+        g = path_graph(5)  # 0-1-2-3-4
+        net = Network(g, seed=0)
+        mate = {0: 1, 1: 0, 2: None, 3: None, 4: None}
+        witnesses = check_maximality(net, mate)
+        assert {2, 3} <= witnesses
+
+    def test_costs_one_round(self):
+        g = gnp(20, 0.2, rng=3)
+        net = Network(g, seed=3)
+        m = israeli_itai(net)
+        before = net.metrics.rounds
+        check_matching(net, m.as_mate_map(g.nodes))
+        check_maximality(net, m.as_mate_map(g.nodes))
+        assert net.metrics.rounds - before <= 4

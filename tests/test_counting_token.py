@@ -1,0 +1,200 @@
+"""Tests for Algorithm 3 (path counting) and the token selection protocol.
+
+The counting claims (Lemma 3.8) are validated against explicit path
+enumeration; the token protocol is checked to always produce disjoint valid
+augmentations.
+"""
+
+import pytest
+
+from repro.congest import PIPELINE, Network
+from repro.dist import (
+    X_SIDE,
+    Y_SIDE,
+    leaders_of,
+    run_counting,
+    run_token_selection,
+    sample_max_uniform,
+    side_map_of,
+    weighted_choice,
+)
+from repro.graphs import BipartiteGraph, complete_bipartite, crown_graph, random_bipartite
+from repro.matching import Matching, enumerate_augmenting_paths
+from repro.matching.core import Matching as M
+
+
+def _setup(graph, matching):
+    side = side_map_of(graph)
+    mate = {v: matching.mate(v) for v in graph.nodes}
+    net = Network(graph, policy=PIPELINE, seed=0)
+    return net, side, mate
+
+
+class TestCountingLemma38:
+    def test_single_edge(self):
+        g = BipartiteGraph([0], [1])
+        g.add_edge(0, 1)
+        net, side, mate = _setup(g, Matching())
+        outputs = run_counting(net, side, mate, ell=1)
+        assert outputs[1].t == 1
+        assert outputs[1].total == 1
+        assert outputs[0].t == 0
+
+    def test_counts_equal_enumerated_paths(self):
+        for seed in range(4):
+            g = random_bipartite(10, 10, 0.3, rng=seed)
+            matching = Matching()
+            net, side, mate = _setup(g, matching)
+            outputs = run_counting(net, side, mate, ell=1)
+            paths = enumerate_augmenting_paths(g, matching, 1)
+            # count paths ending at each free Y node
+            by_y = {}
+            for p in paths:
+                y = p[0] if side[p[0]] == Y_SIDE else p[-1]
+                by_y[y] = by_y.get(y, 0) + 1
+            leaders = leaders_of(outputs, side, mate, 1)
+            assert {y: st.total for y, st in leaders.items()} == by_y
+
+    def test_counts_length_three(self):
+        # 0-2 matched; free 1 (X) and free 3 (Y): 1-2... build explicitly
+        g = BipartiteGraph([0, 1], [2, 3])
+        g.add_edge(0, 2)
+        g.add_edge(1, 2)
+        g.add_edge(0, 3)
+        matching = Matching([(0, 2)])
+        net, side, mate = _setup(g, matching)
+        outputs = run_counting(net, side, mate, ell=3)
+        # unique augmenting path 1-2-0-3
+        leaders = leaders_of(outputs, side, mate, 3)
+        assert set(leaders) == {3}
+        assert leaders[3].total == 1
+
+    def test_count_multiplicity(self):
+        # K_{2,2} plus an extra free Y: two length-3 paths to it? Construct
+        # X={0,1}, Y={2,3}; matched (0,2),(1,3); add free X 4 and free Y 5
+        g = BipartiteGraph([0, 1, 4], [2, 3, 5])
+        for u in (0, 1):
+            for v in (2, 3):
+                g.add_edge(u, v)
+        g.add_edge(4, 2)
+        g.add_edge(4, 3)
+        g.add_edge(0, 5)
+        g.add_edge(1, 5)
+        matching = Matching([(0, 2), (1, 3)])
+        net, side, mate = _setup(g, matching)
+        outputs = run_counting(net, side, mate, ell=3)
+        leaders = leaders_of(outputs, side, mate, 3)
+        # paths: 4-2-0-5 and 4-3-1-5 -> two paths end at 5
+        assert leaders[5].total == 2
+        expected = enumerate_augmenting_paths(g, matching, 3)
+        assert len(expected) == 2
+
+    def test_no_leaders_when_maximum(self):
+        g = complete_bipartite(3, 3)
+        matching = Matching([(0, 3), (1, 4), (2, 5)])
+        net, side, mate = _setup(g, matching)
+        outputs = run_counting(net, side, mate, ell=1)
+        assert leaders_of(outputs, side, mate, 1) == {}
+        outputs = run_counting(net, side, mate, ell=3)
+        assert leaders_of(outputs, side, mate, 3) == {}
+
+    def test_matched_y_records_but_is_not_leader(self):
+        g = BipartiteGraph([0], [1])
+        g.add_edge(0, 1)
+        matching = Matching([(0, 1)])
+        net, side, mate = _setup(g, matching)
+        outputs = run_counting(net, side, mate, ell=1)
+        assert leaders_of(outputs, side, mate, 1) == {}
+
+
+class TestTokenSelection:
+    def _value_cap(self, g, ell):
+        n_bound = max(2, g.num_nodes) * max(2, g.max_degree) ** ((ell + 1) // 2)
+        return n_bound ** 4
+
+    def test_single_augmentation(self):
+        g = BipartiteGraph([0], [1])
+        g.add_edge(0, 1)
+        net, side, mate = _setup(g, Matching())
+        outputs = run_counting(net, side, mate, ell=1)
+        new_mate, applied = run_token_selection(
+            net, side, mate, 1, outputs, self._value_cap(g, 1))
+        assert applied == 1
+        assert new_mate[0] == 1 and new_mate[1] == 0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_augmentations_always_valid_and_disjoint(self, seed):
+        g = random_bipartite(12, 12, 0.25, rng=seed)
+        matching = Matching()
+        net, side, mate = _setup(g, matching)
+        ell = 1
+        outputs = run_counting(net, side, mate, ell)
+        leaders = leaders_of(outputs, side, mate, ell)
+        if not leaders:
+            pytest.skip("no length-1 paths in this instance")
+        new_mate, applied = run_token_selection(
+            net, side, mate, ell, outputs, self._value_cap(g, ell))
+        assert applied >= 1
+        m2 = Matching.from_mate_map(new_mate)
+        # validity: every matched pair is a graph edge
+        for u, v in m2.edges():
+            assert g.has_edge(u, v)
+        assert m2.size == matching.size + applied
+
+    def test_progress_until_no_short_paths(self):
+        g = crown_graph(6)
+        matching = Matching()
+        net, side, mate = _setup(g, matching)
+        ell = 1
+        for _ in range(50):
+            outputs = run_counting(net, side, mate, ell)
+            leaders = leaders_of(outputs, side, mate, ell)
+            if not leaders:
+                break
+            mate, applied = run_token_selection(
+                net, side, mate, ell, outputs, self._value_cap(g, ell))
+            assert applied >= 1
+        m = Matching.from_mate_map(mate)
+        assert enumerate_augmenting_paths(g, m, 1) == []
+
+
+class TestRandomTools:
+    def test_sample_max_uniform_range(self):
+        import random
+
+        rng = random.Random(0)
+        for _ in range(100):
+            v = sample_max_uniform(rng, 5, 1000)
+            assert 1 <= v <= 1000
+
+    def test_sample_max_stochastic_dominance(self):
+        import random
+
+        rng = random.Random(1)
+        lo = [sample_max_uniform(rng, 1, 10 ** 6) for _ in range(400)]
+        hi = [sample_max_uniform(rng, 50, 10 ** 6) for _ in range(400)]
+        assert sum(hi) / len(hi) > sum(lo) / len(lo)
+
+    def test_sample_max_validation(self):
+        import random
+
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            sample_max_uniform(rng, 0, 10)
+        with pytest.raises(ValueError):
+            sample_max_uniform(rng, 1, 0)
+
+    def test_weighted_choice_proportional(self):
+        import random
+
+        rng = random.Random(2)
+        counts = {1: 0, 2: 0}
+        for _ in range(3000):
+            counts[weighted_choice(rng, {1: 1, 2: 3})] += 1
+        assert counts[2] > 2 * counts[1]
+
+    def test_weighted_choice_validation(self):
+        import random
+
+        with pytest.raises(ValueError):
+            weighted_choice(random.Random(0), {1: 0})

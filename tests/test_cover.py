@@ -1,0 +1,111 @@
+"""Tests for vertex covers and duality certificates."""
+
+import pytest
+
+from repro.graphs import (
+    complete_bipartite,
+    crown_graph,
+    cycle_graph,
+    gnp,
+    path_graph,
+    random_bipartite,
+)
+from repro.graphs.graph import GraphError
+from repro.matching import (
+    Matching,
+    duality_certificate,
+    greedy_vertex_cover,
+    is_vertex_cover,
+    koenig_cover,
+)
+from repro.matching.sequential import (
+    greedy_mcm,
+    max_cardinality,
+    max_cardinality_bipartite,
+)
+
+
+class TestIsVertexCover:
+    def test_full_node_set_covers(self):
+        g = cycle_graph(5)
+        assert is_vertex_cover(g, set(g.nodes))
+
+    def test_empty_cover_fails(self):
+        g = path_graph(2)
+        assert not is_vertex_cover(g, set())
+        assert is_vertex_cover(g, {0})
+
+
+class TestKoenig:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_cover_size_equals_maximum_matching(self, seed):
+        g = random_bipartite(12, 14, 0.2, rng=seed)
+        m = max_cardinality_bipartite(g)
+        cover = koenig_cover(g, m)
+        assert is_vertex_cover(g, cover)
+        assert len(cover) == m.size  # König's theorem
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite(3, 5)
+        m = max_cardinality_bipartite(g)
+        cover = koenig_cover(g, m)
+        assert is_vertex_cover(g, cover)
+        assert len(cover) == 3
+
+    def test_crown(self):
+        g = crown_graph(4)
+        m = max_cardinality_bipartite(g)
+        cert = duality_certificate(g, m)
+        assert cert.proves_optimal
+
+    def test_non_maximum_matching_detected(self):
+        # a maximal-but-not-maximum matching: König construction fails to
+        # cover, so the certificate does not prove optimality
+        g = path_graph(4)
+        m = Matching([(1, 2)])
+        cert = duality_certificate(g, m)
+        assert not cert.proves_optimal
+
+    def test_rejects_non_bipartite(self):
+        with pytest.raises(GraphError):
+            koenig_cover(cycle_graph(5), Matching())
+
+
+class TestDualityCertificate:
+    def test_ratio_floor_with_external_cover(self):
+        g = gnp(20, 0.2, rng=1)
+        m = greedy_mcm(g, rng=2)
+        cover = greedy_vertex_cover(g)
+        cert = duality_certificate(g, m, cover=cover)
+        assert cert.cover_valid
+        floor = cert.ratio_floor
+        true_ratio = m.size / max_cardinality(g).size
+        assert floor is not None
+        assert floor <= true_ratio + 1e-9  # the floor never overclaims
+
+    def test_invalid_cover_rejected(self):
+        g = path_graph(3)
+        cert = duality_certificate(g, Matching([(0, 1)]), cover={2})
+        assert not cert.cover_valid
+        assert cert.ratio_floor is None
+
+    def test_empty_graph(self):
+        from repro.graphs import Graph
+
+        g = Graph()
+        g.add_nodes(range(3))
+        cert = duality_certificate(g, Matching(), cover=set())
+        assert cert.cover_valid
+        assert cert.ratio_floor == 1.0
+
+
+class TestGreedyCover:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_always_valid_and_2_approx(self, seed):
+        g = gnp(18, 0.2, rng=seed)
+        cover = greedy_vertex_cover(g)
+        assert is_vertex_cover(g, cover)
+        # |cover| = 2 |maximal matching| <= 2 |M*| <= 2 |min cover| ... and
+        # also >= min cover; sanity: within 2x of matching-based bound
+        opt_m = max_cardinality(g).size
+        assert len(cover) <= 2 * opt_m

@@ -1,0 +1,138 @@
+"""Tests for the distributed baselines: Israeli-Itai and Luby MIS."""
+
+import pytest
+
+from repro.congest import CONGEST, Network, log2n
+from repro.dist import israeli_itai, luby_mis
+from repro.graphs import (
+    Graph,
+    augmenting_chain,
+    complete_graph,
+    cycle_graph,
+    gnp,
+    path_graph,
+    star_graph,
+)
+from repro.matching import Matching, is_maximal, verify_matching
+from repro.matching.sequential import max_cardinality
+
+
+def assert_mis(graph, mis):
+    for u, v, _ in graph.edges():
+        assert not (u in mis and v in mis), f"edge ({u},{v}) inside MIS"
+    for v in graph.nodes:
+        assert v in mis or any(u in mis for u in graph.neighbors(v)), (
+            f"node {v} undominated"
+        )
+
+
+class TestIsraeliItai:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_maximal_on_random_graphs(self, seed):
+        g = gnp(60, 0.08, rng=seed)
+        net = Network(g, policy=CONGEST, seed=seed)
+        m = israeli_itai(net)
+        verify_matching(g, m)
+        assert is_maximal(g, m)
+
+    def test_half_approximation(self):
+        for seed in range(4):
+            g = gnp(40, 0.1, rng=seed + 50)
+            m = israeli_itai(Network(g, seed=seed))
+            opt = max_cardinality(g).size
+            assert m.size >= opt / 2
+
+    def test_empty_graph(self):
+        g = Graph()
+        g.add_nodes(range(5))
+        m = israeli_itai(Network(g, seed=0))
+        assert m.size == 0
+
+    def test_single_edge(self):
+        m = israeli_itai(Network(path_graph(2), seed=0))
+        assert m.size == 1
+
+    def test_star(self):
+        m = israeli_itai(Network(star_graph(5), seed=1))
+        assert m.size == 1
+        assert m.is_matched(0)
+
+    def test_complete_graph_perfect(self):
+        g = complete_graph(8)
+        m = israeli_itai(Network(g, seed=2))
+        assert m.size == 4
+
+    def test_respects_initial_matching(self):
+        g = path_graph(4)
+        initial = Matching([(1, 2)])
+        m = israeli_itai(Network(g, seed=0), initial=initial)
+        assert m.contains_edge(1, 2)
+        assert m.size == 1  # 0 and 3 have no free partner
+
+    def test_allowed_edges_restriction(self):
+        g = path_graph(4)
+        m = israeli_itai(Network(g, seed=0), allowed_edges=[(0, 1)])
+        assert m.edge_set() == frozenset({(0, 1)})
+
+    def test_rounds_logarithmic(self):
+        # rounds should grow far slower than n
+        rounds = []
+        for n in (50, 200, 800):
+            g = gnp(n, min(1.0, 8.0 / n), rng=1)
+            net = Network(g, seed=3)
+            israeli_itai(net)
+            rounds.append(net.metrics.rounds)
+        assert rounds[-1] <= 12 * log2n(800)
+
+    def test_messages_fit_congest(self):
+        g = gnp(50, 0.1, rng=0)
+        net = Network(g, policy=CONGEST, seed=0)
+        israeli_itai(net)  # strict policy would raise on violation
+        assert net.metrics.max_message_bits <= CONGEST.budget_bits(50)
+
+    def test_deterministic_given_seed(self):
+        g = gnp(30, 0.15, rng=2)
+        m1 = israeli_itai(Network(g, seed=9))
+        m2 = israeli_itai(Network(g, seed=9))
+        assert m1 == m2
+
+
+class TestLubyMIS:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_valid_mis_on_random(self, seed):
+        g = gnp(50, 0.1, rng=seed)
+        mis = luby_mis(Network(g, seed=seed))
+        assert_mis(g, mis)
+
+    def test_cycle(self):
+        g = cycle_graph(9)
+        mis = luby_mis(Network(g, seed=1))
+        assert_mis(g, mis)
+        assert 3 <= len(mis) <= 4
+
+    def test_star_center_or_leaves(self):
+        g = star_graph(6)
+        mis = luby_mis(Network(g, seed=2))
+        assert_mis(g, mis)
+        assert mis == {0} or 0 not in mis
+
+    def test_isolated_nodes_always_join(self):
+        g = Graph()
+        g.add_nodes([0, 1, 2])
+        g.add_edge(3, 4)
+        mis = luby_mis(Network(g, seed=0))
+        assert {0, 1, 2} <= mis
+
+    def test_complete_graph_singleton(self):
+        mis = luby_mis(Network(complete_graph(10), seed=3))
+        assert len(mis) == 1
+
+    def test_deterministic_given_seed(self):
+        g = gnp(40, 0.1, rng=3)
+        assert luby_mis(Network(g, seed=5)) == luby_mis(Network(g, seed=5))
+
+    def test_congest_compliant(self):
+        g = gnp(60, 0.08, rng=1)
+        net = Network(g, policy=CONGEST, seed=1)
+        luby_mis(net)
+        assert net.metrics.max_message_bits <= CONGEST.budget_bits(60)

@@ -1,0 +1,103 @@
+"""Smoke tests for the experiment suite and table formatting."""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS, Table, run_all
+from repro.experiments.suite import (
+    exact_mwm_weight,
+    t01_bipartite_ratio,
+    t04_ii_baseline,
+    t06_mwm_convergence,
+    t07_phase_structure,
+    t09_switch,
+    t10_sampling_ablation,
+    t12_blackbox_ablation,
+)
+from repro.graphs import cycle_graph, gnp, random_bipartite, uniform_weights
+
+
+class TestTable:
+    def test_add_row_validates_width(self):
+        t = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_format_contains_everything(self):
+        t = Table("My Title", ["col1", "col2"])
+        t.add_row(1, 0.123456)
+        t.add_row("x", True)
+        t.add_note("a note")
+        text = t.format()
+        assert "My Title" in text
+        assert "col1" in text and "col2" in text
+        assert "0.123" in text
+        assert "yes" in text
+        assert "note: a note" in text
+
+    def test_float_formatting(self):
+        assert Table._fmt(0.0) == "0"
+        assert Table._fmt(12345.678) == "1.23e+04"
+        assert Table._fmt(1.5) == "1.5"
+        assert Table._fmt(False) == "no"
+
+    def test_empty_table_formats(self):
+        t = Table("empty", ["a"])
+        assert "empty" in t.format()
+
+
+class TestSuiteRegistry:
+    def test_all_twelve_registered(self):
+        assert len(ALL_EXPERIMENTS) == 18
+        assert set(ALL_EXPERIMENTS) == {f"t{i:02d}" for i in range(1, 19)}
+
+    def test_run_all_subset(self):
+        tables = run_all(["t04"])
+        assert len(tables) == 1
+        assert "Israeli-Itai" in tables[0].title
+
+
+class TestSmallScaleRuns:
+    """Each experiment at tiny scale: the bound columns must all hold."""
+
+    def test_t01_bounds_hold(self):
+        t = t01_bipartite_ratio(n_side=10, p=0.25, ks=(1, 2), seeds=(0, 1))
+        assert all(row[-1] for row in t.rows)  # "all above bound"
+
+    def test_t04_ratios_above_half(self):
+        t = t04_ii_baseline(ns=(20, 40), seeds=(0, 1))
+        for row in t.rows:
+            assert row[2] >= 0.5  # min ratio column
+
+    def test_t06_all_above_lemma_bound(self):
+        t = t06_mwm_convergence(n=16, p=0.3, eps=0.1, seed=0)
+        assert t.rows
+        assert all(row[-1] for row in t.rows)
+
+    def test_t07_phase_bounds(self):
+        t = t07_phase_structure(n_side=12, p=0.2, k=2, seed=0)
+        assert all(row[-1] for row in t.rows)
+
+    def test_t09_runs_and_conserves(self):
+        t = t09_switch(ports=4, cycles=40, load=0.7, seed=0)
+        assert len(t.rows) == 3 * 6
+        for row in t.rows:
+            assert 0 <= row[2] <= 1  # throughput
+
+    def test_t10_ablation_runs(self):
+        t = t10_sampling_ablation(n=12, p=0.25, k=2, biases=(0.3, 0.5),
+                                  seeds=(0,))
+        assert len(t.rows) == 2
+
+    def test_t12_both_boxes(self):
+        t = t12_blackbox_ablation(n=14, p=0.3, eps=0.2, seeds=(0,))
+        assert {row[0] for row in t.rows} == {"class_greedy", "local_greedy"}
+
+
+class TestExactMWMHelper:
+    def test_bipartite_uses_hungarian(self):
+        g = random_bipartite(6, 6, 0.5, rng=0, weight_fn=uniform_weights())
+        assert exact_mwm_weight(g) > 0
+
+    def test_general_uses_networkx(self):
+        g = cycle_graph(5)
+        assert exact_mwm_weight(g) == 2.0

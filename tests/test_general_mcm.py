@@ -1,0 +1,141 @@
+"""Tests for Algorithm 4 (general graphs) and Algorithm 1 (generic LOCAL)."""
+
+import pytest
+
+from repro.dist import general_mcm, generic_mcm, theory_iterations
+from repro.graphs import (
+    blossom_gadget,
+    complete_graph,
+    cycle_graph,
+    gnp,
+    path_graph,
+    random_bipartite,
+    random_regular,
+)
+from repro.matching import shortest_augmenting_path_length, verify_matching
+from repro.matching.sequential import max_cardinality
+
+
+class TestGeneralMCM:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_certified_guarantee(self, seed):
+        g = gnp(24, 0.15, rng=seed)
+        k = 2
+        opt = max_cardinality(g).size
+        res = general_mcm(g, k=k, seed=seed, stopping="exact")
+        verify_matching(g, res.matching)
+        assert res.certified
+        assert res.matching.size >= (1 - 1 / (k + 1)) * opt - 1e-9
+        assert shortest_augmenting_path_length(
+            g, res.matching, max_len=2 * k - 1) is None
+
+    def test_handles_blossoms(self):
+        g = blossom_gadget(3)
+        res = general_mcm(g, k=3, seed=1, stopping="exact")
+        assert res.matching.size == 9  # optimum
+
+    def test_odd_cycle(self):
+        g = cycle_graph(9)
+        res = general_mcm(g, k=3, seed=0, stopping="exact")
+        assert res.matching.size == 4
+
+    def test_complete_graph(self):
+        g = complete_graph(10)
+        res = general_mcm(g, k=2, seed=0, stopping="exact")
+        assert res.matching.size >= int((1 - 1 / 3) * 5)
+
+    def test_regular_graph(self):
+        g = random_regular(20, 3, rng=4)
+        opt = max_cardinality(g).size
+        res = general_mcm(g, k=2, seed=4, stopping="exact")
+        assert res.matching.size >= (2 / 3) * opt - 1e-9
+
+    def test_patience_stopping(self):
+        g = gnp(20, 0.2, rng=2)
+        res = general_mcm(g, k=2, seed=2, stopping="patience", patience=5)
+        verify_matching(g, res.matching)
+        assert res.iterations_used >= 1
+
+    def test_theory_iterations_formula(self):
+        import math
+
+        assert theory_iterations(3) == math.ceil(2 ** 7 * 4 * math.log(3))
+        with pytest.raises(ValueError):
+            theory_iterations(2)
+
+    def test_max_iterations_cap(self):
+        g = gnp(20, 0.2, rng=3)
+        res = general_mcm(g, k=2, seed=3, stopping="patience",
+                          max_iterations=2)
+        assert res.iterations_used <= 2
+
+    def test_parameter_validation(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError):
+            general_mcm(g, k=0)
+        with pytest.raises(ValueError):
+            general_mcm(g, k=2, color_bias=0.0)
+        with pytest.raises(ValueError):
+            general_mcm(g, k=2, stopping="bogus")
+
+    def test_iteration_stats(self):
+        g = gnp(18, 0.2, rng=1)
+        res = general_mcm(g, k=2, seed=1, stopping="exact")
+        assert res.iterations
+        sizes = [it.matching_size for it in res.iterations]
+        assert sizes == sorted(sizes)  # matching never shrinks
+        for it in res.iterations:
+            assert 0 <= it.sampled_nodes <= g.num_nodes
+
+    def test_deterministic_given_seed(self):
+        g = gnp(16, 0.2, rng=8)
+        a = general_mcm(g, k=2, seed=11, stopping="exact").matching
+        b = general_mcm(g, k=2, seed=11, stopping="exact").matching
+        assert a == b
+
+    def test_biased_coloring_still_correct(self):
+        g = gnp(16, 0.2, rng=5)
+        res = general_mcm(g, k=2, seed=5, stopping="exact", color_bias=0.3)
+        assert res.certified
+
+    def test_works_on_bipartite_inputs_too(self):
+        g = random_bipartite(10, 10, 0.2, rng=3)
+        opt = max_cardinality(g).size
+        res = general_mcm(g, k=2, seed=3, stopping="exact")
+        assert res.matching.size >= (2 / 3) * opt - 1e-9
+
+
+class TestGenericMCM:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_certified_guarantee(self, k):
+        g = gnp(18, 0.18, rng=0)
+        opt = max_cardinality(g).size
+        res = generic_mcm(g, k=k, seed=0)
+        verify_matching(g, res.matching)
+        assert res.matching.size >= (1 - 1 / (k + 1)) * opt - 1e-9
+        assert shortest_augmenting_path_length(
+            g, res.matching, max_len=2 * k - 1) is None
+
+    def test_blossom_gadget_exact(self):
+        g = blossom_gadget(2)
+        res = generic_mcm(g, k=3, seed=0)
+        assert res.matching.size == 6
+
+    def test_phase_trace(self):
+        g = gnp(16, 0.2, rng=1)
+        res = generic_mcm(g, k=2, seed=1)
+        assert [p.ell for p in res.phases] == [1, 3]
+        assert all(p.mis_size <= p.conflict_nodes for p in res.phases)
+
+    def test_message_sizes_are_large(self):
+        # the LOCAL algorithm floods graph descriptions: messages far
+        # exceed the CONGEST budget, which is the point of Section 3.2
+        g = gnp(16, 0.25, rng=2)
+        res = generic_mcm(g, k=2, seed=2)
+        from repro.congest import log2n
+
+        assert res.network.metrics.max_message_bits > 16 * log2n(16)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            generic_mcm(path_graph(3), k=0)

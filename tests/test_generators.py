@@ -1,0 +1,203 @@
+"""Tests for graph generators and weight distributions."""
+
+import math
+import random
+
+import pytest
+
+from repro.graphs import (
+    BipartiteGraph,
+    GraphError,
+    augmenting_chain,
+    blossom_gadget,
+    complete_bipartite,
+    complete_graph,
+    crown_graph,
+    cycle_graph,
+    exponential_weights,
+    gnp,
+    grid_graph,
+    integer_weights,
+    path_graph,
+    polarized_weights,
+    power_law_graph,
+    power_of_two_weights,
+    random_bipartite,
+    random_regular,
+    random_tree,
+    reweight,
+    star_graph,
+    switch_request_graph,
+    uniform_weights,
+    weight_spread,
+)
+
+
+class TestDeterministicTopologies:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_nodes == 5
+        assert g.num_edges == 4
+        assert g.degree(0) == 1
+        assert g.degree(2) == 2
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert g.num_edges == 6
+        assert all(g.degree(v) == 2 for v in g.nodes)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.num_edges == 10
+
+    def test_star(self):
+        g = star_graph(4)
+        assert g.degree(0) == 4
+        assert g.num_edges == 4
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.num_nodes == 12
+        assert g.num_edges == 3 * 3 + 2 * 4
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite(3, 4)
+        assert isinstance(g, BipartiteGraph)
+        assert g.num_edges == 12
+
+
+class TestRandomGraphs:
+    def test_gnp_seeded_reproducible(self):
+        g1 = gnp(30, 0.2, rng=7)
+        g2 = gnp(30, 0.2, rng=7)
+        assert g1.edge_set() == g2.edge_set()
+
+    def test_gnp_different_seeds_differ(self):
+        g1 = gnp(30, 0.2, rng=1)
+        g2 = gnp(30, 0.2, rng=2)
+        assert g1.edge_set() != g2.edge_set()
+
+    def test_gnp_extreme_p(self):
+        assert gnp(10, 0.0, rng=0).num_edges == 0
+        assert gnp(10, 1.0, rng=0).num_edges == 45
+
+    def test_random_bipartite_structure(self):
+        g = random_bipartite(10, 12, 0.3, rng=3)
+        assert g.left == list(range(10))
+        assert g.right == list(range(10, 22))
+        for u, v, _ in g.edges():
+            assert g.is_left(u) != g.is_left(v)
+
+    def test_random_tree(self):
+        g = random_tree(20, rng=4)
+        assert g.num_edges == 19
+        assert len(g.connected_components()) == 1
+
+    def test_random_regular_degrees(self):
+        g = random_regular(20, 4, rng=5)
+        assert all(g.degree(v) == 4 for v in g.nodes)
+
+    def test_random_regular_parity_check(self):
+        with pytest.raises(GraphError):
+            random_regular(5, 3, rng=0)
+        with pytest.raises(GraphError):
+            random_regular(4, 5, rng=0)
+
+    def test_power_law_graph(self):
+        g = power_law_graph(100, exponent=2.5, rng=6)
+        assert g.num_nodes == 100
+        assert g.num_edges > 0
+        with pytest.raises(GraphError):
+            power_law_graph(10, exponent=0.9)
+
+    def test_weighted_generation(self):
+        g = gnp(15, 0.5, rng=1, weight_fn=uniform_weights(2, 5))
+        for _, _, w in g.edges():
+            assert 2 <= w <= 5
+
+
+class TestMatchingInstances:
+    def test_augmenting_chain(self):
+        g = augmenting_chain(3, link_length=3)
+        assert g.num_nodes == 12
+        assert g.num_edges == 9
+        assert len(g.connected_components()) == 3
+
+    def test_augmenting_chain_validation(self):
+        with pytest.raises(GraphError):
+            augmenting_chain(2, link_length=0)
+
+    def test_crown_graph(self):
+        g = crown_graph(4)
+        assert g.num_edges == 4 * 3
+        assert not g.has_edge(0, 4)
+        assert g.has_edge(0, 5)
+        with pytest.raises(GraphError):
+            crown_graph(1)
+
+    def test_blossom_gadget(self):
+        g = blossom_gadget(2)
+        assert g.num_nodes == 12
+        assert g.num_edges == 12
+        assert g.bipartition() is None  # contains odd cycles
+
+    def test_switch_request_graph(self):
+        occupancy = [[0, 2], [1, 0]]
+        g = switch_request_graph(2, occupancy, weighted=True)
+        assert g.has_edge(0, 3) and g.weight(0, 3) == 2.0
+        assert g.has_edge(1, 2) and g.weight(1, 2) == 1.0
+        assert not g.has_edge(0, 2)
+        gu = switch_request_graph(2, occupancy, weighted=False)
+        assert gu.weight(0, 3) == 1.0
+
+
+class TestWeightDistributions:
+    def test_factories_validate(self):
+        with pytest.raises(ValueError):
+            uniform_weights(5, 1)
+        with pytest.raises(ValueError):
+            integer_weights(0, 3)
+        with pytest.raises(ValueError):
+            exponential_weights(-1)
+        with pytest.raises(ValueError):
+            power_of_two_weights(-1)
+        with pytest.raises(ValueError):
+            polarized_weights(heavy_fraction=1.5)
+
+    def test_integer_weights_integral(self):
+        rng = random.Random(0)
+        fn = integer_weights(1, 9)
+        for _ in range(50):
+            w = fn(rng)
+            assert w == int(w) and 1 <= w <= 9
+
+    def test_power_of_two(self):
+        rng = random.Random(0)
+        fn = power_of_two_weights(6)
+        for _ in range(50):
+            w = fn(rng)
+            assert math.log2(w) == int(math.log2(w))
+
+    def test_polarized(self):
+        rng = random.Random(0)
+        fn = polarized_weights(heavy_fraction=0.5, heavy=10, light=1)
+        values = {fn(rng) for _ in range(100)}
+        assert values == {1.0, 10.0}
+
+    def test_reweight_preserves_structure(self):
+        g = gnp(10, 0.4, rng=1)
+        h = reweight(g, uniform_weights(10, 20), rng=2)
+        assert h.edge_set() == g.edge_set()
+        assert all(10 <= w <= 20 for _, _, w in h.edges())
+        # original untouched
+        assert all(w == 1.0 for _, _, w in g.edges())
+
+    def test_weight_spread(self):
+        g = gnp(6, 1.0, rng=0, weight_fn=power_of_two_weights(8))
+        assert weight_spread(g) <= 8
+        single = path_graph(2)
+        assert weight_spread(single) == 0.0

@@ -1,0 +1,74 @@
+"""Tests for the local-computation matching oracle."""
+
+import pytest
+
+from repro.graphs import cycle_graph, gnp, path_graph, random_regular
+from repro.lca import MatchingOracle
+from repro.matching import Matching, is_maximal, verify_matching
+
+
+class TestOracleConsistency:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_queries_match_global_execution(self, seed):
+        g = gnp(30, 0.1, rng=seed)
+        oracle = MatchingOracle(g, seed=seed, iterations=5)
+        reference = oracle.global_matching()
+        for u, v, _ in g.edges():
+            assert oracle.edge_in_matching(u, v) == (reference.get(u) == v)
+
+    def test_node_mate_queries(self):
+        g = gnp(25, 0.12, rng=4)
+        oracle = MatchingOracle(g, seed=1, iterations=5)
+        reference = oracle.global_matching()
+        for v in g.nodes:
+            assert oracle.node_mate(v) == reference.get(v)
+
+    def test_global_matching_is_valid_and_maximal(self):
+        g = gnp(40, 0.1, rng=2)
+        oracle = MatchingOracle(g, seed=3)
+        m = Matching.from_mate_map(oracle.global_matching())
+        verify_matching(g, m)
+        assert is_maximal(g, m)
+
+    def test_queries_are_mutually_consistent(self):
+        # no node may appear matched to two different neighbors
+        g = random_regular(20, 3, rng=5)
+        oracle = MatchingOracle(g, seed=2, iterations=4)
+        mates = {}
+        for u, v, _ in g.edges():
+            if oracle.edge_in_matching(u, v):
+                assert u not in mates and v not in mates
+                mates[u] = v
+                mates[v] = u
+
+
+class TestProbeComplexity:
+    def test_probes_counted(self):
+        g = cycle_graph(30)
+        oracle = MatchingOracle(g, seed=0, iterations=3)
+        oracle.edge_in_matching(0, 1)
+        assert oracle.last_query_probes > 0
+        assert oracle.total_probes >= oracle.last_query_probes
+
+    def test_probes_independent_of_n_on_cycles(self):
+        # on bounded-degree graphs, probes depend on the radius, not on n
+        probes = []
+        for n in (50, 200, 800):
+            oracle = MatchingOracle(cycle_graph(n), seed=1, iterations=3)
+            oracle.edge_in_matching(0, 1)
+            probes.append(oracle.last_query_probes)
+        # the ball has ~2*(3k+1) nodes regardless of n; per-query cost is
+        # bounded by a constant (it varies slightly with the random run)
+        assert max(probes) <= 2 * min(probes)
+        assert max(probes) < 10 * (2 * (3 * 3 + 1) + 2)
+
+    def test_non_edge_rejected(self):
+        g = path_graph(4)
+        oracle = MatchingOracle(g, seed=0, iterations=2)
+        with pytest.raises(ValueError):
+            oracle.edge_in_matching(0, 3)
+
+    def test_default_iterations_scale(self):
+        g = cycle_graph(64)
+        oracle = MatchingOracle(g, seed=0)
+        assert oracle.iterations >= 2 * 7  # 2 * bit_length(64)

@@ -1,0 +1,67 @@
+"""Tests for Algorithm 2's view flooding and view materialization."""
+
+from repro.congest import LOCAL, Network
+from repro.dist import flood_views, view_to_graph
+from repro.graphs import gnp, path_graph
+from repro.matching import Matching, enumerate_augmenting_paths
+
+
+class TestFloodViews:
+    def test_radius_one(self):
+        g = path_graph(5)
+        net = Network(g, policy=LOCAL, seed=0)
+        views = flood_views(net, {v: None for v in g.nodes}, rounds=1)
+        # node 2 after 1 round knows edges incident to nodes within dist 1
+        graph2, _ = view_to_graph(views[2])
+        assert graph2.edge_set() == {(0, 1), (1, 2), (2, 3), (3, 4)}
+
+    def test_full_radius_recovers_graph(self):
+        g = gnp(12, 0.3, rng=1)
+        net = Network(g, policy=LOCAL, seed=0)
+        views = flood_views(net, {v: None for v in g.nodes}, rounds=12)
+        for v in g.nodes:
+            if g.degree(v) == 0:
+                continue
+            local, _ = view_to_graph(views[v])
+            comp = next(c for c in g.connected_components() if v in c)
+            expected = g.subgraph(comp).edge_set()
+            assert local.edge_set() == expected
+
+    def test_matched_flags_travel(self):
+        g = path_graph(4)
+        mate = {0: None, 1: 2, 2: 1, 3: None}
+        net = Network(g, policy=LOCAL, seed=0)
+        views = flood_views(net, mate, rounds=4)
+        _, seen_mate = view_to_graph(views[0])
+        assert seen_mate[1] == 2 and seen_mate[2] == 1
+        assert seen_mate[0] is None
+
+    def test_local_path_enumeration_matches_global(self):
+        g = gnp(14, 0.25, rng=3)
+        m = Matching()
+        for u, v, _ in g.edges():
+            if m.is_free(u) and m.is_free(v):
+                m.add(u, v)
+        mate = {v: m.mate(v) for v in g.nodes}
+        ell = 3
+        net = Network(g, policy=LOCAL, seed=0)
+        views = flood_views(net, mate, rounds=2 * ell)
+        global_paths = set(enumerate_augmenting_paths(g, m, ell))
+        local_paths = set()
+        for v in g.nodes:
+            if m.is_matched(v):
+                continue
+            lg, lmate = view_to_graph(views[v])
+            if not lg.has_node(v):
+                continue
+            lm = Matching.from_mate_map(lmate)
+            for p in enumerate_augmenting_paths(lg, lm, ell):
+                if min(p[0], p[-1]) == v:
+                    local_paths.add(p)
+        assert local_paths == global_paths
+
+    def test_message_sizes_recorded(self):
+        g = gnp(10, 0.4, rng=2)
+        net = Network(g, policy=LOCAL, seed=0)
+        flood_views(net, {v: None for v in g.nodes}, rounds=4)
+        assert net.metrics.max_message_bits > 0

@@ -1,0 +1,166 @@
+"""Tests for the Matching type and augmentation primitives."""
+
+import pytest
+
+from repro.graphs import Graph, path_graph
+from repro.matching import Matching, MatchingError, matching_from_edges
+
+
+class TestMatchingBasics:
+    def test_empty(self):
+        m = Matching()
+        assert m.size == 0
+        assert m.mate(0) is None
+        assert m.is_free(0)
+
+    def test_add_and_query(self):
+        m = Matching([(1, 2)])
+        assert m.size == 1
+        assert m.mate(1) == 2
+        assert m.mate(2) == 1
+        assert m.is_matched(1)
+        assert m.contains_edge(2, 1)
+        assert not m.contains_edge(1, 3)
+
+    def test_add_conflicts_rejected(self):
+        m = Matching([(1, 2)])
+        with pytest.raises(MatchingError):
+            m.add(2, 3)
+        with pytest.raises(MatchingError):
+            m.add(0, 1)
+        with pytest.raises(MatchingError):
+            m.add(4, 4)
+
+    def test_remove(self):
+        m = Matching([(1, 2)])
+        m.remove(1, 2)
+        assert m.size == 0
+        with pytest.raises(MatchingError):
+            m.remove(1, 2)
+
+    def test_edges_canonical_sorted(self):
+        m = Matching([(5, 4), (1, 0)])
+        assert list(m.edges()) == [(0, 1), (4, 5)]
+        assert m.edge_set() == frozenset({(0, 1), (4, 5)})
+
+    def test_matched_nodes(self):
+        m = Matching([(0, 1)])
+        assert m.matched_nodes() == {0, 1}
+
+    def test_copy_independent(self):
+        m = Matching([(0, 1)])
+        c = m.copy()
+        c.add(2, 3)
+        assert m.size == 1 and c.size == 2
+
+    def test_equality_and_hash(self):
+        a = Matching([(0, 1), (2, 3)])
+        b = Matching([(2, 3), (1, 0)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Matching([(0, 1)])
+
+    def test_weight(self):
+        g = Graph()
+        g.add_edge(0, 1, 2.0)
+        g.add_edge(2, 3, 3.5)
+        m = Matching([(0, 1), (2, 3)])
+        assert m.weight(g) == 5.5
+
+    def test_as_mate_map(self):
+        m = Matching([(0, 1)])
+        assert m.as_mate_map([0, 1, 2]) == {0: 1, 1: 0, 2: None}
+
+
+class TestFromMateMap:
+    def test_roundtrip(self):
+        m = Matching([(0, 1), (4, 7)])
+        m2 = Matching.from_mate_map(m.as_mate_map([0, 1, 4, 7, 9]))
+        assert m == m2
+
+    def test_one_sided_entries_ok(self):
+        m = Matching.from_mate_map({0: 1})
+        assert m.contains_edge(0, 1)
+
+    def test_asymmetric_rejected(self):
+        with pytest.raises(MatchingError):
+            Matching.from_mate_map({0: 1, 1: 2, 2: 1})
+
+
+class TestAugmentation:
+    def test_single_edge_path(self):
+        m = Matching()
+        assert m.is_augmenting_path([0, 1])
+        m.augment([0, 1])
+        assert m.contains_edge(0, 1)
+
+    def test_length_three_path(self):
+        m = Matching([(1, 2)])
+        path = [0, 1, 2, 3]
+        assert m.is_augmenting_path(path)
+        m.augment(path)
+        assert m.contains_edge(0, 1)
+        assert m.contains_edge(2, 3)
+        assert not m.contains_edge(1, 2)
+        assert m.size == 2
+
+    def test_rejects_even_length(self):
+        m = Matching([(1, 2)])
+        assert not m.is_augmenting_path([0, 1, 2])
+
+    def test_rejects_matched_endpoint(self):
+        m = Matching([(0, 1)])
+        assert not m.is_augmenting_path([0, 2])
+        assert not m.is_augmenting_path([2, 0])
+
+    def test_rejects_non_alternating(self):
+        m = Matching([(1, 2)])
+        assert not m.is_augmenting_path([0, 3, 2, 1])  # middle edge unmatched
+
+    def test_rejects_repeated_nodes(self):
+        m = Matching([(1, 2)])
+        assert not m.is_augmenting_path([0, 1, 2, 0])
+
+    def test_augment_invalid_raises(self):
+        m = Matching([(0, 1)])
+        with pytest.raises(MatchingError):
+            m.augment([0, 2])
+
+    def test_long_path(self):
+        # path 0-1-2-3-4-5 with (1,2), (3,4) matched
+        m = Matching([(1, 2), (3, 4)])
+        path = [0, 1, 2, 3, 4, 5]
+        m.augment(path)
+        assert m.size == 3
+        assert m.edge_set() == frozenset({(0, 1), (2, 3), (4, 5)})
+
+
+class TestSymmetricDifference:
+    def test_disjoint_union(self):
+        m = Matching([(0, 1)])
+        m2 = m.symmetric_difference([(2, 3)])
+        assert m2.edge_set() == frozenset({(0, 1), (2, 3)})
+
+    def test_flip_path(self):
+        m = Matching([(1, 2)])
+        m2 = m.symmetric_difference([(0, 1), (1, 2), (2, 3)])
+        assert m2.edge_set() == frozenset({(0, 1), (2, 3)})
+
+    def test_invalid_result_raises(self):
+        m = Matching([(0, 1)])
+        with pytest.raises(MatchingError):
+            m.symmetric_difference([(2, 3), (3, 4)])
+
+    def test_original_untouched(self):
+        m = Matching([(0, 1)])
+        m.symmetric_difference([(0, 1)])
+        assert m.size == 1
+
+
+class TestMatchingFromEdges:
+    def test_checks_graph_membership(self):
+        g = path_graph(3)
+        m = matching_from_edges(g, [(0, 1)])
+        assert m.size == 1
+        with pytest.raises(MatchingError):
+            matching_from_edges(g, [(0, 2)])

@@ -1,0 +1,222 @@
+"""Tests for augmenting-path enumeration and the conflict graph."""
+
+import pytest
+
+from repro.graphs import Graph, cycle_graph, gnp, path_graph, uniform_weights
+from repro.matching import (
+    Matching,
+    build_conflict_graph,
+    canonical_path,
+    enumerate_alternating_cycles,
+    enumerate_augmenting_paths,
+    maximal_disjoint_paths,
+    paths_conflict,
+    shortest_augmenting_path_length,
+)
+from repro.matching.paths import (
+    augmentation_edge_set,
+    augmentation_gain,
+    enumerate_weighted_augmentations,
+)
+
+
+class TestCanonicalPath:
+    def test_orientation(self):
+        assert canonical_path([3, 2, 1]) == (1, 2, 3)
+        assert canonical_path([1, 2, 3]) == (1, 2, 3)
+
+
+class TestEnumerateAugmentingPaths:
+    def test_single_edge(self):
+        g = path_graph(2)
+        paths = enumerate_augmenting_paths(g, Matching(), 1)
+        assert paths == [(0, 1)]
+
+    def test_path_graph_with_middle_matched(self):
+        g = path_graph(4)  # 0-1-2-3
+        m = Matching([(1, 2)])
+        assert enumerate_augmenting_paths(g, m, 1) == []
+        assert enumerate_augmenting_paths(g, m, 3) == [(0, 1, 2, 3)]
+
+    def test_max_len_respected(self):
+        g = path_graph(6)
+        m = Matching([(1, 2), (3, 4)])
+        assert enumerate_augmenting_paths(g, m, 3) == []
+        assert enumerate_augmenting_paths(g, m, 5) == [(0, 1, 2, 3, 4, 5)]
+
+    def test_each_path_reported_once(self):
+        g = path_graph(2)
+        paths = enumerate_augmenting_paths(g, Matching(), 5)
+        assert len(paths) == 1
+
+    def test_restricted_nodes(self):
+        g = path_graph(4)
+        m = Matching([(1, 2)])
+        assert enumerate_augmenting_paths(g, m, 3, nodes=[0, 1, 2]) == []
+        assert enumerate_augmenting_paths(g, m, 3, nodes=[0, 1, 2, 3]) == [
+            (0, 1, 2, 3)
+        ]
+
+    def test_odd_cycle_paths(self):
+        g = cycle_graph(5)
+        m = Matching([(0, 1), (2, 3)])
+        # node 4 is free; no other free node: no augmenting path at all
+        assert enumerate_augmenting_paths(g, m, 5) == []
+
+    def test_all_results_are_augmenting(self):
+        g = gnp(14, 0.3, rng=3)
+        m = Matching()
+        # build some matching greedily
+        for u, v, _ in g.edges():
+            if m.is_free(u) and m.is_free(v):
+                m.add(u, v)
+        for p in enumerate_augmenting_paths(g, m, 5):
+            assert m.is_augmenting_path(p)
+
+
+class TestShortestAugmentingPath:
+    def test_none_when_maximum(self):
+        g = path_graph(2)
+        m = Matching([(0, 1)])
+        assert shortest_augmenting_path_length(g, m) is None
+
+    def test_length_one(self):
+        g = path_graph(2)
+        assert shortest_augmenting_path_length(g, Matching()) == 1
+
+    def test_length_three(self):
+        g = path_graph(4)
+        m = Matching([(1, 2)])
+        assert shortest_augmenting_path_length(g, m) == 3
+
+    def test_max_len_cutoff(self):
+        g = path_graph(6)
+        m = Matching([(1, 2), (3, 4)])
+        assert shortest_augmenting_path_length(g, m, max_len=3) is None
+        assert shortest_augmenting_path_length(g, m, max_len=5) == 5
+
+
+class TestConflictGraph:
+    def test_paths_conflict(self):
+        assert paths_conflict((0, 1), (1, 2))
+        assert not paths_conflict((0, 1), (2, 3))
+
+    def test_definition_on_small_graph(self):
+        # star: all edges meet at the center -> conflict graph is a clique
+        g = Graph()
+        for leaf in (1, 2, 3):
+            g.add_edge(0, leaf)
+        cg = build_conflict_graph(g, Matching(), 1)
+        assert cg.num_nodes == 3
+        for i in range(3):
+            assert len(cg.adjacency[i]) == 2
+
+    def test_leader_is_smaller_endpoint(self):
+        g = path_graph(2)
+        cg = build_conflict_graph(g, Matching(), 1)
+        assert cg.leader == [0]
+
+    def test_paths_through(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        cg = build_conflict_graph(g, Matching(), 1)
+        assert cg.paths_through(0) != []
+        assert cg.paths_through(9) == []
+
+    def test_independent_check(self):
+        g = Graph()
+        for leaf in (1, 2):
+            g.add_edge(0, leaf)
+        cg = build_conflict_graph(g, Matching(), 1)
+        assert cg.independent([0])
+        assert not cg.independent([0, 1])
+
+    def test_as_graph(self):
+        g = Graph()
+        for leaf in (1, 2):
+            g.add_edge(0, leaf)
+        cg = build_conflict_graph(g, Matching(), 1)
+        cgraph = cg.as_graph()
+        assert cgraph.num_nodes == 2
+        assert cgraph.num_edges == 1
+
+
+class TestMaximalDisjointPaths:
+    def test_greedy_maximality(self):
+        paths = [(0, 1), (1, 2), (3, 4)]
+        chosen = maximal_disjoint_paths(paths)
+        assert (0, 1) in chosen and (3, 4) in chosen
+        assert (1, 2) not in chosen
+
+    def test_custom_order(self):
+        paths = [(0, 1), (1, 2)]
+        chosen = maximal_disjoint_paths(paths, order=[1, 0])
+        assert chosen == [(1, 2)]
+
+
+class TestAlternatingCycles:
+    def test_even_cycle_found(self):
+        g = cycle_graph(4)
+        m = Matching([(0, 1), (2, 3)])
+        cycles = enumerate_alternating_cycles(g, m, 4)
+        assert len(cycles) == 1
+        assert set(cycles[0]) == {0, 1, 2, 3}
+
+    def test_no_cycles_without_matching(self):
+        g = cycle_graph(4)
+        assert enumerate_alternating_cycles(g, Matching(), 4) == []
+
+    def test_max_len(self):
+        g = cycle_graph(6)
+        m = Matching([(0, 1), (2, 3), (4, 5)])
+        assert enumerate_alternating_cycles(g, m, 4) == []
+        assert len(enumerate_alternating_cycles(g, m, 6)) == 1
+
+
+class TestWeightedAugmentations:
+    def test_gain_computation(self):
+        g = Graph()
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 5.0)
+        m = Matching([(0, 1)])
+        # swapping (0,1) for (1,2): path 0-1-2 starting with matched edge
+        assert augmentation_gain(g, m, [(0, 1), (1, 2)]) == 4.0
+
+    def test_enumeration_finds_profitable_swap(self):
+        g = Graph()
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 5.0)
+        m = Matching([(0, 1)])
+        augs = enumerate_weighted_augmentations(g, m, 3)
+        assert augs, "profitable swap must be found"
+        nodes, kind, gain = augs[0]
+        assert gain == 4.0
+        m2 = m.symmetric_difference(augmentation_edge_set(nodes, kind))
+        assert m2.weight(g) == 5.0
+
+    def test_all_enumerated_augmentations_apply_cleanly(self):
+        g = gnp(10, 0.4, rng=5, weight_fn=uniform_weights())
+        m = Matching()
+        for u, v, _ in g.edges():
+            if m.is_free(u) and m.is_free(v):
+                m.add(u, v)
+        for nodes, kind, gain in enumerate_weighted_augmentations(g, m, 4):
+            m2 = m.symmetric_difference(augmentation_edge_set(nodes, kind))
+            assert abs((m2.weight(g) - m.weight(g)) - gain) < 1e-9
+            assert gain > 0
+
+    def test_cycle_augmentation(self):
+        g = cycle_graph(4)
+        # heavier opposite pair: make (1,2),(3,0) much heavier
+        g2 = Graph()
+        g2.add_edge(0, 1, 1.0)
+        g2.add_edge(1, 2, 10.0)
+        g2.add_edge(2, 3, 1.0)
+        g2.add_edge(3, 0, 10.0)
+        m = Matching([(0, 1), (2, 3)])
+        augs = enumerate_weighted_augmentations(g2, m, 4)
+        kinds = {kind for _, kind, _ in augs}
+        assert "cycle" in kinds
+        best = max(augs, key=lambda a: a[2])
+        assert best[2] == 18.0

@@ -1,0 +1,213 @@
+"""Tests for the sequential exact and approximate matchers."""
+
+import pytest
+
+import networkx as nx
+
+from repro.graphs import (
+    augmenting_chain,
+    blossom_gadget,
+    complete_bipartite,
+    complete_graph,
+    crown_graph,
+    cycle_graph,
+    gnp,
+    path_graph,
+    random_bipartite,
+    uniform_weights,
+)
+from repro.graphs.graph import Graph, GraphError
+from repro.graphs.interop import to_networkx
+from repro.matching import verify_matching
+from repro.matching.sequential import (
+    BruteForceLimitError,
+    brute_force_mcm,
+    brute_force_mwm,
+    greedy_mcm,
+    greedy_mwm,
+    hopcroft_karp,
+    locally_heaviest_mwm,
+    max_cardinality,
+    max_cardinality_bipartite,
+    max_cardinality_general,
+    max_weight_bipartite,
+    path_growing_mwm,
+)
+
+
+class TestHopcroftKarp:
+    def test_perfect_matching_complete_bipartite(self):
+        g = complete_bipartite(5, 5)
+        assert max_cardinality_bipartite(g).size == 5
+
+    def test_crown_graph_perfect(self):
+        g = crown_graph(5)
+        assert max_cardinality_bipartite(g).size == 5
+
+    def test_empty_graph(self):
+        g = random_bipartite(4, 4, 0.0, rng=0)
+        assert max_cardinality_bipartite(g).size == 0
+
+    def test_matches_networkx_on_random(self):
+        for seed in range(5):
+            g = random_bipartite(15, 18, 0.15, rng=seed)
+            ours = max_cardinality_bipartite(g)
+            verify_matching(g, ours)
+            nxg = to_networkx(g)
+            nx_size = len(nx.bipartite.maximum_matching(
+                nxg, top_nodes=set(g.left))) // 2
+            assert ours.size == nx_size
+
+    def test_phase_trace_monotone(self):
+        g = random_bipartite(20, 20, 0.1, rng=2)
+        res = hopcroft_karp(g)
+        lengths = [p.path_length for p in res.phases]
+        assert lengths == sorted(lengths)
+        assert all(a < b for a, b in zip(lengths, lengths[1:]))
+        sizes = [p.matching_size for p in res.phases]
+        assert sizes == sorted(sizes)
+        assert res.phases[0].path_length == 1
+
+    def test_rejects_non_bipartite(self):
+        with pytest.raises(GraphError):
+            max_cardinality_bipartite(cycle_graph(5))
+
+    def test_plain_graph_input(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        assert max_cardinality_bipartite(g).size == 1
+
+
+class TestBlossom:
+    def test_odd_cycle(self):
+        assert max_cardinality_general(cycle_graph(5)).size == 2
+        assert max_cardinality_general(cycle_graph(7)).size == 3
+
+    def test_blossom_gadgets(self):
+        g = blossom_gadget(3)
+        m = max_cardinality_general(g)
+        verify_matching(g, m)
+        assert m.size == 9
+
+    def test_complete_graph(self):
+        assert max_cardinality_general(complete_graph(6)).size == 3
+        assert max_cardinality_general(complete_graph(7)).size == 3
+
+    def test_matches_networkx_on_random(self):
+        for seed in range(5):
+            g = gnp(18, 0.2, rng=seed)
+            ours = max_cardinality_general(g)
+            verify_matching(g, ours)
+            nx_m = nx.max_weight_matching(to_networkx(g),
+                                          maxcardinality=True)
+            assert ours.size == len(nx_m)
+
+    def test_matches_brute_force(self):
+        for seed in range(5):
+            g = gnp(8, 0.35, rng=seed + 10)
+            assert max_cardinality_general(g).size == brute_force_mcm(g).size
+
+    def test_dispatch_bipartite(self):
+        g = random_bipartite(8, 8, 0.3, rng=1)
+        assert max_cardinality(g).size == max_cardinality_bipartite(g).size
+
+    def test_dispatch_general(self):
+        g = cycle_graph(5)
+        assert max_cardinality(g).size == 2
+
+
+class TestHungarian:
+    def test_simple(self):
+        g = complete_bipartite(2, 2, weight_fn=None)
+        assert max_weight_bipartite(g).size == 2
+
+    def test_prefers_heavy_edge_over_two_light(self):
+        g = Graph()
+        g.add_edge(0, 2, 10.0)  # heavy
+        g.add_edge(0, 3, 1.0)
+        g.add_edge(1, 2, 1.0)
+        m = max_weight_bipartite(g)
+        # two light edges (0,3)+(1,2) weigh 2 < 10
+        assert m.weight(g) == 10.0
+
+    def test_matches_networkx_on_random(self):
+        for seed in range(6):
+            g = random_bipartite(10, 12, 0.3, rng=seed,
+                                 weight_fn=uniform_weights())
+            ours = max_weight_bipartite(g)
+            verify_matching(g, ours)
+            nx_m = nx.max_weight_matching(to_networkx(g))
+            nx_w = sum(g.weight(u, v) for u, v in nx_m)
+            assert abs(ours.weight(g) - nx_w) < 1e-6
+
+    def test_empty(self):
+        g = random_bipartite(3, 3, 0.0, rng=0)
+        assert max_weight_bipartite(g).size == 0
+
+    def test_rejects_non_bipartite(self):
+        with pytest.raises(GraphError):
+            max_weight_bipartite(cycle_graph(5))
+
+
+class TestGreedy:
+    def test_greedy_mwm_half_guarantee(self):
+        for seed in range(5):
+            g = gnp(14, 0.3, rng=seed, weight_fn=uniform_weights())
+            m = greedy_mwm(g)
+            verify_matching(g, m)
+            opt = brute_force_mwm(g) if g.num_edges <= 24 else None
+            if opt is not None:
+                assert m.weight(g) >= 0.5 * opt.weight(g) - 1e-9
+
+    def test_greedy_mcm_maximal(self):
+        g = gnp(20, 0.2, rng=3)
+        m = greedy_mcm(g, rng=1)
+        verify_matching(g, m)
+        for u, v, _ in g.edges():
+            assert not (m.is_free(u) and m.is_free(v))
+
+    def test_greedy_half_worst_case(self):
+        # on the augmenting chain, the middle-edge matching is half
+        g = augmenting_chain(4, link_length=3)
+        opt = max_cardinality(g).size
+        assert opt == 8
+        m = greedy_mcm(g)
+        assert m.size >= opt // 2
+
+    def test_path_growing_half(self):
+        for seed in range(4):
+            g = gnp(12, 0.4, rng=seed, weight_fn=uniform_weights())
+            if g.num_edges > 24:
+                continue
+            m = path_growing_mwm(g)
+            verify_matching(g, m)
+            opt = brute_force_mwm(g).weight(g)
+            assert m.weight(g) >= 0.5 * opt - 1e-9
+
+    def test_locally_heaviest_half(self):
+        for seed in range(4):
+            g = gnp(12, 0.35, rng=seed + 20, weight_fn=uniform_weights())
+            if g.num_edges > 24:
+                continue
+            m = locally_heaviest_mwm(g)
+            verify_matching(g, m)
+            opt = brute_force_mwm(g).weight(g)
+            assert m.weight(g) >= 0.5 * opt - 1e-9
+
+
+class TestBruteForce:
+    def test_known_small_cases(self):
+        assert brute_force_mcm(path_graph(4)).size == 2
+        assert brute_force_mcm(cycle_graph(5)).size == 2
+
+    def test_weighted_picks_heavy(self):
+        g = Graph()
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 3.0)
+        m = brute_force_mwm(g)
+        assert m.weight(g) == 3.0
+
+    def test_size_limit(self):
+        with pytest.raises(BruteForceLimitError):
+            brute_force_mcm(complete_graph(10))

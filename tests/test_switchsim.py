@@ -1,0 +1,174 @@
+"""Tests for the input-queued switch simulator (Figure 1 application)."""
+
+import pytest
+
+from repro.switchsim import (
+    BernoulliDiagonal,
+    BernoulliUniform,
+    BurstyOnOff,
+    DistributedMCMScheduler,
+    DistributedMWMScheduler,
+    Hotspot,
+    ISLIP,
+    MaxSizeScheduler,
+    MaxWeightScheduler,
+    PIM,
+    VOQSwitch,
+    simulate,
+)
+
+
+class TestTraffic:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliUniform(1, 0.5)
+        with pytest.raises(ValueError):
+            BernoulliUniform(4, 1.5)
+        with pytest.raises(ValueError):
+            Hotspot(4, 0.5, hot_fraction=2.0)
+        with pytest.raises(ValueError):
+            BurstyOnOff(4, 0.5, mean_burst=0)
+
+    def test_uniform_load(self):
+        t = BernoulliUniform(8, 0.5, seed=1)
+        total = sum(len(t.arrivals(c)) for c in range(1000))
+        assert 3200 < total < 4800  # ~ 0.5 * 8 * 1000
+
+    def test_arrivals_within_ports(self):
+        for t in (BernoulliUniform(4, 0.9, seed=2),
+                  BernoulliDiagonal(4, 0.9, seed=2),
+                  Hotspot(4, 0.9, seed=2),
+                  BurstyOnOff(4, 0.9, seed=2)):
+            for c in range(50):
+                for i, j in t.arrivals(c):
+                    assert 0 <= i < 4 and 0 <= j < 4
+
+    def test_diagonal_concentration(self):
+        t = BernoulliDiagonal(8, 0.9, seed=3)
+        diag = 0
+        total = 0
+        for c in range(500):
+            for i, j in t.arrivals(c):
+                total += 1
+                diag += j == i
+        assert diag / total > 0.5
+
+    def test_hotspot_concentration(self):
+        t = Hotspot(8, 0.5, seed=4, hot_fraction=0.8, hot_port=3)
+        hot = 0
+        total = 0
+        for c in range(500):
+            for i, j in t.arrivals(c):
+                total += 1
+                hot += j == 3
+        assert hot / total > 0.6
+
+    def test_bursty_same_destination_within_burst(self):
+        t = BurstyOnOff(4, 1.0, seed=5, mean_burst=50)
+        dests = [j for c in range(10) for i, j in t.arrivals(c) if i == 0]
+        assert len(set(dests)) <= 2  # one burst, maybe a boundary
+
+
+class TestVOQSwitch:
+    def test_enqueue_occupancy(self):
+        s = VOQSwitch(2)
+        s.enqueue([(0, 1), (0, 1), (1, 0)], cycle=0)
+        assert s.occupancy() == [[0, 2], [1, 0]]
+        assert s.backlog == 3
+
+    def test_transmit_and_delay(self):
+        s = VOQSwitch(2)
+        s.enqueue([(0, 1)], cycle=0)
+        delivered = s.transmit([(0, 1)], cycle=3)
+        assert delivered == 1
+        assert s.mean_delay == 3.0
+        assert s.backlog == 0
+
+    def test_transmit_empty_queue_noop(self):
+        s = VOQSwitch(2)
+        assert s.transmit([(0, 1)], cycle=0) == 0
+
+    def test_crossbar_constraint_enforced(self):
+        s = VOQSwitch(3)
+        with pytest.raises(ValueError):
+            s.transmit([(0, 1), (0, 2)], cycle=0)
+        with pytest.raises(ValueError):
+            s.transmit([(0, 1), (2, 1)], cycle=0)
+
+    def test_port_validation(self):
+        with pytest.raises(ValueError):
+            VOQSwitch(1)
+
+
+class TestSchedulers:
+    def _occupancy(self):
+        return [[2, 0, 1], [0, 3, 0], [1, 0, 0]]
+
+    @pytest.mark.parametrize("sched", [
+        PIM(seed=0),
+        ISLIP(3),
+        MaxSizeScheduler(),
+        MaxWeightScheduler(),
+        DistributedMCMScheduler(k=2, seed=0),
+        DistributedMWMScheduler(eps=0.2, seed=0),
+    ])
+    def test_schedules_are_valid_matchings(self, sched):
+        match = sched.schedule(self._occupancy(), cycle=0)
+        ins = [i for i, _ in match]
+        outs = [j for _, j in match]
+        assert len(set(ins)) == len(ins)
+        assert len(set(outs)) == len(outs)
+        occ = self._occupancy()
+        for i, j in match:
+            assert occ[i][j] > 0
+
+    def test_max_size_is_maximum(self):
+        match = MaxSizeScheduler().schedule(self._occupancy(), 0)
+        assert len(match) == 3
+
+    def test_max_weight_prefers_long_queues(self):
+        occ = [[5, 1], [0, 1]]
+        match = MaxWeightScheduler().schedule(occ, 0)
+        assert (0, 0) in match and (1, 1) in match
+
+    def test_islip_pointers_advance(self):
+        s = ISLIP(2, iterations=1)
+        occ = [[1, 1], [1, 1]]
+        s.schedule(occ, 0)
+        assert any(p != 0 for p in s.grant_ptr + s.accept_ptr)
+
+    def test_empty_occupancy(self):
+        occ = [[0, 0], [0, 0]]
+        for sched in (PIM(seed=1), ISLIP(2), MaxSizeScheduler(),
+                      MaxWeightScheduler(), DistributedMCMScheduler(seed=1),
+                      DistributedMWMScheduler(seed=1)):
+            assert sched.schedule(occ, 0) == []
+
+
+class TestSimulate:
+    def test_conservation(self):
+        stats = simulate(PIM(seed=0), BernoulliUniform(4, 0.6, seed=1), 200)
+        assert stats.arrived == stats.delivered + stats.backlog
+
+    def test_light_load_full_throughput(self):
+        stats = simulate(MaxSizeScheduler(),
+                         BernoulliUniform(4, 0.2, seed=2), 300, drain=True)
+        assert stats.throughput > 0.999
+
+    def test_matching_scheduler_competitive_with_pim(self):
+        traffic_seed = 7
+        pim = simulate(PIM(seed=0),
+                       BernoulliUniform(6, 0.85, seed=traffic_seed), 250)
+        ours = simulate(DistributedMCMScheduler(k=2, seed=0),
+                        BernoulliUniform(6, 0.85, seed=traffic_seed), 250)
+        assert ours.throughput >= pim.throughput - 0.05
+
+    def test_cycle_validation(self):
+        with pytest.raises(ValueError):
+            simulate(PIM(), BernoulliUniform(4, 0.5), 0)
+
+    def test_stats_fields(self):
+        stats = simulate(ISLIP(4), BernoulliUniform(4, 0.5, seed=3), 100)
+        assert stats.scheduler == "islip"
+        assert 0 <= stats.throughput <= 1
+        assert stats.normalized_backlog >= 0

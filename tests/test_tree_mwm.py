@@ -1,0 +1,84 @@
+"""Tests for the exact distributed tree MWM."""
+
+import pytest
+
+from repro.dist import tree_mwm
+from repro.graphs import (
+    Graph,
+    cycle_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+    uniform_weights,
+)
+from repro.graphs.graph import GraphError
+from repro.matching.sequential.tree_dp import max_weight_forest
+from repro.matching.verify import verify_matching
+
+
+class TestTreeMWM:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_exact_on_random_trees(self, seed):
+        g = random_tree(30, rng=seed, weight_fn=uniform_weights())
+        m, net = tree_mwm(g, seed=seed)
+        verify_matching(g, m)
+        assert abs(m.weight(g) - max_weight_forest(g).weight(g)) < 1e-9
+
+    def test_path(self):
+        g = path_graph(7)
+        m, _ = tree_mwm(g, seed=0)
+        assert m.size == 3
+
+    def test_star_single_edge(self):
+        g = star_graph(5)
+        m, _ = tree_mwm(g, seed=0)
+        assert m.size == 1
+
+    def test_weighted_star_picks_heaviest(self):
+        g = Graph()
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 2, 9.0)
+        g.add_edge(0, 3, 4.0)
+        m, _ = tree_mwm(g, seed=0)
+        assert m.contains_edge(0, 2)
+
+    def test_forest_with_isolates(self):
+        g = Graph()
+        g.add_node(99)
+        g.add_edge(0, 1, 5.0)
+        g.add_edge(2, 3, 1.0)
+        g.add_edge(3, 4, 2.0)
+        m, _ = tree_mwm(g, seed=0)
+        assert m.edge_set() == frozenset({(0, 1), (3, 4)})
+
+    def test_single_edge(self):
+        g = path_graph(2)
+        m, _ = tree_mwm(g, seed=0)
+        assert m.size == 1
+
+    def test_empty_graph(self):
+        g = Graph()
+        m, _ = tree_mwm(g, seed=0)
+        assert m.size == 0
+
+    def test_rejects_cycles(self):
+        with pytest.raises(GraphError):
+            tree_mwm(cycle_graph(4))
+
+    def test_rounds_scale_with_depth_not_size(self):
+        # a star has depth 1 regardless of leaf count
+        small, net_small = tree_mwm(star_graph(10), seed=1)
+        large, net_large = tree_mwm(star_graph(200), seed=1)
+        assert net_large.metrics.rounds <= net_small.metrics.rounds + 4
+
+    def test_deterministic(self):
+        g = random_tree(20, rng=3, weight_fn=uniform_weights())
+        m1, _ = tree_mwm(g, seed=5)
+        m2, _ = tree_mwm(g, seed=5)
+        assert m1 == m2
+
+    def test_metrics_protocols(self):
+        g = random_tree(15, rng=2, weight_fn=uniform_weights())
+        _, net = tree_mwm(g, seed=2)
+        assert "flood_max" in net.metrics.protocol_rounds
+        assert "tree_mwm" in net.metrics.protocol_rounds

@@ -1,0 +1,138 @@
+"""Coverage for verifiers, certificates, results, and interop edges."""
+
+import pytest
+
+from repro.core.results import MatchingResult
+from repro.graphs import (
+    Graph,
+    cycle_graph,
+    gnp,
+    path_graph,
+    random_bipartite,
+    uniform_weights,
+)
+from repro.graphs.interop import from_networkx, to_networkx
+from repro.matching import (
+    Matching,
+    MatchingError,
+    certify,
+    has_augmenting_path_shorter_than,
+    is_maximal,
+    verify_matching,
+)
+from repro.matching.verify import Certificate
+
+
+class TestVerifyMatching:
+    def test_accepts_valid(self):
+        g = path_graph(4)
+        verify_matching(g, Matching([(0, 1), (2, 3)]))
+
+    def test_rejects_non_edge(self):
+        g = path_graph(4)
+        with pytest.raises(MatchingError):
+            verify_matching(g, Matching([(0, 2)]))
+
+    def test_empty_matching_valid_everywhere(self):
+        verify_matching(cycle_graph(5), Matching())
+
+
+class TestIsMaximal:
+    def test_maximal(self):
+        g = path_graph(3)
+        assert is_maximal(g, Matching([(0, 1)]))
+        assert is_maximal(g, Matching([(1, 2)]))
+
+    def test_not_maximal(self):
+        g = path_graph(3)
+        assert not is_maximal(g, Matching())
+
+
+class TestHasShortAugmentingPath:
+    def test_detects(self):
+        g = path_graph(2)
+        assert has_augmenting_path_shorter_than(g, Matching(), 2)
+        assert not has_augmenting_path_shorter_than(
+            g, Matching([(0, 1)]), 100)
+
+    def test_threshold_exclusive(self):
+        g = path_graph(4)
+        m = Matching([(1, 2)])
+        # the only augmenting path has length 3
+        assert not has_augmenting_path_shorter_than(g, m, 3)
+        assert has_augmenting_path_shorter_than(g, m, 4)
+
+
+class TestCertificate:
+    def test_certify_full(self):
+        g = path_graph(4)
+        m = Matching([(0, 1), (2, 3)])
+        cert = certify(g, m, optimum_size=2)
+        assert cert.valid and cert.maximal
+        assert cert.cardinality_ratio == 1.0
+
+    def test_zero_optimum(self):
+        g = Graph()
+        g.add_nodes(range(3))
+        cert = certify(g, Matching(), optimum_size=0, optimum_weight=0.0)
+        assert cert.cardinality_ratio == 1.0
+        assert cert.weight_ratio == 1.0
+
+    def test_missing_optimum_means_none(self):
+        g = path_graph(2)
+        cert = certify(g, Matching([(0, 1)]))
+        assert cert.cardinality_ratio is None
+        assert cert.weight_ratio is None
+
+    def test_certify_raises_on_invalid(self):
+        g = path_graph(3)
+        with pytest.raises(MatchingError):
+            certify(g, Matching([(0, 2)]))
+
+
+class TestMatchingResult:
+    def test_fields(self):
+        g = path_graph(2)
+        m = Matching([(0, 1)])
+        cert = certify(g, m, optimum_size=1)
+        res = MatchingResult(matching=m, algorithm="x", certificate=cert)
+        assert res.size == 1
+        assert res.weight == 1.0
+        assert res.rounds is None
+
+
+class TestInterop:
+    def test_round_trip_plain(self):
+        g = gnp(12, 0.3, rng=1, weight_fn=uniform_weights())
+        back = from_networkx(to_networkx(g))
+        assert set(back.edges()) == set(g.edges())
+        assert back.nodes == g.nodes
+
+    def test_bipartite_round_trip(self):
+        g = random_bipartite(5, 6, 0.4, rng=2)
+        nxg = to_networkx(g)
+        back = from_networkx(nxg, bipartite_left=set(g.left))
+        from repro.graphs import BipartiteGraph
+
+        assert isinstance(back, BipartiteGraph)
+        assert back.left == g.left
+
+    def test_missing_weight_defaults_to_one(self):
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_edge(0, 1)
+        g = from_networkx(nxg)
+        assert g.weight(0, 1) == 1.0
+
+    def test_exactness_agreement_on_random_instances(self):
+        import networkx as nx
+
+        from repro.matching.sequential import max_cardinality
+
+        for seed in range(3):
+            g = gnp(16, 0.25, rng=seed)
+            ours = max_cardinality(g).size
+            theirs = len(nx.max_weight_matching(to_networkx(g),
+                                                maxcardinality=True))
+            assert ours == theirs
