@@ -18,15 +18,23 @@ PODC 2007 line of work it extends.  The package provides:
 
 Quick start::
 
-    from repro import approx_mcm
+    from repro import approx_mcm, run
     from repro.graphs import random_bipartite
 
     graph = random_bipartite(100, 100, 0.05, rng=0)
     result = approx_mcm(graph, eps=0.25, seed=0)
     print(result.size, result.certificate.cardinality_ratio, result.rounds)
+
+    # or via the single facade, by registry name:
+    result = run("mcm", graph, eps=0.25, seed=0)
+    print(result.network_metrics.total_bits)
+
+Every entry point shares the keyword surface ``(graph, *, eps/k, seed,
+policy, tracer, max_rounds)`` and returns a :class:`MatchingResult`.
 """
 
 from .core import (
+    ALGORITHMS,
     MatchingResult,
     approx_mcm,
     approx_mwm,
@@ -34,13 +42,15 @@ from .core import (
     exact_mcm,
     exact_mwm,
     maximal_matching,
+    run,
 )
 from .graphs import BipartiteGraph, Graph
 from .matching import Matching
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ALGORITHMS",
     "MatchingResult",
     "approx_mcm",
     "approx_mwm",
@@ -48,6 +58,7 @@ __all__ = [
     "exact_mcm",
     "exact_mwm",
     "maximal_matching",
+    "run",
     "BipartiteGraph",
     "Graph",
     "Matching",

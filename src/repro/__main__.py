@@ -5,6 +5,7 @@ Usage::
     python -m repro experiments --list
     python -m repro experiments t01 t05      # run specific tables
     python -m repro experiments --all        # the full suite
+    python -m repro experiments --all --jobs 8 --cache .repro-cache
     python -m repro match edges.txt --eps 0.25 --seed 3
     python -m repro match edges.txt --weighted --eps 0.1
 
@@ -42,8 +43,19 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     if args.report:
         from .experiments.report import write_report
 
-        path = write_report(args.report, names)
+        path = write_report(args.report, names,
+                            jobs=args.jobs, cache_dir=args.cache)
         print(f"report written to {path}")
+        return 0
+    if args.jobs is not None or args.cache is not None:
+        from .experiments.parallel import run_parallel
+
+        report = run_parallel(names, jobs=args.jobs, cache_dir=args.cache)
+        for table in report.tables:
+            table.show()
+        if args.cache is not None:
+            print(f"cache: {len(report.hits)} hit(s), "
+                  f"{len(report.computed)} computed", file=sys.stderr)
         return 0
     for name in names:
         ALL_EXPERIMENTS[name]().show()
@@ -92,6 +104,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="list available experiments")
     exp.add_argument("--report", metavar="PATH",
                      help="write a markdown report instead of printing")
+    exp.add_argument("--jobs", type=int, metavar="N",
+                     help="run experiments on N worker processes "
+                          "(0 = all cores)")
+    exp.add_argument("--cache", metavar="DIR",
+                     help="memoize finished tables under DIR; unchanged "
+                          "experiments are read back instead of re-run")
     exp.set_defaults(func=_cmd_experiments)
 
     match = sub.add_parser("match", help="match a graph from an edge list")

@@ -11,9 +11,18 @@ from .asynchrony import (
     UniformDelay,
 )
 from .faults import LossyNetwork
-from .message import MessageError, int_bits, log2n, payload_bits
+from .message import MessageError, int_bits, log2n, payload_bits, payload_bits_fast
 from .metrics import Metrics
-from .network import Network, NodeFactory, ProtocolError, RunResult
+from .network import (
+    DEFAULT_MAX_ROUNDS,
+    LEGACY_ENGINE_ENV,
+    Network,
+    NodeFactory,
+    ProtocolError,
+    RoundHook,
+    RunResult,
+    default_engine,
+)
 from .node import BROADCAST, Inbox, NodeAlgorithm, NodeContext, Outbox
 from .policies import (
     CONGEST,
@@ -42,11 +51,16 @@ __all__ = [
     "int_bits",
     "log2n",
     "payload_bits",
+    "payload_bits_fast",
     "Metrics",
+    "DEFAULT_MAX_ROUNDS",
+    "LEGACY_ENGINE_ENV",
     "Network",
     "NodeFactory",
     "ProtocolError",
+    "RoundHook",
     "RunResult",
+    "default_engine",
     "BROADCAST",
     "Inbox",
     "NodeAlgorithm",

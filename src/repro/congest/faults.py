@@ -30,10 +30,12 @@ class LossyNetwork(Network):
 
     def __init__(self, graph: Graph, loss: float,
                  policy: BandwidthPolicy = CONGEST, seed: int = 0,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 engine: Optional[str] = None) -> None:
         if not 0.0 <= loss < 1.0:
             raise ValueError("loss must be in [0, 1)")
-        super().__init__(graph, policy=policy, seed=seed, tracer=tracer)
+        super().__init__(graph, policy=policy, seed=seed, tracer=tracer,
+                         engine=engine)
         self.loss = loss
         self.dropped = 0
         self._loss_rng = random.Random(seed ^ 0x1F123BB5)

@@ -61,6 +61,25 @@ def payload_bits(payload: Any) -> int:
     )
 
 
+def payload_bits_fast(payload: Any) -> int:
+    """:func:`payload_bits` with the scalar cases inlined.
+
+    Prices the overwhelmingly common payload types (None, bool, int, float)
+    without recursing; containers fall through to :func:`payload_bits`.
+    Always returns the same value as :func:`payload_bits` — the batched
+    engine's golden-equivalence tests depend on that.
+    """
+    if payload is None or payload is True or payload is False:
+        return 1
+    tp = type(payload)
+    if tp is int:
+        body = (payload if payload >= 0 else -payload).bit_length()
+        return body + body + 2 if body else 4
+    if tp is float:
+        return 64
+    return payload_bits(payload)
+
+
 def log2n(n: int) -> int:
     """ceil(log2 n), at least 1 — the unit of the CONGEST bandwidth budget."""
     return max(1, math.ceil(math.log2(max(2, n))))

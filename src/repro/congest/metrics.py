@@ -41,6 +41,19 @@ class Metrics:
         if bits > self.max_message_bits:
             self.max_message_bits = bits
 
+    def record_message_batch(self, messages: int, total_bits: int,
+                             max_message_bits: int) -> None:
+        """Fold one round's worth of pre-aggregated message traffic in.
+
+        Equivalent to ``messages`` individual :meth:`record_message` calls
+        totalling ``total_bits`` with maximum ``max_message_bits``; the
+        batched engine accumulates per round and records once.
+        """
+        self.messages += messages
+        self.total_bits += total_bits
+        if max_message_bits > self.max_message_bits:
+            self.max_message_bits = max_message_bits
+
     def charge_rounds(self, protocol: str, rounds: int) -> None:
         """Charge rounds for a documented constant-round local step.
 

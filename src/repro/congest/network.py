@@ -8,24 +8,53 @@ termination (all nodes halted) or quiescence (no traffic and nobody spoke).
 
 Composite algorithms run several *protocols* on one persistent network; the
 metrics accumulate so composite costs are the true totals.
+
+Two delivery engines share one contract:
+
+* ``"csr"`` (the default) — a batched engine over a flat CSR adjacency
+  (:meth:`~repro.graphs.graph.Graph.to_csr`): broadcast expansion walks
+  precomputed neighbor rows, message pricing is memoized per bit-size,
+  metrics are accumulated per round instead of per message, and the whole
+  tracer machinery is skipped when no tracer is installed.
+* ``"legacy"`` — the original per-message dict engine, kept for one release
+  behind ``REPRO_LEGACY_ENGINE=1`` (or ``engine="legacy"``) as the golden
+  reference.  Both engines produce bit-identical outputs, round counts and
+  metrics for the same seed; ``tests/test_engine_golden.py`` enforces it.
+
+The graph is snapshotted at :class:`Network` construction (neighbor caches
+and the CSR layout); mutating the graph afterwards is not supported.
 """
 
 from __future__ import annotations
 
+import os
 import random
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..graphs.graph import Graph
-from .message import payload_bits
+from .message import payload_bits, payload_bits_fast
 from .metrics import Metrics
 from .tracing import TraceEvent, Tracer
 from .node import BROADCAST, NodeAlgorithm, NodeContext
 from .policies import CONGEST, BandwidthPolicy
 
 NodeFactory = Callable[[NodeContext], NodeAlgorithm]
+RoundHook = Callable[[int, "Network"], None]
 
 DEFAULT_MAX_ROUNDS = 100_000
+
+#: Environment variable that flips the default engine back to the
+#: pre-CSR dict implementation (value ``1``/``true``/``yes``/``on``).
+LEGACY_ENGINE_ENV = "REPRO_LEGACY_ENGINE"
+
+_UNSET = object()  # sentinel for untouched outbox slots in the mixed path
+
+
+def default_engine() -> str:
+    """The engine a new :class:`Network` uses when none is requested."""
+    flag = os.environ.get(LEGACY_ENGINE_ENV, "").strip().lower()
+    return "legacy" if flag in ("1", "true", "yes", "on") else "csr"
 
 
 class ProtocolError(RuntimeError):
@@ -34,34 +63,72 @@ class ProtocolError(RuntimeError):
 
 @dataclass
 class RunResult:
-    """Outcome of one protocol execution."""
+    """Outcome of one protocol execution.
+
+    ``metrics`` is the cost of *this* run alone (a
+    :meth:`~repro.congest.metrics.Metrics.delta_since` snapshot of the
+    network's cumulative account), so callers no longer need to snapshot
+    and diff ``network.metrics`` around every call.
+    """
 
     outputs: Dict[int, Any]
     rounds: int
     all_finished: bool
+    metrics: Metrics = field(default_factory=Metrics)
 
     def output_of(self, node: int) -> Any:
         return self.outputs[node]
 
 
 class Network:
-    """A simulated synchronous network over a :class:`Graph`."""
+    """A simulated synchronous network over a :class:`Graph`.
+
+    ``engine`` selects the delivery implementation (``"csr"`` or
+    ``"legacy"``); by default it follows :func:`default_engine`, i.e. the
+    batched CSR engine unless ``REPRO_LEGACY_ENGINE`` is set.
+    ``max_rounds`` sets the default round limit for every :meth:`run` on
+    this network (individual calls may still override it).
+    """
 
     def __init__(self, graph: Graph, policy: BandwidthPolicy = CONGEST,
-                 seed: int = 0, tracer: Optional[Tracer] = None) -> None:
+                 seed: int = 0, tracer: Optional[Tracer] = None,
+                 engine: Optional[str] = None,
+                 max_rounds: Optional[int] = None) -> None:
         self.graph = graph
         self.policy = policy
         self.seed = seed
         self.tracer = tracer
         self.metrics = Metrics()
+        self.default_max_rounds = max_rounds
         self._run_counter = 0
-        self._neighbor_cache: Dict[int, tuple] = {
-            v: tuple(graph.neighbors(v)) for v in graph.nodes
-        }
-        self._weight_cache: Dict[int, Dict[int, float]] = {
-            v: {u: graph.weight(v, u) for u in self._neighbor_cache[v]}
-            for v in graph.nodes
-        }
+        if engine is None:
+            engine = default_engine()
+        if engine not in ("csr", "legacy"):
+            raise ValueError(f"unknown engine {engine!r}; use 'csr' or 'legacy'")
+        self.engine = engine
+
+        # flat CSR adjacency: the batched engine's whole world
+        self.csr = graph.to_csr()
+        self._order: Tuple[int, ...] = self.csr.order
+        self._neighbor_cache: Dict[int, Tuple[int, ...]] = {}
+        self._weight_cache: Dict[int, Dict[int, float]] = {}
+        self._slot_of: Dict[int, Dict[int, int]] = {}
+        order, indptr, indices, weights = (
+            self.csr.order, self.csr.indptr, self.csr.indices, self.csr.weights
+        )
+        for i, v in enumerate(order):
+            lo, hi = indptr[i], indptr[i + 1]
+            nbrs = tuple(order[indices[e]] for e in range(lo, hi))
+            self._neighbor_cache[v] = nbrs
+            self._weight_cache[v] = {
+                u: weights[lo + off] for off, u in enumerate(nbrs)
+            }
+            self._slot_of[v] = {u: lo + off for off, u in enumerate(nbrs)}
+        # per-slot scratch used by the mixed broadcast+unicast outbox path
+        self._slot_scratch: List[Any] = [_UNSET] * self.csr.num_slots
+        # pipelining charge memoized per message bit-size (policy and n are
+        # fixed for the lifetime of the network)
+        self._charge_cache: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     def node_rng(self, node_id: int, salt: int = 0) -> random.Random:
@@ -74,20 +141,28 @@ class Network:
 
     def run(self, factory: NodeFactory, protocol: str = "protocol",
             shared: Optional[Dict[str, Any]] = None,
-            max_rounds: Optional[int] = None) -> RunResult:
+            max_rounds: Optional[int] = None,
+            on_round_end: Optional[RoundHook] = None) -> RunResult:
         """Execute one protocol to termination/quiescence.
 
         ``factory`` builds the node program from its :class:`NodeContext`.
         ``shared`` holds globally known constants (n, k, epsilon, W_max ...),
         readable by every node — the paper's standing assumptions.
+        ``on_round_end`` is called as ``hook(round_number, network)`` after
+        each completed round (delivery plus node computation) — the place to
+        sample convergence traces or drive visualizations without touching
+        the node programs.
         """
         self._run_counter += 1
+        if max_rounds is None:
+            max_rounds = self.default_max_rounds
         limit = max_rounds if max_rounds is not None else DEFAULT_MAX_ROUNDS
         shared = dict(shared or {})
         n = self.graph.num_nodes
+        before = self.metrics.snapshot()
 
         algorithms: Dict[int, NodeAlgorithm] = {}
-        for v in self.graph.nodes:
+        for v in self._order:
             ctx = NodeContext(
                 node_id=v,
                 neighbors=self._neighbor_cache[v],
@@ -99,19 +174,21 @@ class Network:
             algorithms[v] = factory(ctx)
 
         outboxes: Dict[int, Dict[Any, Any]] = {}
-        for v in self.graph.nodes:
-            out = algorithms[v].start()
+        unfinished: List[int] = []
+        for v in self._order:
+            alg = algorithms[v]
+            out = alg.start()
             if out:
                 outboxes[v] = out
+            if not alg.finished:
+                unfinished.append(v)
 
         rounds_this_run = 0
         while True:
-            if all(alg.finished for alg in algorithms.values()):
+            if not unfinished:
                 break
-            in_flight = any(outboxes.values())
-            if (not in_flight and rounds_this_run > 0
-                    and all(alg.finished or alg.passive
-                            for alg in algorithms.values())):
+            if (not outboxes and rounds_this_run > 0
+                    and all(algorithms[v].passive for v in unfinished)):
                 # quiescent: nothing in flight and every live node is purely
                 # event-driven, so nothing will ever move again
                 break
@@ -127,28 +204,164 @@ class Network:
             self.metrics.record_round(protocol, extra)
 
             outboxes = {}
-            for v in self.graph.nodes:
+            still_active: List[int] = []
+            for v in unfinished:
                 alg = algorithms[v]
-                if alg.finished:
-                    continue
                 out = alg.on_round(inboxes.get(v, {}))
                 if out:
                     outboxes[v] = out
+                if not alg.finished:
+                    still_active.append(v)
+            unfinished = still_active
+            if on_round_end is not None:
+                on_round_end(rounds_this_run, self)
 
         return RunResult(
-            outputs={v: algorithms[v].output for v in self.graph.nodes},
+            outputs={v: algorithms[v].output for v in self._order},
             rounds=rounds_this_run,
-            all_finished=all(alg.finished for alg in algorithms.values()),
+            all_finished=not unfinished,
+            metrics=self.metrics.delta_since(before),
         )
 
     # ------------------------------------------------------------------
     def _deliver(self, outboxes: Dict[int, Dict[Any, Any]], n: int,
                  protocol: str = "protocol", round_number: int = 0):
-        """Expand broadcasts, price messages, and build inboxes."""
+        """Expand broadcasts, price messages, and build inboxes.
+
+        Dispatches to the batched CSR engine when possible; the dict engine
+        handles the legacy opt-out and the traced path (the fast path skips
+        tracer hooks entirely, so it is only taken when none are installed).
+        Subclasses that post-process delivery (e.g.
+        :class:`~repro.congest.faults.LossyNetwork`) override this method
+        and delegate to ``super()``, which keeps them on the fast path too.
+        """
+        if self.engine == "csr" and self.tracer is None:
+            return self._deliver_batched(outboxes, n)
+        return self._deliver_dict(outboxes, n, protocol, round_number)
+
+    def _deliver_batched(self, outboxes: Dict[int, Dict[Any, Any]], n: int):
+        """One batched pass: expansion, validation, pricing, accumulation."""
         inboxes: Dict[int, Dict[int, Any]] = {}
         extra_rounds = 0
-        for sender in sorted(outboxes):
-            out = outboxes[sender]
+        messages = 0
+        bits_sum = 0
+        max_bits = 0
+        charge_cache = self._charge_cache
+        policy_charge = self.policy.charge
+        neighbor_cache = self._neighbor_cache
+        inbox_get = inboxes.get
+        outbox_get = outboxes.get
+        for sender in self._order:
+            out = outbox_get(sender)
+            if not out:
+                continue
+            nbrs = neighbor_cache[sender]
+            if BROADCAST in out:
+                if len(out) == 1:
+                    # pure broadcast: price once, deliver along the CSR row
+                    if not nbrs:
+                        continue
+                    payload = out[BROADCAST]
+                    bits = payload_bits_fast(payload)
+                    charge = charge_cache.get(bits, -1)
+                    if charge < 0:
+                        charge = policy_charge(bits, n, sender, nbrs[0])
+                        charge_cache[bits] = charge
+                    if charge > extra_rounds:
+                        extra_rounds = charge
+                    messages += len(nbrs)
+                    bits_sum += bits * len(nbrs)
+                    if bits > max_bits:
+                        max_bits = bits
+                    for u in nbrs:
+                        box = inbox_get(u)
+                        if box is None:
+                            inboxes[u] = {sender: payload}
+                        else:
+                            box[sender] = payload
+                    continue
+                # mixed broadcast + unicast: expand into the sender's slot
+                # range so later entries overwrite earlier ones exactly as
+                # the dict engine's ``expanded`` mapping did
+                slots = self._slot_scratch
+                slot_of = self._slot_of[sender]
+                i = self.csr.index[sender]
+                lo, hi = self.csr.indptr[i], self.csr.indptr[i + 1]
+                for target, payload in out.items():
+                    if target == BROADCAST:
+                        for e in range(lo, hi):
+                            slots[e] = payload
+                    else:
+                        e = slot_of.get(target)
+                        if e is None:
+                            raise ProtocolError(
+                                f"node {sender} tried to message non-neighbor "
+                                f"{target}"
+                            )
+                        slots[e] = payload
+                for off in range(hi - lo):
+                    payload = slots[lo + off]
+                    if payload is _UNSET:
+                        continue
+                    slots[lo + off] = _UNSET
+                    target = nbrs[off]
+                    bits = payload_bits_fast(payload)
+                    charge = charge_cache.get(bits, -1)
+                    if charge < 0:
+                        charge = policy_charge(bits, n, sender, target)
+                        charge_cache[bits] = charge
+                    if charge > extra_rounds:
+                        extra_rounds = charge
+                    messages += 1
+                    bits_sum += bits
+                    if bits > max_bits:
+                        max_bits = bits
+                    box = inbox_get(target)
+                    if box is None:
+                        inboxes[target] = {sender: payload}
+                    else:
+                        box[sender] = payload
+                continue
+            # unicast-only outbox: keys are already distinct targets
+            slot_of = self._slot_of[sender]
+            for target, payload in out.items():
+                if target not in slot_of:
+                    raise ProtocolError(
+                        f"node {sender} tried to message non-neighbor "
+                        f"{target}"
+                    )
+                bits = payload_bits_fast(payload)
+                charge = charge_cache.get(bits, -1)
+                if charge < 0:
+                    charge = policy_charge(bits, n, sender, target)
+                    charge_cache[bits] = charge
+                if charge > extra_rounds:
+                    extra_rounds = charge
+                messages += 1
+                bits_sum += bits
+                if bits > max_bits:
+                    max_bits = bits
+                box = inbox_get(target)
+                if box is None:
+                    inboxes[target] = {sender: payload}
+                else:
+                    box[sender] = payload
+        self.metrics.record_message_batch(messages, bits_sum, max_bits)
+        return inboxes, extra_rounds
+
+    def _deliver_dict(self, outboxes: Dict[int, Dict[Any, Any]], n: int,
+                      protocol: str = "protocol", round_number: int = 0):
+        """The reference per-message engine (legacy opt-out, traced runs)."""
+        inboxes: Dict[int, Dict[int, Any]] = {}
+        extra_rounds = 0
+        events: List[TraceEvent] = []
+        traced = self.tracer is not None
+        # graph order instead of a per-round sort: node ids ascend by
+        # construction, so delivery order is unchanged (and regression-tested)
+        for sender in self._order:
+            out = outboxes.get(sender)
+            if not out:
+                continue
             expanded: Dict[int, Any] = {}
             for target, payload in out.items():
                 if target == BROADCAST:
@@ -166,13 +379,15 @@ class Network:
                 charge = self.policy.charge(bits, n, sender, target)
                 extra_rounds = max(extra_rounds, charge)
                 self.metrics.record_message(bits)
-                if self.tracer is not None:
-                    self.tracer.record(TraceEvent(
+                if traced:
+                    events.append(TraceEvent(
                         protocol=protocol, round=round_number,
                         sender=sender, receiver=target,
                         bits=bits, payload=payload,
                     ))
                 inboxes.setdefault(target, {})[sender] = payload
+        if traced and events:
+            self.tracer.record_many(events)
         return inboxes, extra_rounds
 
     def global_check(self) -> None:

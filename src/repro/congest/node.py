@@ -83,6 +83,16 @@ class NodeAlgorithm:
             self.output = output
         return {}
 
+    def broadcast(self, payload: Any) -> Outbox:
+        """An outbox sending ``payload`` to every neighbor.
+
+        Pure-broadcast outboxes take the engine's fastest delivery path
+        (one pricing pass expanded along the CSR neighbor row), so prefer
+        ``return self.broadcast(x)`` over building per-neighbor dicts when
+        all neighbors receive the same payload.
+        """
+        return {BROADCAST: payload}
+
     # -- protocol hooks --------------------------------------------------
     def start(self) -> Outbox:
         """Round 0: produce the initial outbox (may already halt)."""

@@ -47,6 +47,12 @@ class Tracer:
         if self.capacity is not None and len(self.events) > self.capacity:
             del self.events[: len(self.events) - self.capacity]
 
+    def record_many(self, events: Iterable[TraceEvent]) -> None:
+        """Record a whole round's events at once (single capacity trim)."""
+        self.events.extend(events)
+        if self.capacity is not None and len(self.events) > self.capacity:
+            del self.events[: len(self.events) - self.capacity]
+
     # -- queries ---------------------------------------------------------
     def __len__(self) -> int:
         return len(self.events)

@@ -1,21 +1,25 @@
 """High-level public API: one-call matching with verification and metrics."""
 
 from .api import (
+    ALGORITHMS,
     approx_mcm,
     approx_mwm,
     eps_to_k,
     exact_mcm,
     exact_mwm,
     maximal_matching,
+    run,
 )
 from .results import MatchingResult
 
 __all__ = [
+    "ALGORITHMS",
     "approx_mcm",
     "approx_mwm",
     "eps_to_k",
     "exact_mcm",
     "exact_mwm",
     "maximal_matching",
+    "run",
     "MatchingResult",
 ]

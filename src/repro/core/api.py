@@ -1,6 +1,10 @@
 """The high-level public API of the library.
 
-One-call entry points for every algorithm family:
+One keyword surface for every algorithm family: each entry point takes the
+graph plus the shared keywords ``seed``, ``policy``, ``tracer`` and
+``max_rounds`` (and ``eps``/``k`` where an approximation target applies),
+and returns a :class:`MatchingResult` whose ``network_metrics`` carries the
+full round/message/bit account of the distributed run:
 
 * :func:`approx_mcm` — the paper's (1 - eps)-approximate maximum-cardinality
   matching; dispatches between the bipartite CONGEST algorithm
@@ -11,18 +15,22 @@ One-call entry points for every algorithm family:
   Remark.
 * :func:`maximal_matching` — the Israeli-Itai baseline.
 * :func:`exact_mcm` / :func:`exact_mwm` — sequential exact references.
+* :func:`run` — the single facade: ``repro.run("mcm", graph, eps=0.25)``.
 
-Every distributed result is verified (:class:`Certificate`) and carries the
-full round/message/bit metrics of its run.
+Every distributed result is verified (:class:`Certificate`).  The pre-1.1
+positional forms (``approx_mcm(g, 0.25, 3)``) still work but emit a
+:class:`DeprecationWarning`; pass keywords instead.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional
+import warnings
+from typing import Callable, Optional, Tuple, Union
 
 from ..congest.network import Network
-from ..congest.policies import CONGEST, PIPELINE, BandwidthPolicy
+from ..congest.policies import CONGEST, LOCAL, PIPELINE, BandwidthPolicy
+from ..congest.tracing import Tracer
 from ..graphs.graph import BipartiteGraph, Graph
 from ..matching.core import Matching
 from ..matching.sequential.blossom import max_cardinality
@@ -43,6 +51,31 @@ def _is_bipartite(graph: Graph) -> bool:
     return graph.bipartition() is not None
 
 
+def _positional_shim(func: str, args: tuple, names: Tuple[str, ...],
+                     current: tuple) -> tuple:
+    """Absorb deprecated positional arguments into the keyword surface."""
+    if len(args) > len(names):
+        raise TypeError(
+            f"{func}() takes at most {len(names) + 1} positional arguments "
+            f"({len(args) + 1} given)"
+        )
+    shown = ", ".join(f"{n}=..." for n in names[:len(args)])
+    warnings.warn(
+        f"positional arguments to {func}() beyond the graph are deprecated; "
+        f"call {func}(graph, {shown}) with keywords instead",
+        DeprecationWarning, stacklevel=3)
+    merged = list(current)
+    merged[:len(args)] = args
+    return tuple(merged)
+
+
+def _build_network(graph: Graph, policy: BandwidthPolicy, seed: int,
+                   tracer: Optional[Tracer],
+                   max_rounds: Optional[int]) -> Network:
+    return Network(graph, policy=policy, seed=seed, tracer=tracer,
+                   max_rounds=max_rounds)
+
+
 def eps_to_k(eps: float) -> int:
     """Phases needed for a (1 - eps) guarantee: (1 - 1/(k+1)) >= 1 - eps."""
     if not 0 < eps < 1:
@@ -50,34 +83,49 @@ def eps_to_k(eps: float) -> int:
     return max(1, math.ceil(1.0 / eps) - 1)
 
 
-def approx_mcm(graph: Graph, eps: float = 0.25, seed: int = 0,
+def approx_mcm(graph: Graph, *args, eps: float = 0.25,
+               k: Optional[int] = None, seed: int = 0,
                model: str = "congest",
-               policy: Optional[BandwidthPolicy] = None) -> MatchingResult:
+               policy: Optional[BandwidthPolicy] = None,
+               tracer: Optional[Tracer] = None,
+               max_rounds: Optional[int] = None) -> MatchingResult:
     """(1 - eps)-approximate maximum-cardinality matching.
 
     ``model="congest"`` uses Theorem 3.10 on bipartite inputs and
     Theorem 3.15 (Algorithm 4 with certified stopping) otherwise;
-    ``model="local"`` forces the generic Algorithm 1.  The certificate
+    ``model="local"`` forces the generic Algorithm 1.  ``k`` overrides the
+    phase count directly (``eps`` is ignored then).  The certificate
     includes the exact optimum (computed sequentially for verification).
     """
-    k = eps_to_k(eps)
+    if args:
+        eps, seed, model, policy = _positional_shim(
+            "approx_mcm", args, ("eps", "seed", "model", "policy"),
+            (eps, seed, model, policy))
+    if k is None:
+        k = eps_to_k(eps)
+    elif k < 1:
+        raise ValueError("k must be at least 1")
     if model == "local":
-        res = generic_mcm(graph, k=k, seed=seed)
+        net = _build_network(graph, policy or LOCAL, seed, tracer, max_rounds)
+        res = generic_mcm(graph, k=k, seed=seed, network=net)
         matching, metrics, detail, name = (
-            res.matching, res.network.metrics, res, "generic_mcm(local)"
+            res.matching, res.metrics, res, "generic_mcm(local)"
         )
     elif model == "congest":
         if _is_bipartite(graph):
-            bres = bipartite_mcm(graph, k=k, seed=seed,
-                                 policy=policy or PIPELINE)
+            net = _build_network(graph, policy or PIPELINE, seed, tracer,
+                                 max_rounds)
+            bres = bipartite_mcm(graph, k=k, seed=seed, network=net)
             matching, metrics, detail, name = (
-                bres.matching, bres.network.metrics, bres, "bipartite_mcm"
+                bres.matching, bres.metrics, bres, "bipartite_mcm"
             )
         else:
-            gres = general_mcm(graph, k=k, seed=seed,
-                               policy=policy or PIPELINE, stopping="exact")
+            net = _build_network(graph, policy or PIPELINE, seed, tracer,
+                                 max_rounds)
+            gres = general_mcm(graph, k=k, seed=seed, stopping="exact",
+                               network=net)
             matching, metrics, detail, name = (
-                gres.matching, gres.network.metrics, gres, "general_mcm"
+                gres.matching, gres.metrics, gres, "general_mcm"
             )
     else:
         raise ValueError(f"unknown model {model!r}; use 'congest' or 'local'")
@@ -88,9 +136,12 @@ def approx_mcm(graph: Graph, eps: float = 0.25, seed: int = 0,
                           certificate=cert, metrics=metrics, detail=detail)
 
 
-def approx_mwm(graph: Graph, eps: float = 0.1, seed: int = 0,
+def approx_mwm(graph: Graph, *args, eps: float = 0.1, seed: int = 0,
                model: str = "congest", black_box: str = "class_greedy",
-               reference: Optional[float] = None) -> MatchingResult:
+               reference: Optional[float] = None,
+               policy: Optional[BandwidthPolicy] = None,
+               tracer: Optional[Tracer] = None,
+               max_rounds: Optional[int] = None) -> MatchingResult:
     """Approximate maximum-weight matching.
 
     ``model="congest"``: Algorithm 5, a (1/2 - eps)-MWM (Theorem 4.5).
@@ -103,20 +154,31 @@ def approx_mwm(graph: Graph, eps: float = 0.1, seed: int = 0,
     the bipartite optimum is computed exactly and general graphs get no
     reference (computing exact general MWM is outside the library's scope).
     """
+    if args:
+        eps, seed, model, black_box, reference = _positional_shim(
+            "approx_mwm", args,
+            ("eps", "seed", "model", "black_box", "reference"),
+            (eps, seed, model, black_box, reference))
     if model == "congest":
-        res = approximate_mwm(graph, eps=eps, seed=seed, black_box=black_box)
+        net = _build_network(graph, policy or CONGEST, seed, tracer,
+                             max_rounds)
+        res = approximate_mwm(graph, eps=eps, seed=seed, black_box=black_box,
+                              network=net)
         matching, metrics, detail, name = (
-            res.matching, res.network.metrics, res, f"algorithm5({black_box})"
+            res.matching, res.metrics, res, f"algorithm5({black_box})"
         )
     elif model == "local":
-        hres = hv_mwm(graph, eps=eps, seed=seed)
+        net = _build_network(graph, policy or LOCAL, seed, tracer, max_rounds)
+        hres = hv_mwm(graph, eps=eps, seed=seed, network=net)
         matching, metrics, detail, name = (
-            hres.matching, hres.network.metrics, hres, "hv_mwm(local)"
+            hres.matching, hres.metrics, hres, "hv_mwm(local)"
         )
     elif model == "auction":
         from ..dist.auction import auction_mwm
 
-        amatching, anet = auction_mwm(graph, eps=eps, seed=seed)
+        anet = _build_network(graph, policy or CONGEST, seed, tracer,
+                              max_rounds)
+        amatching, anet = auction_mwm(graph, eps=eps, seed=seed, network=anet)
         matching, metrics, detail, name = (
             amatching, anet.metrics, None, "auction"
         )
@@ -133,10 +195,15 @@ def approx_mwm(graph: Graph, eps: float = 0.1, seed: int = 0,
                           certificate=cert, metrics=metrics, detail=detail)
 
 
-def maximal_matching(graph: Graph, seed: int = 0,
-                     policy: Optional[BandwidthPolicy] = None) -> MatchingResult:
+def maximal_matching(graph: Graph, *args, seed: int = 0,
+                     policy: Optional[BandwidthPolicy] = None,
+                     tracer: Optional[Tracer] = None,
+                     max_rounds: Optional[int] = None) -> MatchingResult:
     """The Israeli-Itai baseline: a maximal (hence 1/2-approximate) matching."""
-    net = Network(graph, policy=policy or CONGEST, seed=seed)
+    if args:
+        seed, policy = _positional_shim(
+            "maximal_matching", args, ("seed", "policy"), (seed, policy))
+    net = _build_network(graph, policy or CONGEST, seed, tracer, max_rounds)
     matching = israeli_itai(net)
     optimum = max_cardinality(graph).size
     cert = certify(graph, matching, optimum_size=optimum)
@@ -159,3 +226,41 @@ def exact_mwm(graph: Graph) -> MatchingResult:
                    optimum_weight=matching.weight(graph))
     return MatchingResult(matching=matching, algorithm="exact_mwm",
                           certificate=cert)
+
+
+#: Name -> entry point registry backing :func:`run`.  Aliases cover the
+#: shorthand most call sites use ("mcm", "mwm", "maximal").
+ALGORITHMS = {
+    "approx_mcm": approx_mcm,
+    "mcm": approx_mcm,
+    "approx_mwm": approx_mwm,
+    "mwm": approx_mwm,
+    "maximal_matching": maximal_matching,
+    "maximal": maximal_matching,
+    "israeli_itai": maximal_matching,
+    "exact_mcm": exact_mcm,
+    "exact_mwm": exact_mwm,
+}
+
+
+def run(algorithm: Union[str, Callable[..., MatchingResult]], graph: Graph,
+        **kwargs) -> MatchingResult:
+    """One facade over every entry point.
+
+    ``algorithm`` is a registry name (``"mcm"``, ``"approx_mcm"``,
+    ``"mwm"``, ``"approx_mwm"``, ``"maximal"``, ``"exact_mcm"``,
+    ``"exact_mwm"``, ...) or any callable with the ``fn(graph, **kwargs)``
+    shape.  All remaining keywords are forwarded unchanged, so
+    ``repro.run("mcm", g, eps=0.25, seed=3, tracer=t)`` is exactly
+    ``approx_mcm(g, eps=0.25, seed=3, tracer=t)``.
+    """
+    if callable(algorithm):
+        fn = algorithm
+    else:
+        fn = ALGORITHMS.get(str(algorithm).lower())
+        if fn is None:
+            known = ", ".join(sorted(ALGORITHMS))
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; known names: {known}"
+            )
+    return fn(graph, **kwargs)

@@ -25,6 +25,15 @@ class MatchingResult:
     detail: Any = None
 
     @property
+    def network_metrics(self) -> Optional[Metrics]:
+        """The distributed run's :class:`Metrics` (None for sequential runs).
+
+        The canonical accessor of the unified API surface; ``metrics`` is
+        the underlying field.
+        """
+        return self.metrics
+
+    @property
     def size(self) -> int:
         return self.matching.size
 

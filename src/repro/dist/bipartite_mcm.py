@@ -108,6 +108,11 @@ class BipartiteMCMResult:
     stats: AugmentationStats
     network: Network
 
+    @property
+    def metrics(self):
+        """Total distributed cost of this call (the run network's account)."""
+        return self.network.metrics if self.network is not None else None
+
 
 def side_map_of(graph: Graph) -> SideMap:
     """X/Y side assignment for a bipartite graph (left = X, right = Y)."""

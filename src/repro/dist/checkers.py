@@ -74,27 +74,35 @@ class MaximalityCheckNode(NodeAlgorithm):
         return self.halt({"ok": not violated})
 
 
+def _complaints(result) -> Set[int]:
+    """Nodes whose check output is missing or not ok.
+
+    The per-run :attr:`~repro.congest.network.RunResult.metrics` carried by
+    the result lets us assert the advertised O(1)-round cost directly —
+    no snapshot/diff of the network's cumulative account needed.
+    """
+    assert result.metrics.rounds <= 1, "checker must finish in one round"
+    return {v for v, out in result.outputs.items()
+            if out is None or not out["ok"]}
+
+
 def check_matching(network: Network,
                    mate: Dict[int, Optional[int]]) -> Set[int]:
     """Run the one-round register check; returns the complaining nodes."""
-    result = network.run(
+    return _complaints(network.run(
         MatchingCheckNode,
         protocol="check_matching",
         shared={"mate": mate},
         max_rounds=3,
-    )
-    return {v for v, out in result.outputs.items()
-            if out is None or not out["ok"]}
+    ))
 
 
 def check_maximality(network: Network,
                      mate: Dict[int, Optional[int]]) -> Set[int]:
     """Run the one-round maximality check; returns free-free witnesses."""
-    result = network.run(
+    return _complaints(network.run(
         MaximalityCheckNode,
         protocol="check_maximality",
         shared={"mate": mate},
         max_rounds=3,
-    )
-    return {v for v, out in result.outputs.items()
-            if out is None or not out["ok"]}
+    ))

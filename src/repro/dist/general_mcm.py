@@ -56,6 +56,11 @@ class GeneralMCMResult:
     certified: bool = False
 
     @property
+    def metrics(self):
+        """Total distributed cost of this call (the run network's account)."""
+        return self.network.metrics if self.network is not None else None
+
+    @property
     def iterations_used(self) -> int:
         return len(self.iterations)
 

@@ -49,6 +49,11 @@ class GenericMCMResult:
     phases: List[GenericPhase] = field(default_factory=list)
     network: Optional[Network] = None
 
+    @property
+    def metrics(self):
+        """Total distributed cost of this call (the run network's account)."""
+        return self.network.metrics if self.network is not None else None
+
 
 def _paths_from_views(views, graph_nodes, mate, ell) -> List[Path]:
     """Each free node enumerates the paths it leads, from its own view."""

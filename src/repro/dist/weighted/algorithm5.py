@@ -57,6 +57,11 @@ class MWMResult:
     delta: float = 0.0
 
     @property
+    def metrics(self):
+        """Total distributed cost of this call (the run network's account)."""
+        return self.network.metrics if self.network is not None else None
+
+    @property
     def iterations_used(self) -> int:
         return len(self.iterations)
 

@@ -47,6 +47,11 @@ class HVResult:
     sweeps: List[HVSweep] = field(default_factory=list)
     network: Optional[Network] = None
 
+    @property
+    def metrics(self):
+        """Total distributed cost of this call (the run network's account)."""
+        return self.network.metrics if self.network is not None else None
+
 
 def hv_mwm(graph: Graph, eps: float = 0.25, seed: int = 0,
            sweeps: Optional[int] = None,

@@ -1,0 +1,208 @@
+"""Parallel experiment execution with a content-keyed on-disk cache.
+
+The 18-tier suite is embarrassingly parallel: every tier sweeps its own
+(graph, seed) grid and produces one independent :class:`Table`.  This module
+maps tier work items over a :mod:`multiprocessing` pool and memoizes each
+finished table on disk, so ``python -m repro experiments --all --jobs 8``
+uses every core and re-runs are incremental.
+
+Cache keys are *content* keys, not timestamps: the key hashes the library
+version, the tier name, the tier function's source code, and the exact
+parameter overrides of the work item.  Editing an experiment (or bumping the
+library) therefore invalidates exactly the affected entries; re-running an
+unchanged suite is a pure cache read.  Entries are pickled tables named
+``<tier>-<key16>.pkl`` under the cache directory.
+
+Workers execute in forked subprocesses when the platform allows (the repo's
+deterministic seeding makes results independent of process placement); on
+platforms without ``fork`` the default start method is used, which requires
+``repro`` to be importable from the workers — true for any installed or
+``PYTHONPATH``-ed checkout.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import multiprocessing
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from .. import __version__
+from .suite import ALL_EXPERIMENTS
+from .tables import Table
+
+Overrides = Tuple[Tuple[str, Any], ...]
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One schedulable unit: a tier plus its parameter overrides.
+
+    Tier functions internally sweep their (graph, seed) grids; ``overrides``
+    parameterizes that sweep (e.g. ``(("seeds", (0, 1)), ("ks", (1, 2)))``)
+    and is part of the cache identity.
+    """
+
+    tier: str
+    overrides: Overrides = ()
+
+    @staticmethod
+    def make(tier: str,
+             overrides: Optional[Dict[str, Any]] = None) -> "WorkItem":
+        items = tuple(sorted((overrides or {}).items()))
+        return WorkItem(tier=tier, overrides=items)
+
+    def execute(self) -> Table:
+        fn = ALL_EXPERIMENTS[self.tier]
+        return fn(**dict(self.overrides))
+
+
+def cache_key(item: WorkItem) -> str:
+    """Content key: version + tier + function source + overrides."""
+    fn = ALL_EXPERIMENTS[item.tier]
+    try:
+        source = inspect.getsource(fn)
+    except (OSError, TypeError):  # builtins / REPL-defined experiments
+        source = repr(fn)
+    payload = "\x1e".join(
+        [__version__, item.tier, source, repr(item.overrides)]
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Pickled :class:`Table` results keyed by :func:`cache_key`."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, item: WorkItem) -> Path:
+        return self.root / f"{item.tier}-{cache_key(item)[:16]}.pkl"
+
+    def load(self, item: WorkItem) -> Optional[Table]:
+        path = self.path_for(item)
+        if not path.exists():
+            return None
+        try:
+            with path.open("rb") as fh:
+                table = pickle.load(fh)
+        except (pickle.PickleError, EOFError, OSError):
+            return None  # corrupt entry: treat as a miss, recompute
+        return table if isinstance(table, Table) else None
+
+    def store(self, item: WorkItem, table: Table) -> Path:
+        path = self.path_for(item)
+        tmp = path.with_suffix(".tmp")
+        with tmp.open("wb") as fh:
+            pickle.dump(table, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(path)  # atomic publish: concurrent runs never see partials
+        return path
+
+
+@dataclass
+class ParallelReport:
+    """What :func:`run_parallel` did: per-tier tables plus cache accounting."""
+
+    tables: List[Table]
+    hits: List[str] = field(default_factory=list)
+    computed: List[str] = field(default_factory=list)
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    method = "fork" if "fork" in methods else None
+    return multiprocessing.get_context(method)
+
+
+def _resolve_jobs(jobs: Optional[int], pending: int) -> int:
+    if jobs is None or jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return max(1, min(jobs, pending))
+
+
+def _execute_item(item: WorkItem) -> Tuple[str, Table]:
+    return item.tier, item.execute()
+
+
+def parallel_map(fn: Callable[[Any], Any], items: Sequence[Any],
+                 jobs: Optional[int] = None) -> List[Any]:
+    """Order-preserving multiprocessing map for experiment helpers.
+
+    ``fn`` and every item must be picklable (module-level functions).  With
+    ``jobs=1`` (or a single item) the map runs inline, which keeps
+    tracebacks readable and avoids pool overhead for trivial loads.
+    """
+    jobs = _resolve_jobs(jobs, len(items))
+    if jobs == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with _pool_context().Pool(processes=jobs) as pool:
+        return pool.map(fn, items)
+
+
+def run_parallel(names: Optional[Sequence[str]] = None,
+                 jobs: Optional[int] = None,
+                 cache_dir: Optional[Union[str, Path]] = None,
+                 overrides: Optional[Dict[str, Dict[str, Any]]] = None
+                 ) -> ParallelReport:
+    """Run (a subset of) the suite on a worker pool, consulting the cache.
+
+    ``names`` defaults to every tier; ``jobs`` to the CPU count;
+    ``overrides`` optionally maps tier name -> keyword overrides for that
+    tier function.  Returns a :class:`ParallelReport` whose ``tables``
+    follow the order of ``names``.
+    """
+    chosen = list(names) if names is not None else sorted(ALL_EXPERIMENTS)
+    unknown = [n for n in chosen if n not in ALL_EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments: {', '.join(unknown)}")
+    items = [WorkItem.make(n, (overrides or {}).get(n)) for n in chosen]
+
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    report = ParallelReport(tables=[])
+    tables: Dict[str, Table] = {}
+    pending: List[WorkItem] = []
+    for item in items:
+        cached = cache.load(item) if cache is not None else None
+        if cached is not None:
+            tables[item.tier] = cached
+            report.hits.append(item.tier)
+        else:
+            pending.append(item)
+
+    if pending:
+        jobs = _resolve_jobs(jobs, len(pending))
+        if jobs == 1 or len(pending) == 1:
+            results: Iterable[Tuple[str, Table]] = map(_execute_item, pending)
+        else:
+            pool = _pool_context().Pool(processes=jobs)
+            try:
+                # unordered: slow tiers (t03, t09) don't gate fast ones
+                results = pool.imap_unordered(_execute_item, pending)
+                results = list(results)
+            finally:
+                pool.close()
+                pool.join()
+        by_tier = {item.tier: item for item in pending}
+        for tier, table in results:
+            tables[tier] = table
+            report.computed.append(tier)
+            if cache is not None:
+                cache.store(by_tier[tier], table)
+
+    report.tables = [tables[n] for n in chosen]
+    return report

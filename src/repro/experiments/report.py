@@ -33,12 +33,26 @@ def table_to_markdown(table: Table) -> str:
 
 
 def build_report(names: Optional[Sequence[str]] = None,
-                 title: str = "repro experiment report") -> str:
-    """Run experiments and return the full markdown document."""
+                 title: str = "repro experiment report",
+                 tables: Optional[Sequence[Table]] = None,
+                 jobs: Optional[int] = None,
+                 cache_dir: Optional[str] = None) -> str:
+    """Run experiments and return the full markdown document.
+
+    ``tables`` short-circuits execution with precomputed results (must
+    align with ``names``); otherwise ``jobs``/``cache_dir`` forward to
+    :func:`repro.experiments.suite.run_all` for parallel/cached runs.
+    """
     chosen = list(names) if names is not None else sorted(ALL_EXPERIMENTS)
     unknown = [n for n in chosen if n not in ALL_EXPERIMENTS]
     if unknown:
         raise ValueError(f"unknown experiments: {', '.join(unknown)}")
+    if tables is None:
+        from .suite import run_all
+
+        tables = run_all(chosen, jobs=jobs, cache_dir=cache_dir)
+    elif len(tables) != len(chosen):
+        raise ValueError("tables and names must align one-to-one")
     parts: List[str] = [
         f"# {title}",
         "",
@@ -51,15 +65,17 @@ def build_report(names: Optional[Sequence[str]] = None,
         "measured discussion of each table.",
         "",
     ]
-    for name in chosen:
-        parts.append(table_to_markdown(ALL_EXPERIMENTS[name]()))
+    for table in tables:
+        parts.append(table_to_markdown(table))
         parts.append("")
     return "\n".join(parts)
 
 
 def write_report(path: Union[str, Path],
-                 names: Optional[Sequence[str]] = None) -> Path:
+                 names: Optional[Sequence[str]] = None,
+                 jobs: Optional[int] = None,
+                 cache_dir: Optional[str] = None) -> Path:
     """Build and write the report; returns the path."""
     path = Path(path)
-    path.write_text(build_report(names))
+    path.write_text(build_report(names, jobs=jobs, cache_dir=cache_dir))
     return path

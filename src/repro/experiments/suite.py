@@ -83,7 +83,7 @@ def t01_bipartite_ratio(n_side: int = 48, p: float = 0.08,
             verify_matching(g, res.matching)
             ratio = res.matching.size / opt if opt else 1.0
             ratios.append(ratio)
-            rounds.append(res.network.metrics.total_rounds)
+            rounds.append(res.metrics.total_rounds)
             if ratio < (1 - 1 / (k + 1)) - 1e-9:
                 ok = False
         table.add_row(k, 1 - 1 / (k + 1), _mean(ratios), min(ratios),
@@ -111,8 +111,8 @@ def t02_bipartite_rounds(ns: Sequence[int] = (32, 64, 128, 256), k: int = 2,
         for seed in seeds:
             g = random_bipartite(n, n, p, rng=seed)
             res = bipartite_mcm(g, k=k, seed=seed)
-            rounds.append(res.network.metrics.total_rounds)
-            max_bits = max(max_bits, res.network.metrics.max_message_bits)
+            rounds.append(res.metrics.total_rounds)
+            max_bits = max(max_bits, res.metrics.max_message_bits)
         table.add_row(n, _mean(rounds), _mean(rounds) / log2n(2 * n), max_bits,
                       True)
         table.add_note(
@@ -148,7 +148,7 @@ def t03_general_ratio(n: int = 40, p: float = 0.08,
                 verify_matching(g, res.matching)
                 ratios.append(res.matching.size / opt if opt else 1.0)
                 iters.append(res.iterations_used)
-                rounds.append(res.network.metrics.total_rounds)
+                rounds.append(res.metrics.total_rounds)
             table.add_row(name, k, 1 - 1 / (k + 1), _mean(ratios), min(ratios),
                           _mean(iters), _mean(rounds))
     return table
@@ -217,7 +217,7 @@ def t05_mwm_ratio(n: int = 48, p: float = 0.12,
             res = approximate_mwm(g, eps=eps, seed=seed)
             verify_matching(g, res.matching)
             r5.append(res.matching.weight(g) / o)
-            rounds5.append(res.network.metrics.total_rounds)
+            rounds5.append(res.metrics.total_rounds)
         table.add_row("Algorithm 5 (class-greedy)", eps, 0.5 - eps,
                       _mean(r5), min(r5), _mean(rounds5))
     table.add_note("Algorithm 5 must beat its own black box and approach 1/2 "
@@ -307,7 +307,7 @@ def t08_message_size(ns: Sequence[int] = (32, 64, 128, 256),
 
         b = random_bipartite(n // 2, n // 2, min(1.0, 6.0 / n), rng=seed)
         res = bipartite_mcm(b, k=2, seed=seed)
-        bits = res.network.metrics.max_message_bits
+        bits = res.metrics.max_message_bits
         # pipelined: a message of b bits costs ceil(b / budget) rounds; it is
         # compliant as long as each chunk fits, which holds by construction
         table.add_row("bipartite_mcm (pipelined)", n, bits, bits / log2n(n),
@@ -373,7 +373,7 @@ def t10_sampling_ablation(n: int = 36, p: float = 0.1, k: int = 2,
             res = general_mcm(g, k=k, seed=seed, stopping="exact",
                               color_bias=bias)
             iters.append(res.iterations_used)
-            rounds.append(res.network.metrics.total_rounds)
+            rounds.append(res.metrics.total_rounds)
             ratios.append(res.matching.size / opt if opt else 1.0)
         table.add_row(bias, _mean(iters), _mean(rounds), _mean(ratios))
     table.add_note("the paper's 1/2 maximizes the per-path survival "
@@ -399,12 +399,12 @@ def t11_mis_ablation(n_side: int = 20, p: float = 0.12, k: int = 2,
         opt = hopcroft_karp(g).matching.size or 1
         res = bipartite_mcm(g, k=k, seed=seed)
         ratios_t.append(res.matching.size / opt)
-        rounds_t.append(res.network.metrics.total_rounds)
-        bits_t = max(bits_t, res.network.metrics.max_message_bits)
+        rounds_t.append(res.metrics.total_rounds)
+        bits_t = max(bits_t, res.metrics.max_message_bits)
         gen = generic_mcm(g, k=k, seed=seed)
         ratios_g.append(gen.matching.size / opt)
-        rounds_g.append(gen.network.metrics.total_rounds)
-        bits_g = max(bits_g, gen.network.metrics.max_message_bits)
+        rounds_g.append(gen.metrics.total_rounds)
+        bits_g = max(bits_g, gen.metrics.max_message_bits)
     table.add_row("token MIS (Section 3.2)", _mean(ratios_t), _mean(rounds_t),
                   bits_t)
     table.add_row("explicit Luby on C_M(ell)", _mean(ratios_g),
@@ -432,7 +432,7 @@ def t12_blackbox_ablation(n: int = 40, p: float = 0.15, eps: float = 0.1,
         for seed, (g, o) in enumerate(zip(graphs, opts)):
             res = approximate_mwm(g, eps=eps, seed=seed, black_box=box)
             ratios.append(res.matching.weight(g) / o)
-            rounds.append(res.network.metrics.total_rounds)
+            rounds.append(res.metrics.total_rounds)
         table.add_row(box, delta, default_iterations(delta, eps),
                       _mean(ratios), _mean(rounds))
     return table
@@ -511,7 +511,7 @@ def t14_trees(ns: Sequence[int] = (50, 100, 200),
             res = approximate_mwm(g, eps=0.1, seed=seed,
                                   black_box="local_greedy")
             alg5_ratios.append(res.matching.weight(g) / opt)
-            alg5_rounds.append(res.network.metrics.total_rounds)
+            alg5_rounds.append(res.metrics.total_rounds)
         table.add_row(n, "tree DP (exact)", 1.0, _mean(exact_rounds))
         table.add_row(n, "Algorithm 5 (eps=0.1)", _mean(alg5_ratios),
                       _mean(alg5_rounds))
@@ -677,7 +677,7 @@ def t18_auction(n_side: int = 24, p: float = 0.2,
             res = approximate_mwm(g, eps=eps, seed=seed,
                                   black_box="local_greedy")
             ratios.append(res.matching.weight(g) / opt)
-            rounds.append(res.network.metrics.total_rounds)
+            rounds.append(res.metrics.total_rounds)
         table.add_row("Algorithm 5 (local_greedy)", eps, 0.5 - eps,
                       _mean(ratios), min(ratios), _mean(rounds))
     table.add_note("on bipartite inputs the auction buys a (1-eps) "
@@ -709,8 +709,20 @@ ALL_EXPERIMENTS: Dict[str, Callable[[], Table]] = {
 }
 
 
-def run_all(names: Optional[Sequence[str]] = None) -> List[Table]:
-    """Run (a subset of) the suite and return the tables."""
+def run_all(names: Optional[Sequence[str]] = None,
+            jobs: Optional[int] = None,
+            cache_dir: Optional[str] = None) -> List[Table]:
+    """Run (a subset of) the suite and return the tables.
+
+    ``jobs`` > 1 maps the tiers over a multiprocessing pool and
+    ``cache_dir`` memoizes finished tables on disk (content-keyed, so
+    edited experiments recompute); see :mod:`repro.experiments.parallel`.
+    The default stays serial and cache-free.
+    """
+    if jobs is not None or cache_dir is not None:
+        from .parallel import run_parallel  # deferred: parallel imports us
+
+        return run_parallel(names, jobs=jobs, cache_dir=cache_dir).tables
     chosen = names if names is not None else sorted(ALL_EXPERIMENTS)
     tables = []
     for name in chosen:

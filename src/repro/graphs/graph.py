@@ -10,9 +10,40 @@ is without loss of generality for matching problems.
 
 from __future__ import annotations
 
+from array import array
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class CSRAdjacency:
+    """A flat compressed-sparse-row view of a graph's adjacency.
+
+    Node *indices* are positions in ``order`` (the sorted node-id list);
+    directed edge *slots* are positions in ``indices``.  Row ``i`` of the
+    structure — the out-edges of ``order[i]`` — occupies the slot range
+    ``indptr[i]:indptr[i+1]``, sorted by neighbor id.  ``weights[e]`` is the
+    weight of slot ``e`` and ``rev[e]`` is the slot of the reverse edge, so
+    engines can address both directions of an edge in O(1) without dict
+    lookups.  The view is a snapshot: mutating the graph afterwards does not
+    update it.
+    """
+
+    order: Tuple[int, ...]          # index -> node id (sorted)
+    index: Dict[int, int]           # node id -> index
+    indptr: array                   # len n+1; row i is indptr[i]:indptr[i+1]
+    indices: array                  # neighbor *index* per slot
+    weights: array                  # edge weight per slot
+    rev: array                      # slot of the reverse directed edge
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.indices)
+
+    def degree_of(self, i: int) -> int:
+        return self.indptr[i + 1] - self.indptr[i]
 
 
 def edge_key(u: int, v: int) -> Edge:
@@ -139,6 +170,37 @@ class Graph:
 
     def is_unweighted(self) -> bool:
         return all(w == 1.0 for _, _, w in self.edges())
+
+    def to_csr(self) -> CSRAdjacency:
+        """Build a :class:`CSRAdjacency` snapshot of the adjacency.
+
+        Rows follow :attr:`nodes` order (sorted ids) and each row lists
+        neighbors in sorted-id order, so iteration over the CSR reproduces
+        exactly the deterministic order the rest of the library relies on.
+        """
+        order = tuple(self.nodes)
+        index = {v: i for i, v in enumerate(order)}
+        indptr = array("q", [0] * (len(order) + 1))
+        indices = array("q")
+        weights = array("d")
+        for i, v in enumerate(order):
+            nbrs = self._adj[v]
+            for u in sorted(nbrs):
+                indices.append(index[u])
+                weights.append(nbrs[u])
+            indptr[i + 1] = len(indices)
+        # reverse-edge slots: slot e carries i -> j; rev[e] carries j -> i
+        rev = array("q", [0] * len(indices))
+        slot_of: List[Dict[int, int]] = [{} for _ in order]
+        for i in range(len(order)):
+            for e in range(indptr[i], indptr[i + 1]):
+                slot_of[indices[e]][i] = e
+        for i in range(len(order)):
+            row = slot_of[i]
+            for e in range(indptr[i], indptr[i + 1]):
+                rev[row[indices[e]]] = e
+        return CSRAdjacency(order=order, index=index, indptr=indptr,
+                            indices=indices, weights=weights, rev=rev)
 
     # ------------------------------------------------------------------
     # derived graphs

@@ -1,0 +1,124 @@
+"""Tests for the parallel experiment runner and its on-disk result cache."""
+
+import pickle
+
+import pytest
+
+from repro.experiments.parallel import (
+    ParallelReport,
+    ResultCache,
+    WorkItem,
+    cache_key,
+    parallel_map,
+    run_parallel,
+)
+from repro.experiments.suite import run_all
+from repro.experiments.report import build_report
+from repro.experiments.tables import Table
+
+# tiny overrides keep every tier invocation sub-second
+T01 = {"n_side": 10, "ks": (1,), "seeds": (0,)}
+T04 = {"ns": (16, 32), "seeds": (0,)}
+OVERRIDES = {"t01": T01, "t04": T04}
+
+
+def _square(x):
+    return x * x
+
+
+class TestCacheKey:
+    def test_stable_for_same_item(self):
+        a = WorkItem.make("t01", dict(T01))
+        b = WorkItem.make("t01", dict(T01))
+        assert cache_key(a) == cache_key(b)
+
+    def test_override_order_irrelevant(self):
+        fwd = WorkItem.make("t04", {"ns": (16,), "seeds": (0,)})
+        rev = WorkItem.make("t04", {"seeds": (0,), "ns": (16,)})
+        assert cache_key(fwd) == cache_key(rev)
+
+    def test_distinct_overrides_distinct_keys(self):
+        assert (cache_key(WorkItem.make("t01", {"n_side": 10}))
+                != cache_key(WorkItem.make("t01", {"n_side": 11})))
+
+    def test_distinct_tiers_distinct_keys(self):
+        assert cache_key(WorkItem.make("t01")) != cache_key(WorkItem.make("t04"))
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        item = WorkItem.make("t04", dict(T04))
+        assert cache.load(item) is None
+        table = item.execute()
+        path = cache.store(item, table)
+        assert path.exists() and path.name.startswith("t04-")
+        loaded = cache.load(item)
+        assert loaded is not None
+        assert loaded.title == table.title
+        assert loaded.rows == table.rows
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        item = WorkItem.make("t04", dict(T04))
+        cache.path_for(item).write_bytes(b"not a pickle")
+        assert cache.load(item) is None
+
+    def test_wrong_type_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        item = WorkItem.make("t04", dict(T04))
+        cache.path_for(item).write_bytes(pickle.dumps({"not": "a table"}))
+        assert cache.load(item) is None
+
+
+class TestRunParallel:
+    def test_serial_and_parallel_agree(self, tmp_path):
+        serial = run_parallel(["t01", "t04"], jobs=1, overrides=OVERRIDES)
+        forked = run_parallel(["t01", "t04"], jobs=2, overrides=OVERRIDES)
+        assert [t.rows for t in serial.tables] == [t.rows for t in forked.tables]
+        assert serial.computed == ["t01", "t04"]
+        assert sorted(forked.computed) == ["t01", "t04"]
+
+    def test_cache_round_trip(self, tmp_path):
+        first = run_parallel(["t01", "t04"], jobs=2, cache_dir=tmp_path,
+                             overrides=OVERRIDES)
+        assert not first.hits and sorted(first.computed) == ["t01", "t04"]
+        second = run_parallel(["t01", "t04"], jobs=2, cache_dir=tmp_path,
+                              overrides=OVERRIDES)
+        assert second.hits == ["t01", "t04"] and not second.computed
+        assert [t.rows for t in first.tables] == [t.rows for t in second.tables]
+
+    def test_tables_follow_requested_order(self, tmp_path):
+        report = run_parallel(["t04", "t01"], jobs=2, overrides=OVERRIDES)
+        assert isinstance(report, ParallelReport)
+        assert [t.title[:3].strip() for t in report.tables] == ["T4", "T1"]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            run_parallel(["t99"])
+
+    def test_run_all_delegates(self, tmp_path):
+        # run_all(jobs=, cache_dir=) hits the parallel path and the cache
+        tables = run_all(["t04"], jobs=1, cache_dir=tmp_path)
+        assert len(tables) == 1 and isinstance(tables[0], Table)
+        assert list(tmp_path.glob("t04-*.pkl"))
+
+
+class TestParallelMap:
+    def test_matches_serial_map(self):
+        items = list(range(12))
+        assert parallel_map(_square, items, jobs=3) == [x * x for x in items]
+
+    def test_jobs_one_inline(self):
+        assert parallel_map(_square, [3], jobs=1) == [9]
+
+
+class TestReportIntegration:
+    def test_precomputed_tables(self, tmp_path):
+        report = run_parallel(["t04"], jobs=1, overrides=OVERRIDES)
+        doc = build_report(["t04"], tables=report.tables)
+        assert report.tables[0].title in doc
+
+    def test_tables_names_mismatch(self):
+        with pytest.raises(ValueError):
+            build_report(["t01", "t04"], tables=[])
