@@ -29,8 +29,14 @@ Quick start::
     result = run("mcm", graph, eps=0.25, seed=0)
     print(result.network_metrics.total_bits)
 
+    # observe a run without leaving the fast engine: JSONL trace + profile
+    result = run("bipartite_mcm", graph, eps=0.25, trace="run.jsonl",
+                 profile=True)
+    print(result.trace_path, result.profile)
+
 Every entry point shares the keyword surface ``(graph, *, eps/k, seed,
-policy, tracer, max_rounds)`` and returns a :class:`MatchingResult`.
+policy, max_rounds, observe, trace, profile)`` and returns a
+:class:`MatchingResult` (``tracer=`` still works, deprecated).
 """
 
 from .core import (
@@ -44,10 +50,18 @@ from .core import (
     maximal_matching,
     run,
 )
+from .congest import (
+    EventBus,
+    FaultSpec,
+    JsonlTraceWriter,
+    Profiler,
+    load_trace,
+    observing,
+)
 from .graphs import BipartiteGraph, Graph
 from .matching import Matching
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ALGORITHMS",
@@ -59,6 +73,12 @@ __all__ = [
     "exact_mwm",
     "maximal_matching",
     "run",
+    "EventBus",
+    "FaultSpec",
+    "JsonlTraceWriter",
+    "Profiler",
+    "load_trace",
+    "observing",
     "BipartiteGraph",
     "Graph",
     "Matching",

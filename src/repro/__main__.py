@@ -6,11 +6,21 @@ Usage::
     python -m repro experiments t01 t05      # run specific tables
     python -m repro experiments --all        # the full suite
     python -m repro experiments --all --jobs 8 --cache .repro-cache
+    python -m repro experiments t01 --trace traces/ --profile
     python -m repro match edges.txt --eps 0.25 --seed 3
     python -m repro match edges.txt --weighted --eps 0.1
+    python -m repro trace bipartite:20x20:0.2 --out run.jsonl --render
+    python -m repro trace --load run.jsonl
+    python -m repro trace --diff a.jsonl b.jsonl
+    python -m repro profile gnp:60:0.1 --algorithm mcm
 
 ``match`` reads an edge-list file (see :mod:`repro.graphs.io`), runs the
-appropriate paper algorithm, and prints the verified result.
+appropriate paper algorithm, and prints the verified result.  ``trace``
+and ``profile`` run an algorithm under the structured event bus
+(:mod:`repro.congest.events`): ``trace`` streams/renders the JSONL event
+timeline, ``profile`` prints the per-protocol/per-phase cost table.
+Graphs are given as an edge-list path or a generator spec —
+``bipartite:NLxNR:P`` or ``gnp:N:P``.
 """
 
 from __future__ import annotations
@@ -18,9 +28,30 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .core.api import approx_mcm, approx_mwm
+from .core.api import ALGORITHMS, approx_mcm, approx_mwm, run as run_algorithm
 from .experiments.suite import ALL_EXPERIMENTS
+from .graphs.graph import Graph
 from .graphs.io import read_edge_list
+
+
+def _load_graph(spec: str, seed: int) -> Graph:
+    """An edge-list path, ``bipartite:NLxNR:P``, or ``gnp:N:P``."""
+    if spec.startswith("bipartite:") or spec.startswith("gnp:"):
+        from .graphs.generators import gnp, random_bipartite
+
+        kind, *rest = spec.split(":")
+        try:
+            if kind == "bipartite":
+                size, p = rest
+                nl, nr = size.lower().split("x")
+                return random_bipartite(int(nl), int(nr), float(p), rng=seed)
+            size, p = rest
+            return gnp(int(size), float(p), rng=seed)
+        except ValueError as exc:
+            raise SystemExit(
+                f"bad graph spec {spec!r} (want bipartite:NLxNR:P or gnp:N:P)"
+            ) from exc
+    return read_edge_list(spec)
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -40,11 +71,17 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         return 2
+    observed = args.trace is not None or args.profile
+    if observed and (args.jobs is not None or args.cache is not None):
+        print("--trace/--profile are serial-only; drop --jobs/--cache",
+              file=sys.stderr)
+        return 2
     if args.report:
         from .experiments.report import write_report
 
         path = write_report(args.report, names,
-                            jobs=args.jobs, cache_dir=args.cache)
+                            jobs=args.jobs, cache_dir=args.cache,
+                            trace_dir=args.trace, profile=args.profile)
         print(f"report written to {path}")
         return 0
     if args.jobs is not None or args.cache is not None:
@@ -56,6 +93,15 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         if args.cache is not None:
             print(f"cache: {len(report.hits)} hit(s), "
                   f"{len(report.computed)} computed", file=sys.stderr)
+        return 0
+    if observed:
+        from .experiments.suite import run_all
+
+        for table in run_all(names, trace_dir=args.trace,
+                             profile=args.profile):
+            table.show()
+        if args.trace is not None:
+            print(f"traces written under {args.trace}/", file=sys.stderr)
         return 0
     for name in names:
         ALL_EXPERIMENTS[name]().show()
@@ -89,6 +135,61 @@ def _cmd_match(args: argparse.Namespace) -> int:
     return 0
 
 
+def _algorithm_kwargs(args: argparse.Namespace) -> dict:
+    kwargs = {"seed": args.seed}
+    if args.algorithm not in ("maximal", "maximal_matching", "israeli_itai",
+                              "exact_mcm", "exact_mwm"):
+        kwargs["eps"] = args.eps
+    return kwargs
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .congest.events import (
+        JsonlTraceWriter, diff_traces, load_trace, render_timeline,
+    )
+
+    if args.diff:
+        a, b = args.diff
+        divergence = diff_traces(load_trace(a), load_trace(b))
+        if divergence is None:
+            print("traces are identical")
+            return 0
+        index, ev_a, ev_b = divergence
+        print(f"traces diverge at event {index}:")
+        print(f"  {a}: {ev_a!r}")
+        print(f"  {b}: {ev_b!r}")
+        return 1
+    if args.load:
+        print(render_timeline(load_trace(args.load)))
+        return 0
+    if args.graph is None:
+        print("trace: pass a graph (path or spec), --load, or --diff",
+              file=sys.stderr)
+        return 2
+    graph = _load_graph(args.graph, args.seed)
+    out = args.out or "trace.jsonl"
+    writer = JsonlTraceWriter(out, messages=args.messages,
+                              sample=args.sample)
+    result = run_algorithm(args.algorithm, graph, trace=writer,
+                           **_algorithm_kwargs(args))
+    writer.close()
+    print(f"{result.algorithm}: size={result.size} "
+          f"rounds={result.rounds} -> {writer.count} event(s) in {out}")
+    if args.render:
+        print(render_timeline(load_trace(out)))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph, args.seed)
+    result = run_algorithm(args.algorithm, graph, profile=True,
+                           **_algorithm_kwargs(args))
+    print(f"{result.algorithm}: size={result.size} rounds={result.rounds}")
+    print()
+    print(result.profile.table())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -110,6 +211,12 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--cache", metavar="DIR",
                      help="memoize finished tables under DIR; unchanged "
                           "experiments are read back instead of re-run")
+    exp.add_argument("--trace", metavar="DIR",
+                     help="stream each experiment's structured events to "
+                          "DIR/<name>.jsonl (serial-only)")
+    exp.add_argument("--profile", action="store_true",
+                     help="attach a profiler per experiment and print its "
+                          "per-protocol cost table (serial-only)")
     exp.set_defaults(func=_cmd_experiments)
 
     match = sub.add_parser("match", help="match a graph from an edge list")
@@ -122,6 +229,40 @@ def build_parser() -> argparse.ArgumentParser:
     match.add_argument("--output", action="store_true",
                        help="print the matched edges")
     match.set_defaults(func=_cmd_match)
+
+    algo_names = ", ".join(sorted(ALGORITHMS))
+    trace = sub.add_parser(
+        "trace", help="record or inspect a structured JSONL event trace")
+    trace.add_argument("graph", nargs="?",
+                       help="edge-list path, bipartite:NLxNR:P, or gnp:N:P")
+    trace.add_argument("--algorithm", default="mcm",
+                       help=f"registry name (default mcm; one of: {algo_names})")
+    trace.add_argument("--eps", type=float, default=0.25)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--out", metavar="PATH",
+                       help="trace file to write (default trace.jsonl)")
+    trace.add_argument("--messages", action="store_true",
+                       help="also capture the per-message stream")
+    trace.add_argument("--sample", type=float, metavar="RATE",
+                       help="deterministic per-edge sampling rate for the "
+                            "message stream (implies capture)")
+    trace.add_argument("--render", action="store_true",
+                       help="print the timeline after recording")
+    trace.add_argument("--load", metavar="PATH",
+                       help="render an existing trace instead of running")
+    trace.add_argument("--diff", nargs=2, metavar=("A", "B"),
+                       help="compare two traces; exit 1 at first divergence")
+    trace.set_defaults(func=_cmd_trace)
+
+    prof = sub.add_parser(
+        "profile", help="profile a run: wall-clock/messages per protocol")
+    prof.add_argument("graph",
+                      help="edge-list path, bipartite:NLxNR:P, or gnp:N:P")
+    prof.add_argument("--algorithm", default="mcm",
+                      help=f"registry name (default mcm; one of: {algo_names})")
+    prof.add_argument("--eps", type=float, default=0.25)
+    prof.add_argument("--seed", type=int, default=0)
+    prof.set_defaults(func=_cmd_profile)
     return parser
 
 

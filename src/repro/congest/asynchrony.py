@@ -322,6 +322,7 @@ class SynchronizedNetwork:
         self.metrics = Metrics()
         self.virtual_time = 0.0
         self.envelopes = 0
+        self.bus = None  # the asynchronous engine does not emit events (yet)
         self._inner = AsyncNetwork(graph, delay_model, seed=seed)
 
     @property
@@ -355,3 +356,13 @@ class SynchronizedNetwork:
 
     def global_check(self) -> None:
         self.metrics.record_global_check()
+
+    # observability surface of the Network duck type: always unobserved
+    def wants(self, kind: Any) -> bool:
+        return False
+
+    def emit(self, event: Any) -> None:
+        pass
+
+    def observer_for(self, kind: Any) -> None:
+        return None

@@ -13,13 +13,21 @@ Two delivery engines share one contract:
 
 * ``"csr"`` (the default) — a batched engine over a flat CSR adjacency
   (:meth:`~repro.graphs.graph.Graph.to_csr`): broadcast expansion walks
-  precomputed neighbor rows, message pricing is memoized per bit-size,
-  metrics are accumulated per round instead of per message, and the whole
-  tracer machinery is skipped when no tracer is installed.
+  precomputed neighbor rows, message pricing is memoized per bit-size, and
+  metrics are accumulated per round instead of per message.
 * ``"legacy"`` — the original per-message dict engine, kept for one release
   behind ``REPRO_LEGACY_ENGINE=1`` (or ``engine="legacy"``) as the golden
   reference.  Both engines produce bit-identical outputs, round counts and
   metrics for the same seed; ``tests/test_engine_golden.py`` enforces it.
+
+Observability rides the :class:`~repro.congest.events.EventBus`
+(``observe=``): **both** engines emit the same structured events — attaching
+an observer never changes the engine, and dispatch is always-fast.  The
+engines ask ``bus.wants(kind)`` once per round, so a network with no
+subscribers (or none interested in the per-message stream) pays one
+dictionary lookup per round, never per-message work.  Fault injection is a
+constructor argument too (``faults=FaultSpec(loss=0.05)``), so lossy links
+compose with any engine and any observer.
 
 The graph is snapshotted at :class:`Network` construction (neighbor caches
 and the CSR layout); mutating the graph afterwards is not supported.
@@ -29,13 +37,25 @@ from __future__ import annotations
 
 import os
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..graphs.graph import Graph
+from .events import (
+    MESSAGE_DELIVERED,
+    ROUND_END,
+    ROUND_START,
+    Event,
+    EventBus,
+    MessageDelivered,
+    RoundEnd,
+    RoundStart,
+    ambient_bus,
+)
 from .message import payload_bits, payload_bits_fast
 from .metrics import Metrics
-from .tracing import TraceEvent, Tracer
+from .tracing import Tracer
 from .node import BROADCAST, NodeAlgorithm, NodeContext
 from .policies import CONGEST, BandwidthPolicy
 
@@ -62,19 +82,42 @@ class ProtocolError(RuntimeError):
 
 
 @dataclass
+class FaultSpec:
+    """Fault-injection parameters for a :class:`Network`.
+
+    ``loss`` is the i.i.d. per-message drop probability; drops happen
+    *after* metric accounting (the message was sent and paid for — it just
+    never arrives), mirroring a real lossy link.  ``seed`` overrides the
+    drop stream's seed (defaults to the network seed, which reproduces the
+    historical :class:`~repro.congest.faults.LossyNetwork` drop pattern).
+    """
+
+    loss: float = 0.0
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss < 1.0:
+            raise ValueError("loss must be in [0, 1)")
+
+
+@dataclass
 class RunResult:
     """Outcome of one protocol execution.
 
     ``metrics`` is the cost of *this* run alone (a
     :meth:`~repro.congest.metrics.Metrics.delta_since` snapshot of the
     network's cumulative account), so callers no longer need to snapshot
-    and diff ``network.metrics`` around every call.
+    and diff ``network.metrics`` around every call.  ``profile`` is a
+    :class:`~repro.congest.profiling.ProfileReport` snapshot when a
+    :class:`~repro.congest.profiling.Profiler` is subscribed to the
+    network's bus (None otherwise).
     """
 
     outputs: Dict[int, Any]
     rounds: int
     all_finished: bool
     metrics: Metrics = field(default_factory=Metrics)
+    profile: Optional[Any] = None
 
     def output_of(self, node: int) -> Any:
         return self.outputs[node]
@@ -88,16 +131,24 @@ class Network:
     batched CSR engine unless ``REPRO_LEGACY_ENGINE`` is set.
     ``max_rounds`` sets the default round limit for every :meth:`run` on
     this network (individual calls may still override it).
+
+    ``observe`` attaches observability: an :class:`EventBus`, a single
+    observer, or a list of observers (each subscribed with its own
+    interest mask — see :mod:`repro.congest.events`).  Attaching an
+    observer never changes the engine.  ``faults`` injects link faults
+    (:class:`FaultSpec`); the historical ``tracer=`` keyword still works
+    but is deprecated — it wraps the :class:`Tracer` in a bus subscriber.
     """
 
     def __init__(self, graph: Graph, policy: BandwidthPolicy = CONGEST,
                  seed: int = 0, tracer: Optional[Tracer] = None,
                  engine: Optional[str] = None,
-                 max_rounds: Optional[int] = None) -> None:
+                 max_rounds: Optional[int] = None,
+                 observe: Any = None,
+                 faults: Optional[FaultSpec] = None) -> None:
         self.graph = graph
         self.policy = policy
         self.seed = seed
-        self.tracer = tracer
         self.metrics = Metrics()
         self.default_max_rounds = max_rounds
         self._run_counter = 0
@@ -106,6 +157,41 @@ class Network:
         if engine not in ("csr", "legacy"):
             raise ValueError(f"unknown engine {engine!r}; use 'csr' or 'legacy'")
         self.engine = engine
+
+        # observability: explicit observe= wins, else the ambient bus of an
+        # enclosing `observing(...)` context, else nothing
+        self.bus: Optional[EventBus] = None
+        if observe is not None:
+            if isinstance(observe, EventBus):
+                self.bus = observe
+            else:
+                self.bus = EventBus()
+                observers = (observe if isinstance(observe, (list, tuple))
+                             else (observe,))
+                for observer in observers:
+                    self.bus.subscribe(observer)
+        else:
+            self.bus = ambient_bus()
+        self.tracer = tracer
+        if tracer is not None:
+            warnings.warn(
+                "Network(tracer=...) is deprecated; pass observe=[tracer] "
+                "(the Tracer is an event-bus subscriber now)",
+                DeprecationWarning, stacklevel=2)
+            if self.bus is None or self.bus is ambient_bus():
+                self.bus = EventBus()
+            self.bus.subscribe(tracer)
+
+        # fault injection (the former LossyNetwork, folded into the core
+        # constructor so it composes with any engine and any observer)
+        self.faults = faults
+        self.dropped = 0
+        if faults is not None and faults.loss > 0.0:
+            fault_seed = faults.seed if faults.seed is not None else seed
+            self._fault_rng: Optional[random.Random] = random.Random(
+                fault_seed ^ 0x1F123BB5)
+        else:
+            self._fault_rng = None
 
         # flat CSR adjacency: the batched engine's whole world
         self.csr = graph.to_csr()
@@ -183,6 +269,7 @@ class Network:
             if not alg.finished:
                 unfinished.append(v)
 
+        bus = self.bus
         rounds_this_run = 0
         while True:
             if not unfinished:
@@ -197,6 +284,17 @@ class Network:
                     f"protocol {protocol!r} exceeded {limit} rounds "
                     f"(likely a livelock)"
                 )
+
+            want_round_end = False
+            if bus is not None:
+                if bus.wants(ROUND_START):
+                    bus.emit(RoundStart(protocol=protocol,
+                                        round=rounds_this_run + 1))
+                want_round_end = bus.wants(ROUND_END)
+                if want_round_end:
+                    msgs_before = self.metrics.messages
+                    bits_before = self.metrics.total_bits
+                    dropped_before = self.dropped
 
             inboxes, extra = self._deliver(outboxes, n, protocol,
                                            rounds_this_run + 1)
@@ -213,31 +311,116 @@ class Network:
                 if not alg.finished:
                     still_active.append(v)
             unfinished = still_active
+            if want_round_end:
+                bus.emit(RoundEnd(
+                    protocol=protocol, round=rounds_this_run,
+                    messages=self.metrics.messages - msgs_before,
+                    bits=self.metrics.total_bits - bits_before,
+                    dropped=self.dropped - dropped_before,
+                ))
             if on_round_end is not None:
                 on_round_end(rounds_this_run, self)
 
-        return RunResult(
+        result = RunResult(
             outputs={v: algorithms[v].output for v in self._order},
             rounds=rounds_this_run,
             all_finished=not unfinished,
             metrics=self.metrics.delta_since(before),
         )
+        if bus is not None:
+            from .profiling import Profiler
+
+            profiler = bus.find(Profiler)
+            if profiler is not None:
+                result.profile = profiler.report()
+        return result
+
+    # ------------------------------------------------------------------
+    # driver-side observability helpers
+    def wants(self, kind: Any) -> bool:
+        """True iff an observer is interested in ``kind`` (False when
+        unobserved) — drivers guard expensive event construction with it."""
+        bus = self.bus
+        return bus is not None and bus.wants(kind)
+
+    def emit(self, event: Event) -> None:
+        """Publish a driver-level event on the bus (no-op when unobserved)."""
+        bus = self.bus
+        if bus is not None:
+            bus.emit(event)
+
+    def observer_for(self, kind: Any):
+        """``bus.emit`` when someone is interested in ``kind``, else None.
+
+        The hook for instrumentation inside node programs: drivers thread
+        the returned callable through ``shared`` only when an observer is
+        actually listening, so unobserved runs carry no closure at all.
+        """
+        bus = self.bus
+        if bus is not None and bus.wants(kind):
+            return bus.emit
+        return None
 
     # ------------------------------------------------------------------
     def _deliver(self, outboxes: Dict[int, Dict[Any, Any]], n: int,
                  protocol: str = "protocol", round_number: int = 0):
         """Expand broadcasts, price messages, and build inboxes.
 
-        Dispatches to the batched CSR engine when possible; the dict engine
-        handles the legacy opt-out and the traced path (the fast path skips
-        tracer hooks entirely, so it is only taken when none are installed).
-        Subclasses that post-process delivery (e.g.
-        :class:`~repro.congest.faults.LossyNetwork`) override this method
-        and delegate to ``super()``, which keeps them on the fast path too.
+        Dispatch is engine-only — observers never change it: the batched
+        CSR engine always serves ``engine="csr"`` and the dict engine the
+        ``"legacy"`` opt-out.  Fault injection and event emission are
+        post-passes over the delivered inboxes, shared by both engines
+        (which is what makes their event streams identical).  Subclasses
+        that post-process delivery may still override this method and
+        delegate to ``super()``.
         """
-        if self.engine == "csr" and self.tracer is None:
-            return self._deliver_batched(outboxes, n)
-        return self._deliver_dict(outboxes, n, protocol, round_number)
+        if self.engine == "csr":
+            inboxes, extra = self._deliver_batched(outboxes, n)
+        else:
+            inboxes, extra = self._deliver_dict(outboxes, n)
+        if self._fault_rng is not None:
+            self._apply_faults(inboxes)
+        bus = self.bus
+        if bus is not None and bus.wants(MESSAGE_DELIVERED):
+            self._emit_messages(bus, inboxes, protocol, round_number)
+        return inboxes, extra
+
+    def _apply_faults(self, inboxes: Dict[int, Dict[int, Any]]) -> None:
+        """Drop delivered messages i.i.d. with ``faults.loss``.
+
+        Iteration order (sorted receivers, sorted senders) and the rng
+        stream reproduce the historical LossyNetwork drop pattern exactly.
+        """
+        loss = self.faults.loss
+        rng_random = self._fault_rng.random
+        for receiver in sorted(inboxes):
+            box = inboxes[receiver]
+            for sender in sorted(box):
+                if rng_random() < loss:
+                    del box[sender]
+                    self.dropped += 1
+            if not box:
+                del inboxes[receiver]
+
+    def _emit_messages(self, bus: EventBus, inboxes: Dict[int, Dict[int, Any]],
+                       protocol: str, round_number: int) -> None:
+        """Publish the round's delivered messages, sender-major order.
+
+        Events are reconstructed from the inboxes *after* delivery and
+        fault injection, so both engines emit the identical sequence and
+        only actually-delivered messages appear.
+        """
+        triples: List[Tuple[int, int, Any]] = []
+        for receiver, box in inboxes.items():
+            for sender, payload in box.items():
+                triples.append((sender, receiver, payload))
+        triples.sort(key=lambda t: (t[0], t[1]))
+        bus.emit_messages([
+            MessageDelivered(protocol=protocol, round=round_number,
+                             sender=sender, receiver=receiver,
+                             bits=payload_bits_fast(payload), payload=payload)
+            for sender, receiver, payload in triples
+        ])
 
     def _deliver_batched(self, outboxes: Dict[int, Dict[Any, Any]], n: int):
         """One batched pass: expansion, validation, pricing, accumulation."""
@@ -349,13 +532,10 @@ class Network:
         self.metrics.record_message_batch(messages, bits_sum, max_bits)
         return inboxes, extra_rounds
 
-    def _deliver_dict(self, outboxes: Dict[int, Dict[Any, Any]], n: int,
-                      protocol: str = "protocol", round_number: int = 0):
-        """The reference per-message engine (legacy opt-out, traced runs)."""
+    def _deliver_dict(self, outboxes: Dict[int, Dict[Any, Any]], n: int):
+        """The reference per-message engine (``engine="legacy"`` opt-out)."""
         inboxes: Dict[int, Dict[int, Any]] = {}
         extra_rounds = 0
-        events: List[TraceEvent] = []
-        traced = self.tracer is not None
         # graph order instead of a per-round sort: node ids ascend by
         # construction, so delivery order is unchanged (and regression-tested)
         for sender in self._order:
@@ -379,15 +559,7 @@ class Network:
                 charge = self.policy.charge(bits, n, sender, target)
                 extra_rounds = max(extra_rounds, charge)
                 self.metrics.record_message(bits)
-                if traced:
-                    events.append(TraceEvent(
-                        protocol=protocol, round=round_number,
-                        sender=sender, receiver=target,
-                        bits=bits, payload=payload,
-                    ))
                 inboxes.setdefault(target, {})[sender] = payload
-        if traced and events:
-            self.tracer.record_many(events)
         return inboxes, extra_rounds
 
     def global_check(self) -> None:

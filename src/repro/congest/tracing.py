@@ -1,10 +1,17 @@
 """Round-by-round execution traces for debugging distributed runs.
 
-Attach a :class:`Tracer` to a :class:`~repro.congest.network.Network` and
-every delivered message is recorded as a :class:`TraceEvent`.  Traces can
-be filtered (by protocol, node, round window) and rendered as a compact
+Attach a :class:`Tracer` to a :class:`~repro.congest.network.Network` (via
+``observe=[tracer]``; the old ``tracer=`` keyword still works but warns)
+and every delivered message is recorded as a :class:`TraceEvent`.  Traces
+can be filtered (by protocol, node, round window) and rendered as a compact
 timeline — the tool that made the token-collision and synchronizer bugs in
 this library findable, kept as a first-class debugging aid.
+
+Internally the tracer is now an :class:`~repro.congest.events.EventBus`
+subscriber with ``interest = ("message",)``: it converts each
+:class:`~repro.congest.events.MessageDelivered` into a :class:`TraceEvent`,
+so traced runs stay on the batched CSR engine and record exactly what the
+legacy tracer hook recorded.
 """
 
 from __future__ import annotations
@@ -39,8 +46,19 @@ class TraceEvent:
 class Tracer:
     """Collects trace events; optionally bounded to the most recent ones."""
 
+    #: Bus interest mask: the tracer only wants the per-message stream.
+    interest = ("message",)
+
     capacity: Optional[int] = None
     events: List[TraceEvent] = field(default_factory=list)
+
+    def on_event(self, event: Any) -> None:
+        """Bus-subscriber entry point: a MessageDelivered per delivery."""
+        self.record(TraceEvent(
+            protocol=event.protocol, round=event.round,
+            sender=event.sender, receiver=event.receiver,
+            bits=event.bits, payload=event.payload,
+        ))
 
     def record(self, event: TraceEvent) -> None:
         self.events.append(event)

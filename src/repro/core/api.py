@@ -1,10 +1,11 @@
 """The high-level public API of the library.
 
 One keyword surface for every algorithm family: each entry point takes the
-graph plus the shared keywords ``seed``, ``policy``, ``tracer`` and
-``max_rounds`` (and ``eps``/``k`` where an approximation target applies),
-and returns a :class:`MatchingResult` whose ``network_metrics`` carries the
-full round/message/bit account of the distributed run:
+graph plus the shared keywords ``seed``, ``policy``, ``max_rounds`` and the
+observability trio ``observe``/``trace``/``profile`` (and ``eps``/``k``
+where an approximation target applies), and returns a
+:class:`MatchingResult` whose ``network_metrics`` carries the full
+round/message/bit account of the distributed run:
 
 * :func:`approx_mcm` — the paper's (1 - eps)-approximate maximum-cardinality
   matching; dispatches between the bipartite CONGEST algorithm
@@ -17,19 +18,31 @@ full round/message/bit account of the distributed run:
 * :func:`exact_mcm` / :func:`exact_mwm` — sequential exact references.
 * :func:`run` — the single facade: ``repro.run("mcm", graph, eps=0.25)``.
 
+Observability: ``observe=`` attaches an event bus or observers to the run's
+network (see :mod:`repro.congest.events`); ``trace=path`` streams the run's
+structured events to a JSONL file (reloadable via
+:func:`~repro.congest.events.load_trace`, path echoed as
+``MatchingResult.trace_path``); ``profile=True`` attaches a
+:class:`~repro.congest.profiling.Profiler` and surfaces its report as
+``MatchingResult.profile``.  All three compose, and none of them changes
+the delivery engine or the run's outputs.
+
 Every distributed result is verified (:class:`Certificate`).  The pre-1.1
 positional forms (``approx_mcm(g, 0.25, 3)``) still work but emit a
-:class:`DeprecationWarning`; pass keywords instead.
+:class:`DeprecationWarning`, as does the pre-1.2 ``tracer=`` keyword
+(wrap the :class:`Tracer` via ``observe=[tracer]`` instead).
 """
 
 from __future__ import annotations
 
 import math
 import warnings
-from typing import Callable, Optional, Tuple, Union
+from typing import Any, Callable, Optional, Tuple, Union
 
+from ..congest.events import EventBus, JsonlTraceWriter
 from ..congest.network import Network
 from ..congest.policies import CONGEST, LOCAL, PIPELINE, BandwidthPolicy
+from ..congest.profiling import Profiler
 from ..congest.tracing import Tracer
 from ..graphs.graph import BipartiteGraph, Graph
 from ..matching.core import Matching
@@ -69,11 +82,57 @@ def _positional_shim(func: str, args: tuple, names: Tuple[str, ...],
     return tuple(merged)
 
 
+class _Observability:
+    """Resolves the ``observe``/``trace``/``profile`` keywords of one call.
+
+    Builds (or augments) the observer set handed to ``Network(observe=...)``
+    and remembers what it created, so :meth:`finish` can close a writer it
+    opened and stamp ``profile``/``trace_path`` onto the result.
+    """
+
+    def __init__(self, observe, trace, profile) -> None:
+        self.writer: Optional[JsonlTraceWriter] = None
+        self._owns_writer = False
+        if trace is not None:
+            if isinstance(trace, JsonlTraceWriter):
+                self.writer = trace
+            else:
+                self.writer = JsonlTraceWriter(trace)
+                self._owns_writer = True
+        self.profiler: Optional[Profiler] = None
+        if profile:
+            self.profiler = profile if isinstance(profile, Profiler) else Profiler()
+        extras = [o for o in (self.writer, self.profiler) if o is not None]
+        if isinstance(observe, EventBus):
+            for extra in extras:
+                observe.subscribe(extra)
+            self.observe: Any = observe
+        else:
+            observers: list = []
+            if observe is not None:
+                observers.extend(observe if isinstance(observe, (list, tuple))
+                                 else [observe])
+            observers.extend(extras)
+            self.observe = observers or None
+
+    def finish(self, result: MatchingResult) -> MatchingResult:
+        if self.writer is not None:
+            result.trace_path = self.writer.path
+            if self._owns_writer:
+                self.writer.close()
+            else:
+                self.writer.flush()
+        if self.profiler is not None:
+            result.profile = self.profiler.report()
+        return result
+
+
 def _build_network(graph: Graph, policy: BandwidthPolicy, seed: int,
                    tracer: Optional[Tracer],
-                   max_rounds: Optional[int]) -> Network:
+                   max_rounds: Optional[int],
+                   observe: Any = None) -> Network:
     return Network(graph, policy=policy, seed=seed, tracer=tracer,
-                   max_rounds=max_rounds)
+                   max_rounds=max_rounds, observe=observe)
 
 
 def eps_to_k(eps: float) -> int:
@@ -88,7 +147,10 @@ def approx_mcm(graph: Graph, *args, eps: float = 0.25,
                model: str = "congest",
                policy: Optional[BandwidthPolicy] = None,
                tracer: Optional[Tracer] = None,
-               max_rounds: Optional[int] = None) -> MatchingResult:
+               max_rounds: Optional[int] = None,
+               observe: Any = None,
+               trace: Any = None,
+               profile: Any = None) -> MatchingResult:
     """(1 - eps)-approximate maximum-cardinality matching.
 
     ``model="congest"`` uses Theorem 3.10 on bipartite inputs and
@@ -105,8 +167,10 @@ def approx_mcm(graph: Graph, *args, eps: float = 0.25,
         k = eps_to_k(eps)
     elif k < 1:
         raise ValueError("k must be at least 1")
+    obs = _Observability(observe, trace, profile)
     if model == "local":
-        net = _build_network(graph, policy or LOCAL, seed, tracer, max_rounds)
+        net = _build_network(graph, policy or LOCAL, seed, tracer, max_rounds,
+                             obs.observe)
         res = generic_mcm(graph, k=k, seed=seed, network=net)
         matching, metrics, detail, name = (
             res.matching, res.metrics, res, "generic_mcm(local)"
@@ -114,14 +178,14 @@ def approx_mcm(graph: Graph, *args, eps: float = 0.25,
     elif model == "congest":
         if _is_bipartite(graph):
             net = _build_network(graph, policy or PIPELINE, seed, tracer,
-                                 max_rounds)
+                                 max_rounds, obs.observe)
             bres = bipartite_mcm(graph, k=k, seed=seed, network=net)
             matching, metrics, detail, name = (
                 bres.matching, bres.metrics, bres, "bipartite_mcm"
             )
         else:
             net = _build_network(graph, policy or PIPELINE, seed, tracer,
-                                 max_rounds)
+                                 max_rounds, obs.observe)
             gres = general_mcm(graph, k=k, seed=seed, stopping="exact",
                                network=net)
             matching, metrics, detail, name = (
@@ -132,8 +196,9 @@ def approx_mcm(graph: Graph, *args, eps: float = 0.25,
 
     optimum = max_cardinality(graph).size
     cert = certify(graph, matching, optimum_size=optimum)
-    return MatchingResult(matching=matching, algorithm=name,
-                          certificate=cert, metrics=metrics, detail=detail)
+    return obs.finish(MatchingResult(
+        matching=matching, algorithm=name,
+        certificate=cert, metrics=metrics, detail=detail))
 
 
 def approx_mwm(graph: Graph, *args, eps: float = 0.1, seed: int = 0,
@@ -141,7 +206,10 @@ def approx_mwm(graph: Graph, *args, eps: float = 0.1, seed: int = 0,
                reference: Optional[float] = None,
                policy: Optional[BandwidthPolicy] = None,
                tracer: Optional[Tracer] = None,
-               max_rounds: Optional[int] = None) -> MatchingResult:
+               max_rounds: Optional[int] = None,
+               observe: Any = None,
+               trace: Any = None,
+               profile: Any = None) -> MatchingResult:
     """Approximate maximum-weight matching.
 
     ``model="congest"``: Algorithm 5, a (1/2 - eps)-MWM (Theorem 4.5).
@@ -159,16 +227,18 @@ def approx_mwm(graph: Graph, *args, eps: float = 0.1, seed: int = 0,
             "approx_mwm", args,
             ("eps", "seed", "model", "black_box", "reference"),
             (eps, seed, model, black_box, reference))
+    obs = _Observability(observe, trace, profile)
     if model == "congest":
         net = _build_network(graph, policy or CONGEST, seed, tracer,
-                             max_rounds)
+                             max_rounds, obs.observe)
         res = approximate_mwm(graph, eps=eps, seed=seed, black_box=black_box,
                               network=net)
         matching, metrics, detail, name = (
             res.matching, res.metrics, res, f"algorithm5({black_box})"
         )
     elif model == "local":
-        net = _build_network(graph, policy or LOCAL, seed, tracer, max_rounds)
+        net = _build_network(graph, policy or LOCAL, seed, tracer, max_rounds,
+                             obs.observe)
         hres = hv_mwm(graph, eps=eps, seed=seed, network=net)
         matching, metrics, detail, name = (
             hres.matching, hres.metrics, hres, "hv_mwm(local)"
@@ -177,7 +247,7 @@ def approx_mwm(graph: Graph, *args, eps: float = 0.1, seed: int = 0,
         from ..dist.auction import auction_mwm
 
         anet = _build_network(graph, policy or CONGEST, seed, tracer,
-                              max_rounds)
+                              max_rounds, obs.observe)
         amatching, anet = auction_mwm(graph, eps=eps, seed=seed, network=anet)
         matching, metrics, detail, name = (
             amatching, anet.metrics, None, "auction"
@@ -191,24 +261,31 @@ def approx_mwm(graph: Graph, *args, eps: float = 0.1, seed: int = 0,
     if optimum_weight is None and _is_bipartite(graph):
         optimum_weight = max_weight_bipartite(graph).weight(graph)
     cert = certify(graph, matching, optimum_weight=optimum_weight)
-    return MatchingResult(matching=matching, algorithm=name,
-                          certificate=cert, metrics=metrics, detail=detail)
+    return obs.finish(MatchingResult(
+        matching=matching, algorithm=name,
+        certificate=cert, metrics=metrics, detail=detail))
 
 
 def maximal_matching(graph: Graph, *args, seed: int = 0,
                      policy: Optional[BandwidthPolicy] = None,
                      tracer: Optional[Tracer] = None,
-                     max_rounds: Optional[int] = None) -> MatchingResult:
+                     max_rounds: Optional[int] = None,
+                     observe: Any = None,
+                     trace: Any = None,
+                     profile: Any = None) -> MatchingResult:
     """The Israeli-Itai baseline: a maximal (hence 1/2-approximate) matching."""
     if args:
         seed, policy = _positional_shim(
             "maximal_matching", args, ("seed", "policy"), (seed, policy))
-    net = _build_network(graph, policy or CONGEST, seed, tracer, max_rounds)
+    obs = _Observability(observe, trace, profile)
+    net = _build_network(graph, policy or CONGEST, seed, tracer, max_rounds,
+                         obs.observe)
     matching = israeli_itai(net)
     optimum = max_cardinality(graph).size
     cert = certify(graph, matching, optimum_size=optimum)
-    return MatchingResult(matching=matching, algorithm="israeli_itai",
-                          certificate=cert, metrics=net.metrics)
+    return obs.finish(MatchingResult(
+        matching=matching, algorithm="israeli_itai",
+        certificate=cert, metrics=net.metrics))
 
 
 def exact_mcm(graph: Graph) -> MatchingResult:
@@ -228,13 +305,25 @@ def exact_mwm(graph: Graph) -> MatchingResult:
                           certificate=cert)
 
 
+def _local_mcm(graph: Graph, **kwargs) -> MatchingResult:
+    """Registry entry for ``"generic_mcm"``: the LOCAL-model Algorithm 1."""
+    kwargs.setdefault("model", "local")
+    return approx_mcm(graph, **kwargs)
+
+
 #: Name -> entry point registry backing :func:`run`.  Aliases cover the
-#: shorthand most call sites use ("mcm", "mwm", "maximal").
+#: shorthand most call sites use ("mcm", "mwm", "maximal") and the
+#: paper-facing driver names ("bipartite_mcm", "general_mcm", "generic_mcm",
+#: "algorithm5"), which resolve to the entry point that runs that driver.
 ALGORITHMS = {
     "approx_mcm": approx_mcm,
     "mcm": approx_mcm,
+    "bipartite_mcm": approx_mcm,
+    "general_mcm": approx_mcm,
+    "generic_mcm": _local_mcm,
     "approx_mwm": approx_mwm,
     "mwm": approx_mwm,
+    "algorithm5": approx_mwm,
     "maximal_matching": maximal_matching,
     "maximal": maximal_matching,
     "israeli_itai": maximal_matching,
@@ -251,8 +340,8 @@ def run(algorithm: Union[str, Callable[..., MatchingResult]], graph: Graph,
     ``"mwm"``, ``"approx_mwm"``, ``"maximal"``, ``"exact_mcm"``,
     ``"exact_mwm"``, ...) or any callable with the ``fn(graph, **kwargs)``
     shape.  All remaining keywords are forwarded unchanged, so
-    ``repro.run("mcm", g, eps=0.25, seed=3, tracer=t)`` is exactly
-    ``approx_mcm(g, eps=0.25, seed=3, tracer=t)``.
+    ``repro.run("mcm", g, eps=0.25, seed=3, trace="run.jsonl")`` is exactly
+    ``approx_mcm(g, eps=0.25, seed=3, trace="run.jsonl")``.
     """
     if callable(algorithm):
         fn = algorithm

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Optional
 
 from ..congest.metrics import Metrics
@@ -16,6 +17,10 @@ class MatchingResult:
 
     ``metrics`` is ``None`` for sequential algorithms; ``detail`` carries the
     algorithm-specific result object (phase traces, iteration stats, ...).
+    ``profile`` is the :class:`~repro.congest.profiling.ProfileReport` when
+    the run was profiled (``profile=True``), and ``trace_path`` the JSONL
+    file written when it was traced (``trace=path``); both are ``None``
+    otherwise.
     """
 
     matching: Matching
@@ -23,6 +28,8 @@ class MatchingResult:
     certificate: Certificate
     metrics: Optional[Metrics] = None
     detail: Any = None
+    profile: Any = None
+    trace_path: Optional[Path] = None
 
     @property
     def network_metrics(self) -> Optional[Metrics]:

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..congest.events import Augmentation, PhaseEnd, PhaseStart
 from ..congest.network import Network
 from ..congest.policies import PIPELINE, BandwidthPolicy
 from ..graphs.graph import BipartiteGraph, Edge, Graph, GraphError
@@ -60,19 +61,26 @@ def _value_cap(n: int, max_degree: int, ell: int) -> int:
 
 def augment_to_level(network: Network, side: SideMap, mate: MateMap,
                      max_ell: int,
-                     allowed: Optional[Set[Edge]] = None) -> Tuple[MateMap, AugmentationStats]:
+                     allowed: Optional[Set[Edge]] = None,
+                     label: str = "bipartite_mcm") -> Tuple[MateMap, AugmentationStats]:
     """Eliminate all augmenting paths of length <= ``max_ell`` (ascending).
 
     This is the subroutine Aug(G-hat, M, ell) of Algorithm 4, and the main
     loop of the bipartite algorithm when run on the whole graph.  ``side``
     assigns X/Y (or None for non-participants); ``allowed`` optionally
     restricts usable edges.  Returns the new mate map and per-phase stats.
+    ``label`` names the algorithm on the observability event stream
+    (``general_mcm`` reuses this loop under its own name).
     """
     n = network.graph.num_nodes
     max_degree = network.graph.max_degree
     stats = AugmentationStats()
     mate = dict(mate)
+    observed = network.wants(PhaseStart)
     for ell in range(1, max_ell + 1, 2):
+        phase = f"ell={ell}"
+        if observed:
+            network.emit(PhaseStart(algorithm=label, phase=phase))
         cap = _value_cap(n, max_degree, ell)
         iterations = 0
         applied_total = 0
@@ -92,6 +100,10 @@ def augment_to_level(network: Network, side: SideMap, mate: MateMap,
                     "(protocol invariant violated)"
                 )
             applied_total += applied
+            if network.wants(Augmentation):
+                size = sum(1 for m in mate.values() if m is not None) // 2
+                network.emit(Augmentation(algorithm=label, phase=phase,
+                                          paths=applied, size=size))
         matched = sum(1 for v, m in mate.items() if m is not None)
         stats.phases.append(PhaseStats(
             ell=ell,
@@ -99,6 +111,12 @@ def augment_to_level(network: Network, side: SideMap, mate: MateMap,
             paths_applied=applied_total,
             matching_size=matched // 2,
         ))
+        if observed:
+            network.emit(PhaseEnd(algorithm=label, phase=phase, detail={
+                "iterations": iterations,
+                "paths_applied": applied_total,
+                "matching_size": matched // 2,
+            }))
     return mate, stats
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..congest.events import CheckerVerdict
 from ..congest.network import Network
 from ..congest.node import BROADCAST, Inbox, NodeAlgorithm, NodeContext, Outbox
 
@@ -86,23 +87,31 @@ def _complaints(result) -> Set[int]:
             if out is None or not out["ok"]}
 
 
+def _verdict(network: Network, checker: str, complaints: Set[int]) -> Set[int]:
+    """Publish the check's outcome on the event bus, pass complaints through."""
+    if network.wants(CheckerVerdict):
+        network.emit(CheckerVerdict(checker=checker, ok=not complaints,
+                                    complaints=len(complaints)))
+    return complaints
+
+
 def check_matching(network: Network,
                    mate: Dict[int, Optional[int]]) -> Set[int]:
     """Run the one-round register check; returns the complaining nodes."""
-    return _complaints(network.run(
+    return _verdict(network, "check_matching", _complaints(network.run(
         MatchingCheckNode,
         protocol="check_matching",
         shared={"mate": mate},
         max_rounds=3,
-    ))
+    )))
 
 
 def check_maximality(network: Network,
                      mate: Dict[int, Optional[int]]) -> Set[int]:
     """Run the one-round maximality check; returns free-free witnesses."""
-    return _complaints(network.run(
+    return _verdict(network, "check_maximality", _complaints(network.run(
         MaximalityCheckNode,
         protocol="check_maximality",
         shared={"mate": mate},
         max_rounds=3,
-    ))
+    )))

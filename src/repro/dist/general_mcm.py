@@ -26,6 +26,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from ..congest.events import PhaseEnd, PhaseStart
 from ..congest.network import Network
 from ..congest.policies import PIPELINE, BandwidthPolicy
 from ..congest.utilities import exchange_tokens
@@ -106,13 +107,18 @@ def general_mcm(graph: Graph, k: int, seed: int = 0,
         patience = 4 * 4 ** k
 
     quiet_streak = 0
+    observed = net.wants(PhaseStart)
     for iteration in range(1, budget + 1):
+        if observed:
+            net.emit(PhaseStart(algorithm="general_mcm",
+                                phase=f"iteration={iteration}"))
         colors = {v: RED if net.node_rng(v, salt=iteration).random() < color_bias
                   else BLUE for v in graph.nodes}
         exchange_tokens(net, colors)  # one round: everyone learns neighbor colors
 
         side, allowed = _sampled_bipartite(graph, mate, colors)
-        mate, stats = augment_to_level(net, side, mate, 2 * k - 1, allowed)
+        mate, stats = augment_to_level(net, side, mate, 2 * k - 1, allowed,
+                                       label="general_mcm")
         applied = stats.total_paths
         matched = sum(1 for m in mate.values() if m is not None) // 2
         result.iterations.append(IterationStats(
@@ -122,6 +128,13 @@ def general_mcm(graph: Graph, k: int, seed: int = 0,
             paths_applied=applied,
             matching_size=matched,
         ))
+        if observed:
+            net.emit(PhaseEnd(algorithm="general_mcm",
+                              phase=f"iteration={iteration}", detail={
+                                  "paths_applied": applied,
+                                  "matching_size": matched,
+                                  "sampled_edges": len(allowed),
+                              }))
 
         if applied == 0:
             quiet_streak += 1

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..congest.events import Augmentation, PhaseEnd, PhaseStart
 from ..congest.network import Network
 from ..congest.policies import LOCAL
 from ..graphs.graph import Graph
@@ -103,7 +104,10 @@ def generic_mcm(graph: Graph, k: int, seed: int = 0,
     matching = Matching()
     result = GenericMCMResult(matching=matching, network=net)
 
+    observed = net.wants(PhaseStart)
     for ell in range(1, 2 * k, 2):
+        if observed:
+            net.emit(PhaseStart(algorithm="generic_mcm", phase=f"ell={ell}"))
         mate = {v: matching.mate(v) for v in graph.nodes}
         views = flood_views(net, mate, rounds=2 * ell)
         paths = _paths_from_views(views, graph.nodes, mate, ell)
@@ -112,9 +116,11 @@ def generic_mcm(graph: Graph, k: int, seed: int = 0,
         mis_rounds = 0
         selected: List[Path] = []
         if conflict.num_nodes:
+            # the emulated conflict-graph network shares the outer bus, so
+            # its MIS decisions land on the same timeline
             mis_net = Network(conflict.as_graph(), policy=LOCAL,
-                              seed=seed * 31 + ell)
-            mis = luby_mis(mis_net)
+                              seed=seed * 31 + ell, observe=net.bus)
+            mis = luby_mis(mis_net, context=f"conflict ell={ell}")
             mis_rounds = mis_net.metrics.rounds
             # Lemma 3.5: each conflict-graph round costs O(ell) physical
             # rounds; traffic between leaders is carried by the real network
@@ -129,6 +135,11 @@ def generic_mcm(graph: Graph, k: int, seed: int = 0,
             for p in selected:
                 matching.augment(p)
             net.metrics.charge_rounds("augmentation", ell)
+            if selected and net.wants(Augmentation):
+                net.emit(Augmentation(algorithm="generic_mcm",
+                                      phase=f"ell={ell}",
+                                      paths=len(selected),
+                                      size=matching.size))
 
         result.phases.append(GenericPhase(
             ell=ell,
@@ -137,6 +148,13 @@ def generic_mcm(graph: Graph, k: int, seed: int = 0,
             mis_rounds=mis_rounds,
             matching_size=matching.size,
         ))
+        if observed:
+            net.emit(PhaseEnd(algorithm="generic_mcm", phase=f"ell={ell}",
+                              detail={
+                                  "conflict_nodes": conflict.num_nodes,
+                                  "mis_size": len(selected),
+                                  "matching_size": matching.size,
+                              }))
 
     result.matching = matching
     return result

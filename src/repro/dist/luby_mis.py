@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Optional, Set
 
+from ..congest.events import MISDecision
 from ..congest.network import Network
 from ..congest.node import BROADCAST, Inbox, NodeAlgorithm, NodeContext, Outbox
 
@@ -77,7 +78,13 @@ class LubyMISNode(NodeAlgorithm):
         return self._draw()
 
 
-def luby_mis(network: Network, max_rounds: Optional[int] = None) -> Set[int]:
+def luby_mis(network: Network, max_rounds: Optional[int] = None,
+             context: str = "luby_mis") -> Set[int]:
     """Compute an MIS of ``network.graph``; returns the member node ids."""
     result = network.run(LubyMISNode, protocol="luby_mis", max_rounds=max_rounds)
+    if network.wants(MISDecision):
+        for v in sorted(result.outputs):
+            network.emit(MISDecision(node=v,
+                                     selected=bool(result.outputs[v]),
+                                     context=context))
     return {v for v, member in result.outputs.items() if member}

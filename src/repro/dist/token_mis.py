@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Set, Tuple
 
+from ..congest.events import TokenCollision
 from ..congest.network import Network
 from ..congest.node import Inbox, NodeAlgorithm, NodeContext, Outbox
 from ..graphs.graph import Edge
@@ -64,6 +65,9 @@ class TokenNode(NodeAlgorithm):
         self.tok_prev: Optional[int] = None   # neighbor toward the free X end
         self.confirmed = False
         self.output = {"mate": self.mate, "confirmed": False}
+        # observability: an emitter callable when someone subscribed to
+        # token-collision events, else None (the unobserved common case)
+        self._collide = shared.get("collision_observer")
 
     # ------------------------------------------------------------------
     def start(self) -> Outbox:
@@ -97,6 +101,9 @@ class TokenNode(NodeAlgorithm):
         sender, (_, value, leader) = max(
             tokens.items(), key=lambda kv: (kv[1][1], kv[1][2])
         )
+        if len(tokens) > 1 and self._collide is not None:
+            self._collide(TokenCollision(node=self.node_id, winner=leader,
+                                         losers=len(tokens) - 1))
         self.token_id = leader
         self.tok_next = sender
         if self.side == X_SIDE and self.mate is None:
@@ -148,6 +155,7 @@ def run_token_selection(network: Network, side: Dict[int, Optional[int]],
             "ell": ell,
             "count_states": count_states,
             "value_cap": value_cap,
+            "collision_observer": network.observer_for(TokenCollision),
         },
         max_rounds=2 * ell + 6,
     )

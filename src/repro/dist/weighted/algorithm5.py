@@ -23,6 +23,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
+from ...congest.events import Augmentation, PhaseEnd, PhaseStart
 from ...congest.network import Network
 from ...congest.policies import CONGEST, BandwidthPolicy
 from ...congest.utilities import exchange_tokens
@@ -101,7 +102,11 @@ def approximate_mwm(graph: Graph, eps: float = 0.1, seed: int = 0,
     matching = Matching()
     result = MWMResult(matching=matching, network=net, delta=delta)
 
+    observed = net.wants(PhaseStart)
     for i in range(1, iterations + 1):
+        if observed:
+            net.emit(PhaseStart(algorithm="algorithm5",
+                                phase=f"iteration={i}"))
         # one round in which every node announces the weight of its matched
         # edge; afterwards both endpoints of each edge can evaluate w_M
         mate_weights = {
@@ -113,6 +118,10 @@ def approximate_mwm(graph: Graph, eps: float = 0.1, seed: int = 0,
 
         gprime = residual_graph(graph, matching)
         if gprime.num_edges == 0:
+            if observed:
+                net.emit(PhaseEnd(algorithm="algorithm5",
+                                  phase=f"iteration={i}",
+                                  detail={"residual_edges": 0}))
             break
         selected, sub_net = box(gprime, seed * 7919 + i)
         net.metrics.absorb(sub_net.metrics)
@@ -130,6 +139,18 @@ def approximate_mwm(graph: Graph, eps: float = 0.1, seed: int = 0,
             gain_applied=after - before,
             matching_weight=after,
         ))
+        if net.wants(Augmentation) and selected.size:
+            net.emit(Augmentation(algorithm="algorithm5",
+                                  phase=f"iteration={i}",
+                                  paths=selected.size,
+                                  size=after, gain=after - before))
+        if observed:
+            net.emit(PhaseEnd(algorithm="algorithm5",
+                              phase=f"iteration={i}", detail={
+                                  "residual_edges": gprime.num_edges,
+                                  "selected_edges": selected.size,
+                                  "matching_weight": after,
+                              }))
 
     result.matching = matching
     return result

@@ -29,6 +29,14 @@ def table_to_markdown(table: Table) -> str:
     for note in table.notes:
         lines.append("")
         lines.append(f"*Note: {note}*")
+    profile = getattr(table, "profile", None)
+    if profile is not None:
+        lines.append("")
+        lines.append("#### Profile")
+        lines.append("")
+        lines.append("```")
+        lines.append(str(profile))
+        lines.append("```")
     return "\n".join(lines)
 
 
@@ -36,12 +44,16 @@ def build_report(names: Optional[Sequence[str]] = None,
                  title: str = "repro experiment report",
                  tables: Optional[Sequence[Table]] = None,
                  jobs: Optional[int] = None,
-                 cache_dir: Optional[str] = None) -> str:
+                 cache_dir: Optional[str] = None,
+                 trace_dir: Optional[str] = None,
+                 profile: bool = False) -> str:
     """Run experiments and return the full markdown document.
 
     ``tables`` short-circuits execution with precomputed results (must
     align with ``names``); otherwise ``jobs``/``cache_dir`` forward to
-    :func:`repro.experiments.suite.run_all` for parallel/cached runs.
+    :func:`repro.experiments.suite.run_all` for parallel/cached runs, and
+    ``trace_dir``/``profile`` attach observability (serial-only; profiled
+    tables gain a ``#### Profile`` section).
     """
     chosen = list(names) if names is not None else sorted(ALL_EXPERIMENTS)
     unknown = [n for n in chosen if n not in ALL_EXPERIMENTS]
@@ -50,7 +62,8 @@ def build_report(names: Optional[Sequence[str]] = None,
     if tables is None:
         from .suite import run_all
 
-        tables = run_all(chosen, jobs=jobs, cache_dir=cache_dir)
+        tables = run_all(chosen, jobs=jobs, cache_dir=cache_dir,
+                         trace_dir=trace_dir, profile=profile)
     elif len(tables) != len(chosen):
         raise ValueError("tables and names must align one-to-one")
     parts: List[str] = [
@@ -74,8 +87,11 @@ def build_report(names: Optional[Sequence[str]] = None,
 def write_report(path: Union[str, Path],
                  names: Optional[Sequence[str]] = None,
                  jobs: Optional[int] = None,
-                 cache_dir: Optional[str] = None) -> Path:
+                 cache_dir: Optional[str] = None,
+                 trace_dir: Optional[str] = None,
+                 profile: bool = False) -> Path:
     """Build and write the report; returns the path."""
     path = Path(path)
-    path.write_text(build_report(names, jobs=jobs, cache_dir=cache_dir))
+    path.write_text(build_report(names, jobs=jobs, cache_dir=cache_dir,
+                                 trace_dir=trace_dir, profile=profile))
     return path

@@ -711,20 +711,59 @@ ALL_EXPERIMENTS: Dict[str, Callable[[], Table]] = {
 
 def run_all(names: Optional[Sequence[str]] = None,
             jobs: Optional[int] = None,
-            cache_dir: Optional[str] = None) -> List[Table]:
+            cache_dir: Optional[str] = None,
+            trace_dir: Optional[str] = None,
+            profile: bool = False) -> List[Table]:
     """Run (a subset of) the suite and return the tables.
 
     ``jobs`` > 1 maps the tiers over a multiprocessing pool and
     ``cache_dir`` memoizes finished tables on disk (content-keyed, so
     edited experiments recompute); see :mod:`repro.experiments.parallel`.
     The default stays serial and cache-free.
+
+    ``trace_dir`` streams every network the experiments build to one JSONL
+    trace per experiment (``<trace_dir>/<name>.jsonl``), via the ambient
+    :func:`~repro.congest.events.observing` context; ``profile=True``
+    attaches a :class:`~repro.congest.profiling.Profiler` per experiment
+    and stores its report as ``table.profile``.  Both are serial-only
+    (worker processes do not inherit the ambient observer) and therefore
+    incompatible with ``jobs``/``cache_dir``.
     """
+    observed = trace_dir is not None or profile
     if jobs is not None or cache_dir is not None:
+        if observed:
+            raise ValueError(
+                "trace_dir/profile are serial-only; drop --jobs/--cache")
         from .parallel import run_parallel  # deferred: parallel imports us
 
         return run_parallel(names, jobs=jobs, cache_dir=cache_dir).tables
     chosen = names if names is not None else sorted(ALL_EXPERIMENTS)
+    if not observed:
+        return [ALL_EXPERIMENTS[name]() for name in chosen]
+
+    from pathlib import Path
+
+    from ..congest.events import JsonlTraceWriter, observing
+    from ..congest.profiling import Profiler
+
     tables = []
     for name in chosen:
-        tables.append(ALL_EXPERIMENTS[name]())
+        observers: List[object] = []
+        writer = None
+        if trace_dir is not None:
+            Path(trace_dir).mkdir(parents=True, exist_ok=True)
+            writer = JsonlTraceWriter(Path(trace_dir) / f"{name}.jsonl")
+            observers.append(writer)
+        profiler = Profiler() if profile else None
+        if profiler is not None:
+            observers.append(profiler)
+        try:
+            with observing(*observers):
+                table = ALL_EXPERIMENTS[name]()
+        finally:
+            if writer is not None:
+                writer.close()
+        if profiler is not None:
+            table.profile = profiler.report()
+        tables.append(table)
     return tables

@@ -13,12 +13,19 @@ from typing import Any, List, Sequence
 
 @dataclass
 class Table:
-    """A titled table with typed-ish formatting of floats."""
+    """A titled table with typed-ish formatting of floats.
+
+    ``profile`` optionally carries a
+    :class:`~repro.congest.profiling.ProfileReport` of the experiment's
+    distributed runs (attached by ``run_all(..., profile=True)``); it is
+    rendered below the table when present.
+    """
 
     title: str
     columns: Sequence[str]
     rows: List[Sequence[Any]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    profile: Any = None
 
     def add_row(self, *values: Any) -> None:
         if len(values) != len(self.columns):
@@ -56,6 +63,11 @@ class Table:
             lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
         for note in self.notes:
             lines.append(f"note: {note}")
+        profile = getattr(self, "profile", None)
+        if profile is not None:
+            lines.append("")
+            lines.append("profile:")
+            lines.extend("  " + line for line in str(profile).splitlines())
         return "\n".join(lines)
 
     def show(self) -> None:

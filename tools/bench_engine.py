@@ -4,6 +4,14 @@ Run from the repo root::
 
     PYTHONPATH=src python tools/bench_engine.py
     PYTHONPATH=src python tools/bench_engine.py --n 2000 --rounds 80
+    PYTHONPATH=src python tools/bench_engine.py --observed
+
+``--observed`` measures the observability overhead on the CSR flood
+workload: an idle bus (no subscribers), a structural
+:class:`~repro.congest.events.JsonlTraceWriter` (the default trace mode),
+and a full per-message writer, each reported as a ratio over the
+unobserved run (acceptance: structural tracing within 1.5x; no
+subscribers within measurement noise).
 
 Two workloads, both seeded and engine-independent in outcome:
 
@@ -23,7 +31,17 @@ from __future__ import annotations
 import argparse
 import time
 
-from repro.congest import BROADCAST, LOCAL, Network, NodeAlgorithm
+import os
+import tempfile
+
+from repro.congest import (
+    BROADCAST,
+    LOCAL,
+    EventBus,
+    JsonlTraceWriter,
+    Network,
+    NodeAlgorithm,
+)
 from repro.dist.israeli_itai import israeli_itai
 from repro.graphs import random_bipartite
 
@@ -50,16 +68,22 @@ class FloodMax(NodeAlgorithm):
         return {BROADCAST: self.best}
 
 
-def _flood(engine: str, n_side: int, p: float, rounds: int, reps: int = 3):
+def _flood(engine: str, n_side: int, p: float, rounds: int, reps: int = 3,
+           observe_factory=None):
     g = random_bipartite(n_side, n_side, p, rng=0)
     best, outputs, done = float("inf"), None, 0
     for _ in range(reps):  # best-of-reps damps scheduler noise
-        net = Network(g, policy=LOCAL, seed=0, engine=engine)
+        observe = observe_factory() if observe_factory is not None else None
+        net = Network(g, policy=LOCAL, seed=0, engine=engine, observe=observe)
         t0 = time.perf_counter()
         res = net.run(FloodMax, shared={"rounds": rounds},
                       max_rounds=rounds + 2)
         best = min(best, time.perf_counter() - t0)
         outputs, done = res.outputs, res.rounds
+        if observe is not None:
+            for sub in observe.subscribers:
+                if isinstance(sub, JsonlTraceWriter):
+                    sub.close()
     return done / best, best, outputs
 
 
@@ -86,6 +110,49 @@ def _report(name: str, legacy, csr) -> float:
     return speedup
 
 
+def _bench_observed(n_side: int, p: float, rounds: int) -> int:
+    """Subscriber-overhead ratios on the CSR flood workload."""
+    tmpdir = tempfile.mkdtemp(prefix="bench_observed_")
+
+    def _bus(*observers):
+        bus = EventBus()
+        for observer in observers:
+            bus.subscribe(observer)
+        return bus
+
+    modes = [
+        ("unobserved", None),
+        ("idle bus", lambda: _bus()),
+        ("structural trace",
+         lambda: _bus(JsonlTraceWriter(
+             os.path.join(tmpdir, "structural.jsonl")))),
+        ("full message trace",
+         lambda: _bus(JsonlTraceWriter(
+             os.path.join(tmpdir, "messages.jsonl"), messages=True))),
+    ]
+    baseline_rs = None
+    worst_structural = 1.0
+    print(f"observability overhead, csr flood "
+          f"({2 * n_side} nodes, {rounds} rounds):")
+    for name, factory in modes:
+        rs, t, out = _flood("csr", n_side, p, rounds, reps=5,
+                            observe_factory=factory)
+        if baseline_rs is None:
+            baseline_rs = rs
+            baseline_out = out
+            ratio = 1.0
+        else:
+            assert out == baseline_out, f"{name}: outputs changed!"
+            ratio = baseline_rs / rs
+        if name in ("idle bus", "structural trace"):
+            worst_structural = max(worst_structural, ratio)
+        print(f"{name:>20}: {rs:8.1f} r/s ({t:.3f}s)   "
+              f"overhead {ratio:.2f}x")
+    print(f"headline: structural tracing costs {worst_structural:.2f}x "
+          f"(target <= 1.5x; per-message capture is opt-in and unbounded)")
+    return 0 if worst_structural <= 1.5 else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="legacy vs CSR engine rounds/sec")
@@ -96,8 +163,14 @@ def main(argv=None) -> int:
                         help="edge probability (default 0.008)")
     parser.add_argument("--rounds", type=int, default=60,
                         help="flood workload round count (default 60)")
+    parser.add_argument("--observed", action="store_true",
+                        help="measure event-bus subscriber overhead on the "
+                             "CSR flood workload instead")
     args = parser.parse_args(argv)
     n_side = max(1, args.n // 2)
+
+    if args.observed:
+        return _bench_observed(n_side, args.p, args.rounds)
 
     print(f"graph: random_bipartite({n_side}, {n_side}, {args.p}), seed 0")
     flood_speedup = _report(
