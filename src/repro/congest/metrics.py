@@ -3,6 +3,19 @@
 Metrics accumulate across sub-protocols run on the same :class:`Network`, so
 a composite algorithm (e.g. Algorithm 4 calling the bipartite Aug procedure
 many times) reports its true total cost.
+
+Two accounts coexist:
+
+* the **physical** account (``rounds``, ``messages``, ``total_bits``,
+  ``total_rounds``) — the paper-model cost of the parent network, exactly
+  as before the composition runtime existed (bit-identical for legacy
+  callers);
+* the **subnetwork** account (``sub_rounds``, ``sub_messages``,
+  ``sub_bits``, ``subnetwork_rounds``) — the raw cost of *emulated* child
+  runs executed through :class:`~repro.congest.runtime.Subnetwork` that is
+  not already part of the physical account (e.g. Luby MIS rounds on a
+  conflict graph, whose physical cost appears as a Lemma 3.5 emulation
+  charge instead).  ``rounds_total`` is the end-to-end sum of both.
 """
 
 from __future__ import annotations
@@ -22,11 +35,26 @@ class Metrics:
     max_message_bits: int = 0
     protocol_rounds: Dict[str, int] = field(default_factory=dict)
     global_checks: int = 0
+    # raw cost of emulated subnetwork runs (not in the physical account)
+    sub_rounds: int = 0
+    sub_messages: int = 0
+    sub_bits: int = 0
+    #: raw child rounds per subnetwork label (absorbed children included,
+    #: so the breakdown is complete even when totals live elsewhere)
+    subnetwork_rounds: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_rounds(self) -> int:
         """Rounds including the pipelining charge for oversized messages."""
         return self.rounds + self.pipelined_extra_rounds
+
+    @property
+    def rounds_total(self) -> int:
+        """End-to-end rounds: the physical account plus every virtual round
+        executed by emulated subnetworks.  Every round anywhere in the
+        composition is counted exactly once (absorbed children already live
+        in ``rounds``, so they do not re-count here)."""
+        return self.total_rounds + self.sub_rounds
 
     def record_round(self, protocol: str, extra_pipeline_rounds: int = 0) -> None:
         self.rounds += 1
@@ -81,6 +109,35 @@ class Metrics:
         for k, v in other.protocol_rounds.items():
             self.protocol_rounds[k] = self.protocol_rounds.get(k, 0) + v
         self.global_checks += other.global_checks
+        self.sub_rounds += other.sub_rounds
+        self.sub_messages += other.sub_messages
+        self.sub_bits += other.sub_bits
+        for k, v in other.subnetwork_rounds.items():
+            self.subnetwork_rounds[k] = self.subnetwork_rounds.get(k, 0) + v
+
+    def record_subnetwork(self, label: str, child: "Metrics",
+                          physical: bool = False,
+                          traffic: bool = True) -> None:
+        """Account for a child :class:`~repro.congest.runtime.Subnetwork` run.
+
+        ``physical=False`` (an *emulated* child, e.g. MIS on a conflict
+        graph): the child's raw rounds/messages/bits go into the subnetwork
+        account, because the physical account carries an emulation charge
+        instead.  ``physical=True`` (an *absorbed* child): the child already
+        landed in the physical account via :meth:`absorb`, so only the
+        per-label breakdown is updated here.  ``traffic=False`` skips the
+        message/bit fold for emulated children whose traffic was already
+        folded into the physical account (nothing is ever counted twice).
+        """
+        raw_rounds = child.rounds_total
+        self.subnetwork_rounds[label] = (
+            self.subnetwork_rounds.get(label, 0) + raw_rounds
+        )
+        if not physical:
+            self.sub_rounds += raw_rounds
+            if traffic:
+                self.sub_messages += child.messages + child.sub_messages
+                self.sub_bits += child.total_bits + child.sub_bits
 
     def record_global_check(self) -> None:
         """A driver-level global predicate evaluation (see DESIGN.md).
@@ -99,6 +156,10 @@ class Metrics:
             max_message_bits=self.max_message_bits,
             protocol_rounds=dict(self.protocol_rounds),
             global_checks=self.global_checks,
+            sub_rounds=self.sub_rounds,
+            sub_messages=self.sub_messages,
+            sub_bits=self.sub_bits,
+            subnetwork_rounds=dict(self.subnetwork_rounds),
         )
         return m
 
@@ -118,12 +179,24 @@ class Metrics:
                 if v - before.protocol_rounds.get(k, 0) > 0
             },
             global_checks=self.global_checks - before.global_checks,
+            sub_rounds=self.sub_rounds - before.sub_rounds,
+            sub_messages=self.sub_messages - before.sub_messages,
+            sub_bits=self.sub_bits - before.sub_bits,
+            subnetwork_rounds={
+                k: v - before.subnetwork_rounds.get(k, 0)
+                for k, v in self.subnetwork_rounds.items()
+                if v - before.subnetwork_rounds.get(k, 0) > 0
+            },
         )
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"rounds={self.total_rounds} (sync={self.rounds}, "
             f"pipelined=+{self.pipelined_extra_rounds}) "
             f"messages={self.messages} bits={self.total_bits} "
             f"max_msg_bits={self.max_message_bits}"
         )
+        if self.sub_rounds:
+            text += (f" rounds_total={self.rounds_total} "
+                     f"(+{self.sub_rounds} emulated)")
+        return text

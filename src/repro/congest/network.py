@@ -336,6 +336,19 @@ class Network:
         return result
 
     # ------------------------------------------------------------------
+    def subnetwork(self, graph: Graph, **kwargs: Any) -> Any:
+        """Spawn a :class:`~repro.congest.runtime.Subnetwork` over ``graph``.
+
+        The child inherits this network's policy, engine, fault spec, event
+        bus (scoped under a ``PhaseStart``/``PhaseEnd`` pair) and seed
+        stream, and folds its cost back into this network's metrics on
+        exit — see :mod:`repro.congest.runtime` for the fold modes.
+        """
+        from .runtime import Subnetwork
+
+        return Subnetwork(self, graph, **kwargs)
+
+    # ------------------------------------------------------------------
     # driver-side observability helpers
     def wants(self, kind: Any) -> bool:
         """True iff an observer is interested in ``kind`` (False when

@@ -25,7 +25,15 @@ structured events to a JSONL file (reloadable via
 ``MatchingResult.trace_path``); ``profile=True`` attaches a
 :class:`~repro.congest.profiling.Profiler` and surfaces its report as
 ``MatchingResult.profile``.  All three compose, and none of them changes
-the delivery engine or the run's outputs.
+the delivery engine or the run's outputs.  Algorithms that run
+sub-protocols on derived graphs (the conflict-graph MIS of the generic
+algorithm, HV's per-class MIS, Algorithm 5's black boxes) do so through
+:class:`~repro.congest.runtime.Subnetwork`, so their events appear nested
+in traces/profiles and their cost shows up on the same result:
+``MatchingResult.rounds`` is the parent's physical account (unchanged
+from earlier releases) and ``MatchingResult.rounds_total`` additionally
+counts the virtual sub-protocol rounds
+(``network_metrics.sub_rounds``/``subnetwork_rounds``).
 
 Every distributed result is verified (:class:`Certificate`).  The pre-1.1
 positional forms (``approx_mcm(g, 0.25, 3)``) still work but emit a

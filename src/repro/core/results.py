@@ -50,7 +50,20 @@ class MatchingResult:
 
     @property
     def rounds(self) -> Optional[int]:
+        """Physical rounds of the parent network (the legacy account)."""
         return self.metrics.total_rounds if self.metrics is not None else None
+
+    @property
+    def rounds_total(self) -> Optional[int]:
+        """End-to-end rounds including emulated subnetwork rounds.
+
+        Sub-protocols run through :class:`repro.congest.runtime.Subnetwork`
+        (e.g. Luby MIS on a conflict graph) execute virtual rounds whose
+        physical cost appears in ``rounds`` as an emulation charge; this
+        property adds the raw virtual rounds on top — the complete picture
+        of everything that executed anywhere in the composition.
+        """
+        return self.metrics.rounds_total if self.metrics is not None else None
 
     def __repr__(self) -> str:
         rounds = f" rounds={self.rounds}" if self.metrics is not None else ""

@@ -25,7 +25,12 @@ from .generic_mcm import GenericMCMResult, GenericPhase, generic_mcm
 from .israeli_itai import IsraeliItaiNode, israeli_itai
 from .local_views import LocalViewNode, flood_views, view_to_graph
 from .luby_mis import LubyMISNode, luby_mis
-from .random_tools import sample_max_uniform, weighted_choice
+from .random_tools import (
+    sample_max_uniform,
+    spawn_rng,
+    spawn_seed,
+    weighted_choice,
+)
 from .auction import AuctionNode, auction_mwm
 from .b_matching import (
     BMatchingError,
@@ -64,6 +69,8 @@ __all__ = [
     "LubyMISNode",
     "luby_mis",
     "sample_max_uniform",
+    "spawn_rng",
+    "spawn_seed",
     "weighted_choice",
     "AuctionNode",
     "auction_mwm",

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Tuple
 from ..congest.network import Network
 from ..congest.node import Inbox, NodeAlgorithm, NodeContext, Outbox
 from ..congest.policies import CONGEST, BandwidthPolicy
+from ..congest.runtime import as_network, register_map
 from ..graphs.graph import BipartiteGraph, Graph, GraphError
 from ..matching.core import Matching
 from .bipartite_counting import X_SIDE, Y_SIDE
@@ -165,6 +166,7 @@ def auction_mwm(graph: Graph, eps: float = 0.1, seed: int = 0,
     side = side_map_of(graph)  # raises on non-bipartite inputs
     if not 0 < eps < 1:
         raise ValueError("eps must be in (0, 1)")
+    network = as_network(network) if network is not None else None
     net = network if network is not None else Network(graph, policy=policy, seed=seed)
     if graph.num_edges == 0:
         return Matching(), net
@@ -180,18 +182,16 @@ def auction_mwm(graph: Graph, eps: float = 0.1, seed: int = 0,
         shared={"side": side, "epsilon": epsilon},
         max_rounds=max(10_000, int(20 * graph.num_nodes * w_max / epsilon)),
     )
-    mate: Dict[int, Optional[int]] = {}
-    for v, out in result.outputs.items():
-        if side.get(v) == X_SIDE:
-            mate[v] = (out or {}).get("mate")
+    mates = register_map(result.outputs)
+    mate: Dict[int, Optional[int]] = {
+        v: m for v, m in mates.items() if side.get(v) == X_SIDE
+    }
     # items' view must agree with bidders' (cross-checked here)
-    for v, out in result.outputs.items():
-        if side.get(v) == Y_SIDE:
-            owner = (out or {}).get("mate")
-            if owner is not None and mate.get(owner) != v:
+    for v, owner in mates.items():
+        if side.get(v) == Y_SIDE and owner is not None:
+            if mate.get(owner) != v:
                 raise RuntimeError(
                     f"auction inconsistency: item {v} claims {owner}"
                 )
-            if owner is not None:
-                mate[v] = owner
+            mate[v] = owner
     return Matching.from_mate_map(mate), net

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..congest.network import Network
 from ..congest.policies import CONGEST, BandwidthPolicy
+from ..congest.runtime import as_network, register_map
 from ..graphs.graph import Edge, Graph, edge_key
 from ..matching.core import Matching
 
@@ -149,14 +150,16 @@ def distributed_b_matching(graph: Graph, capacity: Dict[int, int],
     Returns the adopted edge set and the network (for metrics).  The result
     is maximal: no further edge fits the residual capacities.
     """
+    network = as_network(network) if network is not None else None
     net = network if network is not None else Network(graph, policy=policy, seed=seed)
     shared = {"capacity": dict(capacity)}
     result = net.run(BMatchingNode, protocol="b_matching", shared=shared)
 
     edges: Set[Edge] = set()
-    adopted_map: Dict[int, Set[int]] = {}
-    for v, out in result.outputs.items():
-        adopted_map[v] = set(out["adopted"]) if out else set()
+    adopted_map: Dict[int, Set[int]] = {
+        v: set(a or []) for v, a in
+        register_map(result.outputs, key="adopted").items()
+    }
     for v, nbrs in adopted_map.items():
         for u in nbrs:
             if v not in adopted_map.get(u, set()):

@@ -20,9 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..congest.events import Augmentation, PhaseEnd, PhaseStart
+from ..congest.events import Augmentation
 from ..congest.network import Network
 from ..congest.policies import PIPELINE, BandwidthPolicy
+from ..congest.runtime import PhaseDriver, ProtocolResult
 from ..graphs.graph import BipartiteGraph, Edge, Graph, GraphError
 from ..matching.core import Matching
 from .bipartite_counting import X_SIDE, Y_SIDE, leaders_of, run_counting
@@ -76,60 +77,51 @@ def augment_to_level(network: Network, side: SideMap, mate: MateMap,
     max_degree = network.graph.max_degree
     stats = AugmentationStats()
     mate = dict(mate)
-    observed = network.wants(PhaseStart)
+    driver = PhaseDriver(network, label)
     for ell in range(1, max_ell + 1, 2):
         phase = f"ell={ell}"
-        if observed:
-            network.emit(PhaseStart(algorithm=label, phase=phase))
-        cap = _value_cap(n, max_degree, ell)
-        iterations = 0
-        applied_total = 0
-        while True:
-            outputs = run_counting(network, side, mate, ell, allowed)
-            network.global_check()
-            leaders = leaders_of(outputs, side, mate, ell)
-            if not leaders:
-                break
-            iterations += 1
-            mate, applied = run_token_selection(
-                network, side, mate, ell, outputs, cap
-            )
-            if applied == 0:
-                raise RuntimeError(
-                    "token selection made no progress despite live leaders "
-                    "(protocol invariant violated)"
+        with driver.phase(phase) as ph:
+            cap = _value_cap(n, max_degree, ell)
+            iterations = 0
+            applied_total = 0
+            while True:
+                outputs = run_counting(network, side, mate, ell, allowed)
+                network.global_check()
+                leaders = leaders_of(outputs, side, mate, ell)
+                if not leaders:
+                    break
+                iterations += 1
+                mate, applied = run_token_selection(
+                    network, side, mate, ell, outputs, cap
                 )
-            applied_total += applied
-            if network.wants(Augmentation):
-                size = sum(1 for m in mate.values() if m is not None) // 2
-                network.emit(Augmentation(algorithm=label, phase=phase,
-                                          paths=applied, size=size))
-        matched = sum(1 for v, m in mate.items() if m is not None)
-        stats.phases.append(PhaseStats(
-            ell=ell,
-            iterations=iterations,
-            paths_applied=applied_total,
-            matching_size=matched // 2,
-        ))
-        if observed:
-            network.emit(PhaseEnd(algorithm=label, phase=phase, detail={
-                "iterations": iterations,
-                "paths_applied": applied_total,
-                "matching_size": matched // 2,
-            }))
+                if applied == 0:
+                    raise RuntimeError(
+                        "token selection made no progress despite live "
+                        "leaders (protocol invariant violated)"
+                    )
+                applied_total += applied
+                if driver.wants(Augmentation):
+                    size = sum(1 for m in mate.values() if m is not None) // 2
+                    driver.emit_augmentation(phase=phase, paths=applied,
+                                             size=size)
+            matched = sum(1 for v, m in mate.items() if m is not None)
+            stats.phases.append(PhaseStats(
+                ell=ell,
+                iterations=iterations,
+                paths_applied=applied_total,
+                matching_size=matched // 2,
+            ))
+            ph.set_detail(iterations=iterations,
+                          paths_applied=applied_total,
+                          matching_size=matched // 2)
     return mate, stats
 
 
 @dataclass
-class BipartiteMCMResult:
-    matching: Matching
-    stats: AugmentationStats
-    network: Network
+class BipartiteMCMResult(ProtocolResult):
+    """Result of Theorem 3.10's driver: matching plus the phase schedule."""
 
-    @property
-    def metrics(self):
-        """Total distributed cost of this call (the run network's account)."""
-        return self.network.metrics if self.network is not None else None
+    stats: AugmentationStats = field(default_factory=AugmentationStats)
 
 
 def side_map_of(graph: Graph) -> SideMap:

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..congest.events import CheckerVerdict
 from ..congest.network import Network
 from ..congest.node import BROADCAST, Inbox, NodeAlgorithm, NodeContext, Outbox
+from ..congest.runtime import as_network, register_map
 
 _FREE_TAG = -1  # registers are node ids; -1 encodes NULL on the wire
 
@@ -83,8 +84,8 @@ def _complaints(result) -> Set[int]:
     no snapshot/diff of the network's cumulative account needed.
     """
     assert result.metrics.rounds <= 1, "checker must finish in one round"
-    return {v for v, out in result.outputs.items()
-            if out is None or not out["ok"]}
+    verdicts = register_map(result.outputs, key="ok", default=False)
+    return {v for v, ok in verdicts.items() if not ok}
 
 
 def _verdict(network: Network, checker: str, complaints: Set[int]) -> Set[int]:
@@ -98,6 +99,7 @@ def _verdict(network: Network, checker: str, complaints: Set[int]) -> Set[int]:
 def check_matching(network: Network,
                    mate: Dict[int, Optional[int]]) -> Set[int]:
     """Run the one-round register check; returns the complaining nodes."""
+    network = as_network(network)
     return _verdict(network, "check_matching", _complaints(network.run(
         MatchingCheckNode,
         protocol="check_matching",
@@ -109,6 +111,7 @@ def check_matching(network: Network,
 def check_maximality(network: Network,
                      mate: Dict[int, Optional[int]]) -> Set[int]:
     """Run the one-round maximality check; returns free-free witnesses."""
+    network = as_network(network)
     return _verdict(network, "check_maximality", _complaints(network.run(
         MaximalityCheckNode,
         protocol="check_maximality",

@@ -26,9 +26,9 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
-from ..congest.events import PhaseEnd, PhaseStart
 from ..congest.network import Network
 from ..congest.policies import PIPELINE, BandwidthPolicy
+from ..congest.runtime import PhaseDriver, ProtocolResult
 from ..congest.utilities import exchange_tokens
 from ..graphs.graph import Edge, Graph, edge_key
 from ..matching.core import Matching
@@ -50,16 +50,11 @@ class IterationStats:
 
 
 @dataclass
-class GeneralMCMResult:
-    matching: Matching
-    iterations: List[IterationStats] = field(default_factory=list)
-    network: Optional[Network] = None
-    certified: bool = False
+class GeneralMCMResult(ProtocolResult):
+    """Result of Algorithm 4: matching plus the per-iteration trace."""
 
-    @property
-    def metrics(self):
-        """Total distributed cost of this call (the run network's account)."""
-        return self.network.metrics if self.network is not None else None
+    iterations: List[IterationStats] = field(default_factory=list)
+    certified: bool = False
 
     @property
     def iterations_used(self) -> int:
@@ -107,34 +102,28 @@ def general_mcm(graph: Graph, k: int, seed: int = 0,
         patience = 4 * 4 ** k
 
     quiet_streak = 0
-    observed = net.wants(PhaseStart)
+    driver = PhaseDriver(net, "general_mcm")
     for iteration in range(1, budget + 1):
-        if observed:
-            net.emit(PhaseStart(algorithm="general_mcm",
-                                phase=f"iteration={iteration}"))
-        colors = {v: RED if net.node_rng(v, salt=iteration).random() < color_bias
-                  else BLUE for v in graph.nodes}
-        exchange_tokens(net, colors)  # one round: everyone learns neighbor colors
+        with driver.phase(f"iteration={iteration}") as ph:
+            colors = {v: RED if net.node_rng(v, salt=iteration).random() < color_bias
+                      else BLUE for v in graph.nodes}
+            exchange_tokens(net, colors)  # one round: everyone learns neighbor colors
 
-        side, allowed = _sampled_bipartite(graph, mate, colors)
-        mate, stats = augment_to_level(net, side, mate, 2 * k - 1, allowed,
-                                       label="general_mcm")
-        applied = stats.total_paths
-        matched = sum(1 for m in mate.values() if m is not None) // 2
-        result.iterations.append(IterationStats(
-            iteration=iteration,
-            sampled_nodes=sum(1 for s in side.values() if s is not None),
-            sampled_edges=len(allowed),
-            paths_applied=applied,
-            matching_size=matched,
-        ))
-        if observed:
-            net.emit(PhaseEnd(algorithm="general_mcm",
-                              phase=f"iteration={iteration}", detail={
-                                  "paths_applied": applied,
-                                  "matching_size": matched,
-                                  "sampled_edges": len(allowed),
-                              }))
+            side, allowed = _sampled_bipartite(graph, mate, colors)
+            mate, stats = augment_to_level(net, side, mate, 2 * k - 1, allowed,
+                                           label="general_mcm")
+            applied = stats.total_paths
+            matched = sum(1 for m in mate.values() if m is not None) // 2
+            result.iterations.append(IterationStats(
+                iteration=iteration,
+                sampled_nodes=sum(1 for s in side.values() if s is not None),
+                sampled_edges=len(allowed),
+                paths_applied=applied,
+                matching_size=matched,
+            ))
+            ph.set_detail(paths_applied=applied,
+                          matching_size=matched,
+                          sampled_edges=len(allowed))
 
         if applied == 0:
             quiet_streak += 1

@@ -9,8 +9,9 @@ The paper's three-step recipe, implemented faithfully:
    The union of the leaders' path sets is exactly C_M(ell).
 2. *MIS* (Luby): the conflict graph is itself a distributed network —
    Lemma 3.5 emulates any algorithm on it with an O(ell) slowdown.  We run
-   :class:`LubyMISNode` on the conflict graph and charge
-   ``mis_rounds * ell`` physical rounds plus the exchanged traffic.
+   :class:`LubyMISNode` on the conflict graph as a
+   :class:`~repro.congest.runtime.Subnetwork` of the physical network and
+   charge ``mis_rounds * ell`` physical rounds plus the exchanged traffic.
 3. *Augmentation*: the selected (independent → vertex-disjoint) paths are
    applied; leaders notify along their paths (ell rounds charged).
 
@@ -21,12 +22,13 @@ shorter than 2k+1 and hence a (1 - 1/(k+1))-approximation (Lemmas 3.2/3.3)
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..congest.events import Augmentation, PhaseEnd, PhaseStart
 from ..congest.network import Network
 from ..congest.policies import LOCAL
+from ..congest.runtime import PhaseDriver, ProtocolResult
 from ..graphs.graph import Graph
 from ..matching.conflict import ConflictGraph
 from ..matching.core import Matching
@@ -45,15 +47,10 @@ class GenericPhase:
 
 
 @dataclass
-class GenericMCMResult:
-    matching: Matching
-    phases: List[GenericPhase] = field(default_factory=list)
-    network: Optional[Network] = None
+class GenericMCMResult(ProtocolResult):
+    """Result of Algorithm 1: the matching plus per-phase MIS traces."""
 
-    @property
-    def metrics(self):
-        """Total distributed cost of this call (the run network's account)."""
-        return self.network.metrics if self.network is not None else None
+    phases: List[GenericPhase] = field(default_factory=list)
 
 
 def _paths_from_views(views, graph_nodes, mate, ell) -> List[Path]:
@@ -95,66 +92,90 @@ def _conflict_from_paths(paths: List[Path], ell: int) -> ConflictGraph:
     )
 
 
+def _run_mis(net: Network, driver: PhaseDriver, conflict: ConflictGraph,
+             ell: int, seed: int, subnetworks: str):
+    """Luby MIS on the conflict graph; returns (mis, mis_rounds).
+
+    The ``"inherit"`` path runs the MIS as a :class:`Subnetwork`: seeds
+    spawn from the parent stream, faults and the event bus carry over, and
+    the Lemma 3.5 emulation charge plus the leader-to-leader traffic are
+    folded on exit.  ``"detached"`` reproduces the historical standalone
+    sub-``Network`` (deprecated shim).
+    """
+    if subnetworks == "detached":
+        warnings.warn(
+            "generic_mcm(subnetworks='detached') reproduces the deprecated "
+            "standalone MIS sub-Network (no fault/bus inheritance, ad-hoc "
+            "seeds); use the default subnetworks='inherit'",
+            DeprecationWarning, stacklevel=3)
+        mis_net = Network(conflict.as_graph(), policy=LOCAL,
+                          seed=seed * 31 + ell, observe=net.bus)
+        mis = luby_mis(mis_net, context=f"conflict ell={ell}")
+        mis_rounds = mis_net.metrics.rounds
+        net.metrics.charge_rounds("mis_emulation", mis_rounds * ell)
+        net.metrics.messages += mis_net.metrics.messages
+        net.metrics.total_bits += mis_net.metrics.total_bits
+        net.metrics.max_message_bits = max(
+            net.metrics.max_message_bits, mis_net.metrics.max_message_bits
+        )
+        return mis, mis_rounds
+    # Lemma 3.5: each conflict-graph round costs O(ell) physical rounds;
+    # traffic between leaders is carried by the real network (fold_traffic)
+    with driver.subnetwork(conflict.as_graph(), label="conflict",
+                           phase=f"conflict ell={ell}",
+                           policy=LOCAL, seed_path=(ell,),
+                           emulation_factor=ell, fold_traffic=True,
+                           charge_label="mis_emulation") as sub:
+        mis = luby_mis(sub, context=f"conflict ell={ell}")
+        mis_rounds = sub.rounds
+    return mis, mis_rounds
+
+
 def generic_mcm(graph: Graph, k: int, seed: int = 0,
-                network: Optional[Network] = None) -> GenericMCMResult:
+                network: Optional[Network] = None,
+                subnetworks: str = "inherit") -> GenericMCMResult:
     """Run Algorithm 1 with k phases (eps = 1/(k+1))."""
     if k < 1:
         raise ValueError("k must be at least 1")
+    if subnetworks not in ("inherit", "detached"):
+        raise ValueError("subnetworks must be 'inherit' or 'detached'")
     net = network if network is not None else Network(graph, policy=LOCAL, seed=seed)
     matching = Matching()
     result = GenericMCMResult(matching=matching, network=net)
 
-    observed = net.wants(PhaseStart)
+    driver = PhaseDriver(net, "generic_mcm")
     for ell in range(1, 2 * k, 2):
-        if observed:
-            net.emit(PhaseStart(algorithm="generic_mcm", phase=f"ell={ell}"))
-        mate = {v: matching.mate(v) for v in graph.nodes}
-        views = flood_views(net, mate, rounds=2 * ell)
-        paths = _paths_from_views(views, graph.nodes, mate, ell)
-        conflict = _conflict_from_paths(paths, ell)
+        with driver.phase(f"ell={ell}") as ph:
+            mate = {v: matching.mate(v) for v in graph.nodes}
+            views = flood_views(net, mate, rounds=2 * ell)
+            paths = _paths_from_views(views, graph.nodes, mate, ell)
+            conflict = _conflict_from_paths(paths, ell)
 
-        mis_rounds = 0
-        selected: List[Path] = []
-        if conflict.num_nodes:
-            # the emulated conflict-graph network shares the outer bus, so
-            # its MIS decisions land on the same timeline
-            mis_net = Network(conflict.as_graph(), policy=LOCAL,
-                              seed=seed * 31 + ell, observe=net.bus)
-            mis = luby_mis(mis_net, context=f"conflict ell={ell}")
-            mis_rounds = mis_net.metrics.rounds
-            # Lemma 3.5: each conflict-graph round costs O(ell) physical
-            # rounds; traffic between leaders is carried by the real network
-            net.metrics.charge_rounds("mis_emulation", mis_rounds * ell)
-            net.metrics.messages += mis_net.metrics.messages
-            net.metrics.total_bits += mis_net.metrics.total_bits
-            net.metrics.max_message_bits = max(
-                net.metrics.max_message_bits, mis_net.metrics.max_message_bits
-            )
-            selected = [conflict.paths[i] for i in sorted(mis)]
-            assert conflict.independent(sorted(mis))
-            for p in selected:
-                matching.augment(p)
-            net.metrics.charge_rounds("augmentation", ell)
-            if selected and net.wants(Augmentation):
-                net.emit(Augmentation(algorithm="generic_mcm",
-                                      phase=f"ell={ell}",
-                                      paths=len(selected),
-                                      size=matching.size))
+            mis_rounds = 0
+            selected: List[Path] = []
+            if conflict.num_nodes:
+                mis, mis_rounds = _run_mis(net, driver, conflict, ell, seed,
+                                           subnetworks)
+                selected = [conflict.paths[i] for i in sorted(mis)]
+                assert conflict.independent(sorted(mis))
+                for p in selected:
+                    matching.augment(p)
+                net.metrics.charge_rounds("augmentation", ell)
+                if selected:
+                    driver.emit_augmentation(phase=f"ell={ell}",
+                                             paths=len(selected),
+                                             size=matching.size)
 
-        result.phases.append(GenericPhase(
-            ell=ell,
-            conflict_nodes=conflict.num_nodes,
-            mis_size=len(selected),
-            mis_rounds=mis_rounds,
-            matching_size=matching.size,
-        ))
-        if observed:
-            net.emit(PhaseEnd(algorithm="generic_mcm", phase=f"ell={ell}",
-                              detail={
-                                  "conflict_nodes": conflict.num_nodes,
-                                  "mis_size": len(selected),
-                                  "matching_size": matching.size,
-                              }))
+            result.phases.append(GenericPhase(
+                ell=ell,
+                conflict_nodes=conflict.num_nodes,
+                mis_size=len(selected),
+                mis_rounds=mis_rounds,
+                matching_size=matching.size,
+            ))
+            ph.set_detail(conflict_nodes=conflict.num_nodes,
+                          mis_size=len(selected),
+                          matching_size=matching.size)
 
     result.matching = matching
     return result

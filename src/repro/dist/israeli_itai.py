@@ -24,6 +24,7 @@ from typing import Dict, Iterable, Optional, Set, Tuple
 
 from ..congest.network import Network
 from ..congest.node import BROADCAST, Inbox, NodeAlgorithm, NodeContext, Outbox
+from ..congest.runtime import as_network, register_map
 from ..graphs.graph import Edge, edge_key
 from ..matching.core import Matching
 
@@ -127,7 +128,9 @@ def israeli_itai(network: Network,
     ``initial`` seeds a pre-existing matching whose nodes sit out;
     ``allowed_edges`` restricts proposals to a subgraph.  The result is
     maximal on the eligible subgraph and always contains ``initial``.
+    ``network`` may also be a :class:`~repro.congest.runtime.Subnetwork`.
     """
+    network = as_network(network)
     graph = network.graph
     initial = initial if initial is not None else Matching()
     shared: Dict[str, object] = {
@@ -143,6 +146,4 @@ def israeli_itai(network: Network,
         max_rounds=max_rounds,
     )
 
-    mate_map = {v: out["mate"] if out else None
-                for v, out in result.outputs.items()}
-    return Matching.from_mate_map(mate_map)
+    return Matching.from_mate_map(register_map(result.outputs))

@@ -21,6 +21,7 @@ from typing import Optional, Set
 from ..congest.events import MISDecision
 from ..congest.network import Network
 from ..congest.node import BROADCAST, Inbox, NodeAlgorithm, NodeContext, Outbox
+from ..congest.runtime import as_network
 
 _JOIN = "J"
 _DOMINATED = "D"
@@ -80,7 +81,12 @@ class LubyMISNode(NodeAlgorithm):
 
 def luby_mis(network: Network, max_rounds: Optional[int] = None,
              context: str = "luby_mis") -> Set[int]:
-    """Compute an MIS of ``network.graph``; returns the member node ids."""
+    """Compute an MIS of ``network.graph``; returns the member node ids.
+
+    ``network`` may also be a :class:`~repro.congest.runtime.Subnetwork`,
+    so drivers can run the MIS directly inside a ``with`` block.
+    """
+    network = as_network(network)
     result = network.run(LubyMISNode, protocol="luby_mis", max_rounds=max_rounds)
     if network.wants(MISDecision):
         for v in sorted(result.outputs):

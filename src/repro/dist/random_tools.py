@@ -4,7 +4,63 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Sequence, Tuple, Union
+
+_MASK64 = (1 << 64) - 1
+#: splitmix64 increment / finalizer constants (Steele et al.); the same
+#: golden-ratio multiplier already mixes ``Network.node_rng`` streams.
+_GAMMA = 0x9E3779B97F4A7C15
+_MIX_A = 0xBF58476D1CE4E5B9
+_MIX_B = 0x94D049BB133111EB
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+PathElement = Union[int, str]
+
+
+def _splitmix64(x: int) -> int:
+    """One splitmix64 finalization step (64-bit avalanche)."""
+    x = (x + _GAMMA) & _MASK64
+    x = ((x ^ (x >> 30)) * _MIX_A) & _MASK64
+    x = ((x ^ (x >> 27)) * _MIX_B) & _MASK64
+    return x ^ (x >> 31)
+
+
+def _fold(state: int, element: PathElement) -> int:
+    """Fold one path element into a 64-bit state.
+
+    Strings are hashed with FNV-1a over their UTF-8 bytes — *not* the
+    builtin ``hash``, which is salted per interpreter process and would
+    destroy reproducibility across runs.
+    """
+    if isinstance(element, str):
+        h = _FNV_OFFSET
+        for byte in element.encode("utf-8"):
+            h = ((h ^ byte) * _FNV_PRIME) & _MASK64
+        element = h
+    return _splitmix64(state ^ (element & _MASK64))
+
+
+def spawn_seed(seed: int, *path: PathElement) -> int:
+    """Derive a child seed from ``seed`` along a labelled path.
+
+    Replaces the ad-hoc linear formulas the drivers used to hand-roll
+    (``seed * 31 + ell``, ``seed * 131 + it * 17 + c``) with a proper
+    seed sequence: each path element — an int (iteration, class index)
+    or a stable string label ("conflict", "class_mis") — is folded into
+    a splitmix64 chain, so sibling streams are decorrelated even when
+    their indices collide arithmetically, and the derivation is stable
+    across Python versions and processes.
+    """
+    state = _splitmix64(seed & _MASK64)
+    for element in path:
+        state = _fold(state, element)
+    return state
+
+
+def spawn_rng(seed: int, *path: PathElement) -> random.Random:
+    """A ``random.Random`` seeded by :func:`spawn_seed`."""
+    return random.Random(spawn_seed(seed, *path))
 
 
 def sample_max_uniform(rng: random.Random, count: int, cap: int) -> int:

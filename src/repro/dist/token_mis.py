@@ -28,6 +28,7 @@ from typing import Dict, Optional, Set, Tuple
 from ..congest.events import TokenCollision
 from ..congest.network import Network
 from ..congest.node import Inbox, NodeAlgorithm, NodeContext, Outbox
+from ..congest.runtime import register_map
 from ..graphs.graph import Edge
 from .bipartite_counting import CountState, X_SIDE, Y_SIDE
 from .random_tools import sample_max_uniform, weighted_choice
@@ -159,13 +160,7 @@ def run_token_selection(network: Network, side: Dict[int, Optional[int]],
         },
         max_rounds=2 * ell + 6,
     )
-    new_mate: Dict[int, Optional[int]] = {}
-    applied = 0
-    for v, out in result.outputs.items():
-        if out is None:
-            new_mate[v] = mate.get(v)
-            continue
-        new_mate[v] = out["mate"]
-        if out["confirmed"]:
-            applied += 1
+    new_mate = register_map(result.outputs, fallback=mate)
+    applied = sum(1 for out in result.outputs.values()
+                  if out is not None and out["confirmed"])
     return new_mate, applied

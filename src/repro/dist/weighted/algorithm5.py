@@ -14,18 +14,29 @@ Black boxes:
 * ``class_greedy`` (default) — the Lemma 4.4 substitute, delta = 1/5;
 * ``local_greedy`` — Preis-style 1/2-MWM, delta = 1/2 (fewer iterations, no
   worst-case round bound);
-* any callable ``(graph, seed) -> (Matching, Network)``.
+* any callable ``(graph, seed, network) -> (Matching, Network)`` — run on a
+  :class:`~repro.congest.runtime.Subnetwork` of the parent (faults, bus and
+  accounting inherited).  The historical two-argument form
+  ``(graph, seed) -> (Matching, Network)`` still works but is deprecated:
+  it builds a detached network that inherits nothing.
+
+The black box runs over the same physical network, so its cost is absorbed
+verbatim into the parent metrics (``fold="absorb"``); the per-iteration
+sub-seed keeps the historical ``seed * 7919 + i`` derivation (golden-pinned
+by the experiment suite) and is passed explicitly to the subnetwork.
 """
 
 from __future__ import annotations
 
+import inspect
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
-from ...congest.events import Augmentation, PhaseEnd, PhaseStart
 from ...congest.network import Network
 from ...congest.policies import CONGEST, BandwidthPolicy
+from ...congest.runtime import PhaseDriver, ProtocolResult, Subnetwork
 from ...congest.utilities import exchange_tokens
 from ...graphs.graph import Graph
 from ...matching.core import Matching
@@ -33,7 +44,7 @@ from .class_greedy import class_greedy_mwm
 from .gain import apply_wraps, residual_graph
 from .local_greedy import local_greedy_mwm
 
-BlackBox = Callable[[Graph, int], Tuple[Matching, Network]]
+BlackBox = Callable[..., Tuple[Matching, Network]]
 
 BLACK_BOX_DELTA = {
     "class_greedy": 1.0 / 5.0,
@@ -51,16 +62,11 @@ class WeightedIteration:
 
 
 @dataclass
-class MWMResult:
-    matching: Matching
-    iterations: List[WeightedIteration] = field(default_factory=list)
-    network: Optional[Network] = None
-    delta: float = 0.0
+class MWMResult(ProtocolResult):
+    """Result of Algorithm 5: the matching plus the per-iteration trace."""
 
-    @property
-    def metrics(self):
-        """Total distributed cost of this call (the run network's account)."""
-        return self.network.metrics if self.network is not None else None
+    iterations: List[WeightedIteration] = field(default_factory=list)
+    delta: float = 0.0
 
     @property
     def iterations_used(self) -> int:
@@ -76,16 +82,46 @@ def default_iterations(delta: float, eps: float) -> int:
     return math.ceil((3.0 / (2.0 * delta)) * math.log(2.0 / eps))
 
 
-def _resolve_black_box(black_box) -> Tuple[BlackBox, float]:
+def _resolve_black_box(black_box) -> Tuple[BlackBox, float, bool]:
+    """Returns (runner, delta, composable).
+
+    A *composable* runner accepts ``network=`` and runs on the subnetwork;
+    a legacy two-argument callable is detached (deprecated shim).
+    """
     if callable(black_box):
-        return black_box, BLACK_BOX_DELTA["class_greedy"]
+        composable = "network" in inspect.signature(black_box).parameters
+        return black_box, BLACK_BOX_DELTA["class_greedy"], composable
     if black_box == "class_greedy":
-        return (lambda g, s: class_greedy_mwm(g, seed=s),
-                BLACK_BOX_DELTA["class_greedy"])
+        return (lambda g, s, network: class_greedy_mwm(g, seed=s,
+                                                       network=network),
+                BLACK_BOX_DELTA["class_greedy"], True)
     if black_box == "local_greedy":
-        return (lambda g, s: local_greedy_mwm(g, seed=s),
-                BLACK_BOX_DELTA["local_greedy"])
+        return (lambda g, s, network: local_greedy_mwm(g, seed=s,
+                                                       network=network),
+                BLACK_BOX_DELTA["local_greedy"], True)
     raise ValueError(f"unknown black box {black_box!r}")
+
+
+def _run_black_box(driver: PhaseDriver, box: BlackBox, composable: bool,
+                   gprime: Graph, sub_seed: int, i: int) -> Matching:
+    """One black-box invocation; cost is absorbed into the parent."""
+    net = driver.network
+    if not composable:
+        warnings.warn(
+            "black-box callables (graph, seed) -> (Matching, Network) build "
+            "a detached Network and are deprecated; accept a network= "
+            "keyword to run on the parent's Subnetwork instead",
+            DeprecationWarning, stacklevel=3)
+        selected, sub_net = box(gprime, sub_seed)
+        net.metrics.absorb(sub_net.metrics)
+        net.metrics.record_subnetwork("black_box", sub_net.metrics,
+                                      physical=True)
+        return selected
+    with driver.subnetwork(gprime, label="black_box",
+                           phase=f"black_box i={i}",
+                           seed=sub_seed, fold="absorb") as sub:
+        selected, _ = box(gprime, sub_seed, network=sub.network)
+    return selected
 
 
 def approximate_mwm(graph: Graph, eps: float = 0.1, seed: int = 0,
@@ -94,7 +130,7 @@ def approximate_mwm(graph: Graph, eps: float = 0.1, seed: int = 0,
                     iterations: Optional[int] = None,
                     network: Optional[Network] = None) -> MWMResult:
     """Run Algorithm 5; returns the matching with a per-iteration trace."""
-    box, delta = _resolve_black_box(black_box)
+    box, delta, composable = _resolve_black_box(black_box)
     if iterations is None:
         iterations = default_iterations(delta, eps)
     net = network if network is not None else Network(graph, policy=policy, seed=seed)
@@ -102,55 +138,46 @@ def approximate_mwm(graph: Graph, eps: float = 0.1, seed: int = 0,
     matching = Matching()
     result = MWMResult(matching=matching, network=net, delta=delta)
 
-    observed = net.wants(PhaseStart)
+    driver = PhaseDriver(net, "algorithm5")
     for i in range(1, iterations + 1):
-        if observed:
-            net.emit(PhaseStart(algorithm="algorithm5",
-                                phase=f"iteration={i}"))
-        # one round in which every node announces the weight of its matched
-        # edge; afterwards both endpoints of each edge can evaluate w_M
-        mate_weights = {
-            v: (graph.weight(v, matching.mate(v))
-                if matching.mate(v) is not None else 0.0)
-            for v in graph.nodes
-        }
-        exchange_tokens(net, mate_weights)
+        with driver.phase(f"iteration={i}") as ph:
+            # one round in which every node announces the weight of its
+            # matched edge; afterwards both endpoints of each edge can
+            # evaluate w_M
+            mate_weights = {
+                v: (graph.weight(v, matching.mate(v))
+                    if matching.mate(v) is not None else 0.0)
+                for v in graph.nodes
+            }
+            exchange_tokens(net, mate_weights)
 
-        gprime = residual_graph(graph, matching)
-        if gprime.num_edges == 0:
-            if observed:
-                net.emit(PhaseEnd(algorithm="algorithm5",
-                                  phase=f"iteration={i}",
-                                  detail={"residual_edges": 0}))
-            break
-        selected, sub_net = box(gprime, seed * 7919 + i)
-        net.metrics.absorb(sub_net.metrics)
+            gprime = residual_graph(graph, matching)
+            if gprime.num_edges == 0:
+                ph.set_detail(residual_edges=0)
+                break
+            selected = _run_black_box(driver, box, composable, gprime,
+                                      seed * 7919 + i, i)
 
-        before = matching.weight(graph)
-        matching = apply_wraps(graph, matching, selected.edges())
-        after = matching.weight(graph)
-        # wrap application is a constant-round local step (Theorem 4.5)
-        net.metrics.charge_rounds("wrap_apply", 2)
+            before = matching.weight(graph)
+            matching = apply_wraps(graph, matching, selected.edges())
+            after = matching.weight(graph)
+            # wrap application is a constant-round local step (Theorem 4.5)
+            net.metrics.charge_rounds("wrap_apply", 2)
 
-        result.iterations.append(WeightedIteration(
-            iteration=i,
-            residual_edges=gprime.num_edges,
-            selected_edges=selected.size,
-            gain_applied=after - before,
-            matching_weight=after,
-        ))
-        if net.wants(Augmentation) and selected.size:
-            net.emit(Augmentation(algorithm="algorithm5",
-                                  phase=f"iteration={i}",
-                                  paths=selected.size,
-                                  size=after, gain=after - before))
-        if observed:
-            net.emit(PhaseEnd(algorithm="algorithm5",
-                              phase=f"iteration={i}", detail={
-                                  "residual_edges": gprime.num_edges,
-                                  "selected_edges": selected.size,
-                                  "matching_weight": after,
-                              }))
+            result.iterations.append(WeightedIteration(
+                iteration=i,
+                residual_edges=gprime.num_edges,
+                selected_edges=selected.size,
+                gain_applied=after - before,
+                matching_weight=after,
+            ))
+            if selected.size:
+                driver.emit_augmentation(phase=f"iteration={i}",
+                                         paths=selected.size,
+                                         size=after, gain=after - before)
+            ph.set_detail(residual_edges=gprime.num_edges,
+                          selected_edges=selected.size,
+                          matching_weight=after)
 
     result.matching = matching
     return result

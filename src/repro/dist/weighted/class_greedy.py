@@ -32,6 +32,7 @@ from typing import Dict, Optional, Set, Tuple
 from ...congest.metrics import Metrics
 from ...congest.network import Network
 from ...congest.policies import CONGEST, BandwidthPolicy
+from ...congest.runtime import as_network
 from ...congest.utilities import flood_max
 from ...graphs.graph import Edge, Graph, edge_key
 from ...matching.core import Matching
@@ -57,6 +58,7 @@ def class_greedy_mwm(graph: Graph, seed: int = 0, eps: float = 0.2,
     """
     if not 0 < eps < 1:
         raise ValueError("eps must be in (0, 1)")
+    network = as_network(network) if network is not None else None
     net = network if network is not None else Network(graph, policy=policy, seed=seed)
     matching = Matching()
     if graph.num_edges == 0:

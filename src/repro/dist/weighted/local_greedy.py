@@ -19,6 +19,7 @@ from typing import Dict, Iterable, Optional, Set, Tuple
 from ...congest.network import Network
 from ...congest.node import Inbox, NodeAlgorithm, NodeContext, Outbox
 from ...congest.policies import CONGEST, BandwidthPolicy
+from ...congest.runtime import as_network, register_map
 from ...graphs.graph import Edge, Graph, edge_key
 from ...matching.core import Matching
 
@@ -101,6 +102,7 @@ def local_greedy_mwm(graph: Graph, seed: int = 0,
                      allowed_edges: Optional[Iterable[Edge]] = None,
                      network: Optional[Network] = None) -> Tuple[Matching, Network]:
     """Run the mutual-pointer 1/2-MWM; returns (matching, network)."""
+    network = as_network(network) if network is not None else None
     net = network if network is not None else Network(graph, policy=policy, seed=seed)
     initial = initial if initial is not None else Matching()
     shared: Dict[str, object] = {
@@ -109,6 +111,4 @@ def local_greedy_mwm(graph: Graph, seed: int = 0,
     if allowed_edges is not None:
         shared["allowed_edges"] = {edge_key(u, v) for u, v in allowed_edges}
     result = net.run(LocalGreedyNode, protocol="local_greedy", shared=shared)
-    mate_map = {v: out["mate"] if out else None
-                for v, out in result.outputs.items()}
-    return Matching.from_mate_map(mate_map), net
+    return Matching.from_mate_map(register_map(result.outputs)), net

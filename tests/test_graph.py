@@ -270,3 +270,89 @@ class TestBipartiteGraph:
         g = BipartiteGraph([0], [1])
         with pytest.raises(GraphError):
             g.side(9)
+
+
+class TestCSRAdjacency:
+    """Structural properties of the flat CSR snapshot (the engines' world).
+
+    Checked over a batch of random graphs plus the degenerate shapes
+    (empty, isolated nodes, non-contiguous ids) — property-style, since
+    every delivery engine assumes these invariants without rechecking.
+    """
+
+    def graphs(self):
+        import random
+
+        from repro.graphs import gnp, path_graph, star_graph, uniform_weights
+
+        yield Graph()
+        lonely = Graph()
+        lonely.add_nodes([3, 11, 7])
+        yield lonely
+        sparse = Graph()
+        sparse.add_edge(100, 5, 2.5)
+        sparse.add_edge(5, 42, 0.5)
+        sparse.add_node(9)
+        yield sparse
+        yield path_graph(6)
+        yield star_graph(5)
+        for trial in range(6):
+            yield gnp(14, 0.3, rng=random.Random(trial),
+                      weight_fn=uniform_weights())
+
+    def test_order_sorted_and_index_inverse(self):
+        for g in self.graphs():
+            csr = g.to_csr()
+            assert list(csr.order) == sorted(g.nodes)
+            assert all(csr.order[csr.index[v]] == v for v in csr.order)
+
+    def test_indptr_monotone_and_covers_all_slots(self):
+        for g in self.graphs():
+            csr = g.to_csr()
+            assert len(csr.indptr) == len(csr.order) + 1
+            assert csr.indptr[0] == 0
+            assert all(csr.indptr[i] <= csr.indptr[i + 1]
+                       for i in range(len(csr.order)))
+            assert csr.indptr[-1] == csr.num_slots == 2 * g.num_edges
+            assert all(csr.degree_of(i) == g.degree(v)
+                       for i, v in enumerate(csr.order))
+
+    def test_rows_sorted_by_neighbor_id(self):
+        for g in self.graphs():
+            csr = g.to_csr()
+            for i in range(len(csr.order)):
+                row = [csr.order[csr.indices[e]]
+                       for e in range(csr.indptr[i], csr.indptr[i + 1])]
+                assert row == sorted(row)
+
+    def test_rev_is_a_slot_involution(self):
+        for g in self.graphs():
+            csr = g.to_csr()
+            for i in range(len(csr.order)):
+                for e in range(csr.indptr[i], csr.indptr[i + 1]):
+                    r = csr.rev[e]
+                    assert csr.rev[r] == e  # involution
+                    j = csr.indices[e]
+                    # rev[e] really is the j -> i directed slot
+                    assert csr.indptr[j] <= r < csr.indptr[j + 1]
+                    assert csr.indices[r] == i
+
+    def test_weights_match_dict_adjacency(self):
+        for g in self.graphs():
+            csr = g.to_csr()
+            seen = set()
+            for i, v in enumerate(csr.order):
+                for e in range(csr.indptr[i], csr.indptr[i + 1]):
+                    u = csr.order[csr.indices[e]]
+                    assert csr.weights[e] == g.weight(v, u)
+                    assert csr.weights[csr.rev[e]] == csr.weights[e]
+                    seen.add(edge_key(v, u))
+            assert seen == {edge_key(u, v) for u, v, _ in g.edges()}
+
+    def test_snapshot_does_not_track_mutation(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        csr = g.to_csr()
+        g.add_edge(1, 2)
+        assert csr.num_slots == 2
+        assert len(g.to_csr().indices) == 4

@@ -237,15 +237,14 @@ class TestAlgorithm5:
     def test_custom_black_box_callable(self):
         calls = []
 
-        def box(g, seed):
+        def box(g, seed, network):
             calls.append(seed)
-            return local_greedy_mwm(g, seed=seed)
+            return local_greedy_mwm(g, seed=seed, network=network)
 
         g = gnp(14, 0.3, rng=4, weight_fn=uniform_weights())
         res = approximate_mwm(g, eps=0.3, seed=4, black_box=box)
         assert calls
         verify_matching(g, res.matching)
-
     def test_unknown_black_box(self):
         with pytest.raises(ValueError):
             approximate_mwm(path_graph(2), black_box="nope")

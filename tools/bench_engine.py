@@ -5,6 +5,8 @@ Run from the repo root::
     PYTHONPATH=src python tools/bench_engine.py
     PYTHONPATH=src python tools/bench_engine.py --n 2000 --rounds 80
     PYTHONPATH=src python tools/bench_engine.py --observed
+    PYTHONPATH=src python tools/bench_engine.py --json BENCH_engine.json
+    PYTHONPATH=src python tools/bench_engine.py --smoke
 
 ``--observed`` measures the observability overhead on the CSR flood
 workload: an idle bus (no subscribers), a structural
@@ -12,6 +14,15 @@ workload: an idle bus (no subscribers), a structural
 and a full per-message writer, each reported as a ratio over the
 unobserved run (acceptance: structural tracing within 1.5x; no
 subscribers within measurement noise).
+
+``--json PATH`` runs *both* sections (engine comparison and observer
+overhead) and writes a machine-readable report — rounds/sec per
+workload/engine, speedups, overhead ratios, and run metadata.  The
+committed ``BENCH_engine.json`` at the repo root is produced this way.
+
+``--smoke`` shrinks the workloads and disables the acceptance gates
+(always exit 0): a CI-friendly "does the harness still run" check —
+shared runners are far too noisy for timing gates.
 
 Two workloads, both seeded and engine-independent in outcome:
 
@@ -29,6 +40,8 @@ expected to show a >= 3x rounds/sec advantage for the CSR engine.
 from __future__ import annotations
 
 import argparse
+import json
+import platform
 import time
 
 import os
@@ -100,17 +113,25 @@ def _israeli(engine: str, n_side: int, p: float, seed: int = 0,
     return done / best, best, edges
 
 
-def _report(name: str, legacy, csr) -> float:
+def _report(name: str, legacy, csr, record=None) -> float:
     (rs_legacy, t_legacy, out_legacy) = legacy
     (rs_csr, t_csr, out_csr) = csr
     assert out_csr == out_legacy, f"{name}: engines disagree on outputs!"
     speedup = rs_csr / rs_legacy
     print(f"{name:>14}: legacy {rs_legacy:8.1f} r/s ({t_legacy:.3f}s)   "
           f"csr {rs_csr:8.1f} r/s ({t_csr:.3f}s)   speedup {speedup:.2f}x")
+    if record is not None:
+        record[name] = {
+            "legacy_rounds_per_sec": round(rs_legacy, 1),
+            "csr_rounds_per_sec": round(rs_csr, 1),
+            "legacy_seconds": round(t_legacy, 4),
+            "csr_seconds": round(t_csr, 4),
+            "speedup": round(speedup, 2),
+        }
     return speedup
 
 
-def _bench_observed(n_side: int, p: float, rounds: int) -> int:
+def _bench_observed(n_side: int, p: float, rounds: int, record=None) -> int:
     """Subscriber-overhead ratios on the CSR flood workload."""
     tmpdir = tempfile.mkdtemp(prefix="bench_observed_")
 
@@ -146,10 +167,17 @@ def _bench_observed(n_side: int, p: float, rounds: int) -> int:
             ratio = baseline_rs / rs
         if name in ("idle bus", "structural trace"):
             worst_structural = max(worst_structural, ratio)
+        if record is not None:
+            record[name] = {
+                "rounds_per_sec": round(rs, 1),
+                "overhead_ratio": round(ratio, 2),
+            }
         print(f"{name:>20}: {rs:8.1f} r/s ({t:.3f}s)   "
               f"overhead {ratio:.2f}x")
     print(f"headline: structural tracing costs {worst_structural:.2f}x "
           f"(target <= 1.5x; per-message capture is opt-in and unbounded)")
+    if record is not None:
+        record["worst_structural_ratio"] = round(worst_structural, 2)
     return 0 if worst_structural <= 1.5 else 1
 
 
@@ -166,24 +194,67 @@ def main(argv=None) -> int:
     parser.add_argument("--observed", action="store_true",
                         help="measure event-bus subscriber overhead on the "
                              "CSR flood workload instead")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="run both sections and write a machine-"
+                             "readable report (BENCH_engine.json)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workloads, no timing gates (CI)")
     args = parser.parse_args(argv)
+    if args.smoke:
+        args.n = min(args.n, 200)
+        args.rounds = min(args.rounds, 10)
+        args.p = max(args.p, 0.04)  # keep the tiny graph connected enough
     n_side = max(1, args.n // 2)
 
-    if args.observed:
-        return _bench_observed(n_side, args.p, args.rounds)
+    if args.observed and args.json is None:
+        status = _bench_observed(n_side, args.p, args.rounds)
+        return 0 if args.smoke else status
 
     print(f"graph: random_bipartite({n_side}, {n_side}, {args.p}), seed 0")
+    engines = {}
     flood_speedup = _report(
         "flood",
         _flood("legacy", n_side, args.p, args.rounds),
-        _flood("csr", n_side, args.p, args.rounds))
+        _flood("csr", n_side, args.p, args.rounds),
+        record=engines)
     _report(
         "israeli_itai",
         _israeli("legacy", n_side, args.p),
-        _israeli("csr", n_side, args.p))
+        _israeli("csr", n_side, args.p),
+        record=engines)
     print(f"headline: CSR engine delivers {flood_speedup:.2f}x rounds/sec "
           f"on the flood workload (target >= 3x)")
-    return 0 if flood_speedup >= 3.0 else 1
+    status = 0 if flood_speedup >= 3.0 else 1
+
+    if args.json is not None:
+        observed = {}
+        status = max(status,
+                     _bench_observed(n_side, args.p, args.rounds,
+                                     record=observed))
+        report = {
+            "meta": {
+                "tool": "tools/bench_engine.py",
+                "graph": f"random_bipartite({n_side}, {n_side}, {args.p})",
+                "nodes": 2 * n_side,
+                "flood_rounds": args.rounds,
+                "python": platform.python_version(),
+                "machine": platform.machine(),
+                "smoke": bool(args.smoke),
+            },
+            "engines": engines,
+            "observed_overhead": observed,
+            "gates": {
+                "flood_speedup_target": 3.0,
+                "structural_overhead_target": 1.5,
+                "passed": status == 0,
+            },
+        }
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+
+    return 0 if args.smoke else status
 
 
 if __name__ == "__main__":
