@@ -1,0 +1,303 @@
+"""Vectorized superstep kernels: the array-native fast path of the engine.
+
+The paper's protocols are bulk-synchronous supersteps in which every node
+runs the *same* small transition function, so — following the standard
+BSP/Pregel observation (Malewicz et al., SIGMOD 2010) — whole rounds can be
+executed as operations over packed per-node state arrays and the flat CSR
+adjacency instead of a Python loop of :class:`~repro.congest.node.
+NodeAlgorithm` objects with dict inboxes/outboxes.
+
+A protocol opts in by registering a :class:`RoundKernel` for its node class
+(:func:`register_kernel`); :meth:`Network.run <repro.congest.network.
+Network.run>` then selects the kernel automatically whenever nothing forces
+the per-node path.  The kernel fast path is **golden-equivalent** to per-node
+dispatch — identical outputs, round counts, :class:`~repro.congest.metrics.
+Metrics`, per-node random streams, and structural event stream
+(``RoundStart``/``RoundEnd``), enforced by ``tests/test_kernels.py``.  The
+per-node path remains the executable specification; kernels are an
+optimization, never a semantic fork.
+
+Selection rules (``Network._select_kernel``):
+
+* the engine must be ``"csr"`` (``engine="node"`` runs batched delivery with
+  per-node dispatch; ``engine="legacy"`` is the dict reference engine);
+* :data:`NO_KERNELS_ENV` (``REPRO_NO_KERNELS=1``) globally disables kernels;
+* the run's node factory must be *exactly* a registered class — subclasses
+  fall back to per-node dispatch, since they may override behavior;
+* no per-message observer may be subscribed (``bus.wants(MESSAGE_DELIVERED)``
+  — e.g. an attached :class:`~repro.congest.tracing.Tracer`), no fault
+  injection may be active, and the bandwidth policy must be a plain
+  :class:`~repro.congest.policies.BandwidthPolicy` (subclasses might price
+  per edge, which kernels memoize away).
+
+numpy is optional: kernels use it for bulk array passes when importable and
+fall back to tight pure-python array code otherwise (``_np`` is the module
+handle; tests monkeypatch it to ``None`` to exercise the fallback).
+
+Randomness: kernels draw per-node randomness from ``random.Random`` objects
+seeded by the same :meth:`~repro.congest.network.Network.node_rng` splitmix64
+chain the per-node path uses, created lazily per node and persisted across
+rounds, with draws issued in exactly the per-node call order — which is what
+makes the streams bit-identical.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+
+try:  # numpy is an optional accelerator, never a requirement
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised via monkeypatch in tests
+    _np = None
+
+from .events import ROUND_END, ROUND_START, RoundEnd, RoundStart
+from .network import Network, ProtocolError, RunResult
+
+#: Environment variable disabling kernel selection entirely
+#: (value ``1``/``true``/``yes``/``on``): every run takes the per-node path.
+NO_KERNELS_ENV = "REPRO_NO_KERNELS"
+
+
+def kernels_enabled() -> bool:
+    """False when :data:`NO_KERNELS_ENV` opts out of the fast path."""
+    flag = os.environ.get(NO_KERNELS_ENV, "").strip().lower()
+    return flag not in ("1", "true", "yes", "on")
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: Dict[Any, Type["RoundKernel"]] = {}
+
+
+def register_kernel(node_cls: type) -> Callable[[type], type]:
+    """Class decorator registering a :class:`RoundKernel` for ``node_cls``.
+
+    ::
+
+        @register_kernel(LubyMISNode)
+        class LubyMISKernel(RoundKernel):
+            ...
+
+    Registration is by exact class: a *subclass* of ``node_cls`` passed as a
+    run's factory does not select the kernel (it may override behavior).
+    """
+
+    def decorate(kernel_cls: type) -> type:
+        kernel_cls.node_cls = node_cls
+        _REGISTRY[node_cls] = kernel_cls
+        return kernel_cls
+
+    return decorate
+
+
+def kernel_for(factory: Any) -> Optional[Type["RoundKernel"]]:
+    """The registered kernel class for a node factory, or None."""
+    try:
+        return _REGISTRY.get(factory)
+    except TypeError:  # unhashable factory object
+        return None
+
+
+def registered_kernels() -> Dict[Any, Type["RoundKernel"]]:
+    """A snapshot of the kernel registry (node class -> kernel class)."""
+    return dict(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# CSR array views
+# ---------------------------------------------------------------------------
+
+class CSRArrays:
+    """Packed views of a network's CSR adjacency for kernel consumption.
+
+    Everything is indexed by node *index* (position in ``order``) and edge
+    *slot* (position in ``indices``), exactly like :class:`~repro.graphs.
+    graph.CSRAdjacency`.  ``tgt`` maps each slot to the target node index
+    and ``rev`` to the reverse-edge slot, so a kernel can address "the
+    entry for me in my neighbor's row" in O(1) — the primitive behind
+    vectorized pruning.  When numpy is importable, ``np`` holds the module
+    and ``np_indptr``/``np_tgt``/``np_rev`` the int64 array views; when it
+    is not, ``np`` is None and kernels take their pure-python branches.
+    """
+
+    def __init__(self, net: Network) -> None:
+        csr = net.csr
+        self.order: Tuple[int, ...] = csr.order
+        self.index: Dict[int, int] = csr.index
+        self.n = len(csr.order)
+        self.num_slots = csr.num_slots
+        self.indptr = csr.indptr
+        self.tgt = csr.indices
+        self.rev = csr.rev
+        self.np = _np
+        if _np is not None:
+            self.np_indptr = _np.frombuffer(csr.indptr, dtype=_np.int64)
+            if csr.num_slots:
+                self.np_tgt = _np.frombuffer(csr.indices, dtype=_np.int64)
+                self.np_rev = _np.frombuffer(csr.rev, dtype=_np.int64)
+            else:
+                self.np_tgt = _np.zeros(0, dtype=_np.int64)
+                self.np_rev = _np.zeros(0, dtype=_np.int64)
+
+    def row(self, i: int) -> range:
+        """The slot range of node index ``i``."""
+        return range(self.indptr[i], self.indptr[i + 1])
+
+
+def csr_arrays(net: Network) -> CSRArrays:
+    """The (cached) :class:`CSRArrays` view of ``net``.
+
+    Rebuilt when the numpy backend handle changed since the cache was
+    populated (tests monkeypatch ``kernels._np`` to exercise the fallback).
+    """
+    cached = getattr(net, "_kernel_arrays", None)
+    if cached is None or cached.np is not _np:
+        cached = CSRArrays(net)
+        net._kernel_arrays = cached
+    return cached
+
+
+# ---------------------------------------------------------------------------
+# the kernel base class: the engine loop, replayed over arrays
+# ---------------------------------------------------------------------------
+
+class RoundKernel:
+    """One protocol's vectorized superstep executor.
+
+    Subclasses implement four hooks against packed array state:
+
+    * :meth:`setup` — read ``shared``, pack the initial state, perform the
+      per-node path's ``start()`` semantics (including any halts and the
+      initial traffic);
+    * :meth:`unfinished` — True while any node has not halted;
+    * :meth:`pending` — True while traffic is in flight (consulted for the
+      quiescence rule only when :attr:`passive` is True);
+    * :meth:`step` — execute one full round: price and account the pending
+      traffic (via :meth:`charge` and :meth:`record_traffic`), apply it to
+      the state arrays, compute every live node's transition, and stage the
+      next round's traffic.  Returns the pipelining charge (max extra
+      rounds over this round's messages), exactly like the engine's
+      ``_deliver``;
+    * :meth:`outputs` — the final per-node output register map.
+
+    :meth:`execute` replays ``Network.run``'s loop — the same termination
+    and quiescence rules, the same ``ProtocolError`` on the round limit,
+    the same ``RoundStart``/``RoundEnd`` emission points and payloads, and
+    the same metric recording — which is what keeps the fast path
+    observationally identical to per-node dispatch.
+    """
+
+    #: the node class this kernel replaces (set by :func:`register_kernel`)
+    node_cls: Optional[type] = None
+    #: mirror of the node program's ``passive`` flag: True enables the
+    #: engine's quiescence rule (nothing in flight and nobody will speak)
+    passive: bool = False
+
+    def __init__(self, net: Network) -> None:
+        self.net = net
+        self.arrays = csr_arrays(net)
+        self._rngs: List[Optional[random.Random]] = [None] * self.arrays.n
+
+    # -- services for subclasses ----------------------------------------
+    def accepts(self) -> bool:
+        """Last-chance veto: False sends this run down the per-node path."""
+        return True
+
+    def rng(self, i: int) -> random.Random:
+        """Node index ``i``'s private stream (lazily created, persistent).
+
+        Seeded exactly like the per-node path's ``NodeContext.rng``; since
+        creating a ``random.Random`` consumes nothing, lazy creation keeps
+        the streams bit-identical while skipping nodes that never draw.
+        """
+        r = self._rngs[i]
+        if r is None:
+            r = self.net.node_rng(self.arrays.order[i])
+            self._rngs[i] = r
+        return r
+
+    def charge(self, bits: int, sender: int, receiver: int) -> int:
+        """The policy charge for one message, memoized per bit-size.
+
+        Shares the network's per-bit-size cache with the batched engine, so
+        ``policy.charge`` is consulted exactly as often (and raises
+        ``BandwidthExceeded`` in the same round it would there).
+        """
+        cache = self.net._charge_cache
+        charge = cache.get(bits, -1)
+        if charge < 0:
+            charge = self.net.policy.charge(bits, self.arrays.n,
+                                            sender, receiver)
+            cache[bits] = charge
+        return charge
+
+    def record_traffic(self, messages: int, total_bits: int,
+                       max_bits: int) -> None:
+        """Account one round's delivered traffic (after pricing it)."""
+        self.net.metrics.record_message_batch(messages, total_bits, max_bits)
+
+    # -- subclass hooks ---------------------------------------------------
+    def setup(self, shared: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def unfinished(self) -> bool:
+        raise NotImplementedError
+
+    def pending(self) -> bool:
+        raise NotImplementedError
+
+    def step(self, round_number: int) -> int:
+        raise NotImplementedError
+
+    def outputs(self) -> Dict[int, Any]:
+        raise NotImplementedError
+
+    # -- the replayed engine loop ----------------------------------------
+    def execute(self, protocol: str, shared: Dict[str, Any], limit: int,
+                on_round_end: Optional[Callable[[int, Network], None]],
+                ) -> RunResult:
+        net = self.net
+        self.setup(shared)
+        bus = net.bus
+        metrics = net.metrics
+        rounds = 0
+        while True:
+            if not self.unfinished():
+                break
+            if self.passive and rounds > 0 and not self.pending():
+                break  # quiescent: nothing in flight, nobody will speak
+            if rounds >= limit:
+                raise ProtocolError(
+                    f"protocol {protocol!r} exceeded {limit} rounds "
+                    f"(likely a livelock)"
+                )
+            want_round_end = False
+            if bus is not None:
+                if bus.wants(ROUND_START):
+                    bus.emit(RoundStart(protocol=protocol, round=rounds + 1))
+                want_round_end = bus.wants(ROUND_END)
+                if want_round_end:
+                    msgs_before = metrics.messages
+                    bits_before = metrics.total_bits
+                    dropped_before = net.dropped
+            extra = self.step(rounds + 1)
+            rounds += 1
+            metrics.record_round(protocol, extra)
+            if want_round_end:
+                bus.emit(RoundEnd(
+                    protocol=protocol, round=rounds,
+                    messages=metrics.messages - msgs_before,
+                    bits=metrics.total_bits - bits_before,
+                    dropped=net.dropped - dropped_before,
+                ))
+            if on_round_end is not None:
+                on_round_end(rounds, net)
+        return RunResult(
+            outputs=self.outputs(),
+            rounds=rounds,
+            all_finished=not self.unfinished(),
+        )

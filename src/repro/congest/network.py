@@ -20,6 +20,13 @@ Two delivery engines share one contract:
   reference.  Both engines produce bit-identical outputs, round counts and
   metrics for the same seed; ``tests/test_engine_golden.py`` enforces it.
 
+On top of the CSR engine sits the *vectorized kernel* fast path
+(:mod:`repro.congest.kernels`): protocols that register a ``RoundKernel``
+execute whole rounds as array operations instead of per-node dispatch,
+again bit-identically (``tests/test_kernels.py``).  ``engine="node"``
+keeps batched delivery but opts out of kernels, and is therefore the
+per-node reference the kernel goldens compare against.
+
 Observability rides the :class:`~repro.congest.events.EventBus`
 (``observe=``): **both** engines emit the same structured events — attaching
 an observer never changes the engine, and dispatch is always-fast.  The
@@ -69,6 +76,11 @@ DEFAULT_MAX_ROUNDS = 100_000
 LEGACY_ENGINE_ENV = "REPRO_LEGACY_ENGINE"
 
 _UNSET = object()  # sentinel for untouched outbox slots in the mixed path
+
+#: Shared empty inbox handed to nodes with no mail this round (saves one
+#: dict allocation per silent node per round).  Node programs must treat
+#: their inbox as read-only; no program in this library mutates it.
+_EMPTY_INBOX: Dict[int, Any] = {}
 
 
 def default_engine() -> str:
@@ -126,9 +138,13 @@ class RunResult:
 class Network:
     """A simulated synchronous network over a :class:`Graph`.
 
-    ``engine`` selects the delivery implementation (``"csr"`` or
-    ``"legacy"``); by default it follows :func:`default_engine`, i.e. the
-    batched CSR engine unless ``REPRO_LEGACY_ENGINE`` is set.
+    ``engine`` selects the delivery implementation: ``"csr"`` (the batched
+    default, with the vectorized kernel fast path of
+    :mod:`repro.congest.kernels` when a protocol registers one),
+    ``"node"`` (batched delivery, kernels disabled — every run uses
+    per-node dispatch), or ``"legacy"`` (the reference dict engine).  By
+    default it follows :func:`default_engine`, i.e. ``"csr"`` unless
+    ``REPRO_LEGACY_ENGINE`` is set.
     ``max_rounds`` sets the default round limit for every :meth:`run` on
     this network (individual calls may still override it).
 
@@ -154,9 +170,25 @@ class Network:
         self._run_counter = 0
         if engine is None:
             engine = default_engine()
-        if engine not in ("csr", "legacy"):
-            raise ValueError(f"unknown engine {engine!r}; use 'csr' or 'legacy'")
+        if engine not in ("csr", "legacy", "node"):
+            raise ValueError(f"unknown engine {engine!r}; "
+                             f"use 'csr', 'legacy' or 'node'")
         self.engine = engine
+
+        # per-node random streams: splitmix64 spawn_seed chain by default,
+        # legacy additive mixing behind REPRO_ADDITIVE_NODE_RNG=1 (imported
+        # late — repro.dist's package init itself imports this module)
+        from ..dist.random_tools import (
+            additive_node_rng_requested,
+            node_seed_from_prefix,
+            node_stream_prefix,
+            node_stream_seed,
+        )
+        self._node_stream_seed = node_stream_seed
+        self._node_stream_prefix = node_stream_prefix
+        self._node_seed_from_prefix = node_seed_from_prefix
+        self._rng_additive = additive_node_rng_requested()
+        self._rng_prefix: Tuple[int, int, int] = (-1, -1, 0)  # (run, salt, pre)
 
         # observability: explicit observe= wins, else the ambient bus of an
         # enclosing `observing(...)` context, else nothing
@@ -215,15 +247,33 @@ class Network:
         # pipelining charge memoized per message bit-size (policy and n are
         # fixed for the lifetime of the network)
         self._charge_cache: Dict[int, int] = {}
+        # pooled per-receiver inbox dicts for the batched engine: reused
+        # round to round instead of reallocated (an inbox is only valid for
+        # the round it is delivered in — copy what you keep)
+        self._round_inboxes: Dict[int, Dict[int, Any]] = {}
+        self._box_pool: List[Dict[int, Any]] = []
+        self._live_boxes: List[Dict[int, Any]] = []
 
     # ------------------------------------------------------------------
     def node_rng(self, node_id: int, salt: int = 0) -> random.Random:
-        """A deterministic private random stream for a node."""
-        mixed = (self.seed * 0x9E3779B97F4A7C15
-                 + self._run_counter * 0x100000001B3
-                 + salt * 0x1003F
-                 + node_id) & ((1 << 64) - 1)
-        return random.Random(mixed)
+        """A deterministic private random stream for a node.
+
+        Seeds come from the splitmix64 :func:`~repro.dist.random_tools.
+        spawn_seed` chain keyed by ``(seed, run, salt, node)``, so distinct
+        streams can never alias (the historical additive formula could —
+        set ``REPRO_ADDITIVE_NODE_RNG=1`` to restore it for goldens pinned
+        against the old streams).  The per-run chain prefix is cached, so
+        spinning up all n streams costs one finalization per node.
+        """
+        if self._rng_additive:
+            return random.Random(self._node_stream_seed(
+                self.seed, self._run_counter, node_id, salt, additive=True))
+        run, cached_salt, prefix = self._rng_prefix
+        if run != self._run_counter or cached_salt != salt:
+            prefix = self._node_stream_prefix(self.seed, self._run_counter,
+                                              salt)
+            self._rng_prefix = (self._run_counter, salt, prefix)
+        return random.Random(self._node_seed_from_prefix(prefix, node_id))
 
     def run(self, factory: NodeFactory, protocol: str = "protocol",
             shared: Optional[Dict[str, Any]] = None,
@@ -238,6 +288,16 @@ class Network:
         each completed round (delivery plus node computation) — the place to
         sample convergence traces or drive visualizations without touching
         the node programs.
+
+        When ``factory`` has a registered :class:`~repro.congest.kernels.
+        RoundKernel` and nothing forces the slow path (see
+        :mod:`repro.congest.kernels`), the run executes on the vectorized
+        fast path instead of per-node dispatch — with identical outputs,
+        rounds, metrics, random streams and structural events.
+
+        Inbox lifetime: the batched engine reuses delivered inbox dicts
+        round to round, so an inbox passed to ``on_round`` is only valid
+        for that round — a node that wants to keep arrivals must copy them.
         """
         self._run_counter += 1
         if max_rounds is None:
@@ -246,6 +306,16 @@ class Network:
         shared = dict(shared or {})
         n = self.graph.num_nodes
         before = self.metrics.snapshot()
+        # never recycle a previous run's delivered boxes into this run —
+        # its results may still reference them
+        self._round_inboxes = {}
+        self._live_boxes = []
+
+        kernel = self._select_kernel(factory)
+        if kernel is not None:
+            result = kernel.execute(protocol, shared, limit, on_round_end)
+            result.metrics = self.metrics.delta_since(before)
+            return self._attach_profile(result)
 
         algorithms: Dict[int, NodeAlgorithm] = {}
         for v in self._order:
@@ -301,11 +371,11 @@ class Network:
             rounds_this_run += 1
             self.metrics.record_round(protocol, extra)
 
-            outboxes = {}
+            outboxes.clear()  # fully consumed by _deliver; reuse the dict
             still_active: List[int] = []
             for v in unfinished:
                 alg = algorithms[v]
-                out = alg.on_round(inboxes.get(v, {}))
+                out = alg.on_round(inboxes.get(v, _EMPTY_INBOX))
                 if out:
                     outboxes[v] = out
                 if not alg.finished:
@@ -327,6 +397,11 @@ class Network:
             all_finished=not unfinished,
             metrics=self.metrics.delta_since(before),
         )
+        return self._attach_profile(result)
+
+    def _attach_profile(self, result: RunResult) -> RunResult:
+        """Snapshot a subscribed Profiler's report onto ``result``."""
+        bus = self.bus
         if bus is not None:
             from .profiling import Profiler
 
@@ -334,6 +409,38 @@ class Network:
             if profiler is not None:
                 result.profile = profiler.report()
         return result
+
+    def _select_kernel(self, factory: NodeFactory) -> Optional[Any]:
+        """The :class:`~repro.congest.kernels.RoundKernel` instance to run
+        ``factory`` with, or None for per-node dispatch.
+
+        The fast path engages only when every gate passes: the batched CSR
+        engine is active (``engine="node"`` keeps batched delivery but
+        forces per-node dispatch), kernels are not disabled via
+        ``REPRO_NO_KERNELS``, ``factory`` is exactly a registered node
+        class, no fault injection is configured, the policy is a plain
+        :class:`~repro.congest.policies.BandwidthPolicy`, no subscriber
+        wants the per-message event stream, and the kernel itself accepts
+        the run.
+        """
+        if self.engine != "csr":
+            return None
+        from . import kernels as _kernels
+
+        if not _kernels.kernels_enabled():
+            return None
+        kernel_cls = _kernels.kernel_for(factory)
+        if kernel_cls is None:
+            return None
+        if self._fault_rng is not None:
+            return None  # per-message drops need real per-node inboxes
+        if type(self.policy) is not BandwidthPolicy:
+            return None  # policy subclasses may price per edge
+        bus = self.bus
+        if bus is not None and bus.wants(MESSAGE_DELIVERED):
+            return None  # per-message observers need the slow path
+        kernel = kernel_cls(self)
+        return kernel if kernel.accepts() else None
 
     # ------------------------------------------------------------------
     def subnetwork(self, graph: Graph, **kwargs: Any) -> Any:
@@ -387,7 +494,7 @@ class Network:
         that post-process delivery may still override this method and
         delegate to ``super()``.
         """
-        if self.engine == "csr":
+        if self.engine != "legacy":
             inboxes, extra = self._deliver_batched(outboxes, n)
         else:
             inboxes, extra = self._deliver_dict(outboxes, n)
@@ -436,8 +543,24 @@ class Network:
         ])
 
     def _deliver_batched(self, outboxes: Dict[int, Dict[Any, Any]], n: int):
-        """One batched pass: expansion, validation, pricing, accumulation."""
-        inboxes: Dict[int, Dict[int, Any]] = {}
+        """One batched pass: expansion, validation, pricing, accumulation.
+
+        Per-receiver inbox dicts are pooled and reused round to round
+        instead of reallocated — the previous round's boxes (fully consumed
+        by then) are cleared and recycled here.  This is why an inbox is
+        only valid for the round it is delivered in (see :meth:`run`).
+        """
+        inboxes = self._round_inboxes
+        pool = self._box_pool
+        live = self._live_boxes
+        if live:
+            for box in live:
+                box.clear()
+            pool.extend(live)
+            live.clear()
+        inboxes.clear()
+        live_append = live.append
+        pool_pop = pool.pop
         extra_rounds = 0
         messages = 0
         bits_sum = 0
@@ -472,9 +595,10 @@ class Network:
                     for u in nbrs:
                         box = inbox_get(u)
                         if box is None:
-                            inboxes[u] = {sender: payload}
-                        else:
-                            box[sender] = payload
+                            box = pool_pop() if pool else {}
+                            inboxes[u] = box
+                            live_append(box)
+                        box[sender] = payload
                     continue
                 # mixed broadcast + unicast: expand into the sender's slot
                 # range so later entries overwrite earlier ones exactly as
@@ -514,9 +638,10 @@ class Network:
                         max_bits = bits
                     box = inbox_get(target)
                     if box is None:
-                        inboxes[target] = {sender: payload}
-                    else:
-                        box[sender] = payload
+                        box = pool_pop() if pool else {}
+                        inboxes[target] = box
+                        live_append(box)
+                    box[sender] = payload
                 continue
             # unicast-only outbox: keys are already distinct targets
             slot_of = self._slot_of[sender]
@@ -539,9 +664,10 @@ class Network:
                     max_bits = bits
                 box = inbox_get(target)
                 if box is None:
-                    inboxes[target] = {sender: payload}
-                else:
-                    box[sender] = payload
+                    box = pool_pop() if pool else {}
+                    inboxes[target] = box
+                    live_append(box)
+                box[sender] = payload
         self.metrics.record_message_batch(messages, bits_sum, max_bits)
         return inboxes, extra_rounds
 

@@ -25,7 +25,13 @@ Inbox = Dict[int, Any]   # neighbor id -> payload
 
 @dataclass
 class NodeContext:
-    """Everything a node may legally observe."""
+    """Everything a node may legally observe.
+
+    ``neighbors`` is the network's cached (sorted) neighbor tuple — shared
+    across rounds and runs, never rebuilt per context — and ``degree`` is
+    precomputed at construction so per-round node code pays a plain
+    attribute load instead of a ``len`` call through a property.
+    """
 
     node_id: int
     neighbors: Tuple[int, ...]
@@ -33,10 +39,10 @@ class NodeContext:
     n: int
     rng: random.Random
     shared: Mapping[str, Any] = field(default_factory=dict)
+    degree: int = field(init=False)
 
-    @property
-    def degree(self) -> int:
-        return len(self.neighbors)
+    def __post_init__(self) -> None:
+        self.degree = len(self.neighbors)
 
     def weight(self, neighbor: int) -> float:
         return self.edge_weights[neighbor]

@@ -20,9 +20,11 @@ numbers in O(log n)-bit chunks costs (the mechanism of Lemma 3.9).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
-from ..congest.network import Network
+from ..congest.kernels import RoundKernel, register_kernel
+from ..congest.message import int_bits
+from ..congest.network import Network, ProtocolError
 from ..congest.node import Inbox, NodeAlgorithm, NodeContext, Outbox
 from ..graphs.graph import Edge, edge_key
 
@@ -106,6 +108,165 @@ class CountingNode(NodeAlgorithm):
             # lines 11-12: matched Y forwards along its matching edge only
             return {self.mate: total}
         return {}
+
+
+@register_kernel(CountingNode)
+class CountingKernel(RoundKernel):
+    """Vectorized superstep executor for :class:`CountingNode`.
+
+    The BFS wave visits each node once, so per-round work is a sparse list
+    of in-flight ``(sender, targets, count)`` entries plus one pass over
+    the still-unreached nodes — packed python lists throughout.  Path
+    counts can reach ``Delta**ceil(ell/2)`` (arbitrary-precision ints), so
+    this kernel deliberately has no numpy branch: int64 would silently
+    overflow exactly where Lemma 3.9's pipelining costs get interesting.
+
+    Like the node program, a receiver only accepts arrivals from eligible
+    neighbors or its mate, forwarding is gated on the round number against
+    ``ell``, and a matched Y node forwarding to a non-adjacent mate raises
+    the engine's exact ``ProtocolError``.  ``passive = True`` mirrors the
+    node class, so the shared execute loop applies the engine's quiescence
+    rule (an unreached component parks the wave without spinning).
+    """
+
+    passive = True
+
+    def setup(self, shared: Dict[str, Any]) -> None:
+        A = self.arrays
+        n = A.n
+        order = A.order
+        tgt = A.tgt
+        sides = shared["side"]
+        mates = shared["mate"]
+        self.ell: int = shared["ell"]
+        allowed: Optional[Set[Edge]] = shared.get("allowed")
+
+        self.side = [sides.get(v) for v in order]
+        self.mate = [mates.get(v) for v in order]
+        self.out: List[Any] = [None] * n
+        self.finished = [False] * n
+
+        elig_t: List[List[int]] = []  # eligible target indices, ascending
+        for i in range(n):
+            si = self.side[i]
+            row: List[int] = []
+            if si is not None:
+                vid = order[i]
+                for e in A.row(i):
+                    u = tgt[e]
+                    other = self.side[u]
+                    if other is None or other == si:
+                        continue
+                    if (allowed is not None
+                            and edge_key(vid, order[u]) not in allowed):
+                        continue
+                    row.append(u)
+            elig_t.append(row)
+        self.elig_t = elig_t
+        # the node program's receive filter: eligible ids, plus the mate
+        accept: List[Set[int]] = []
+        for i in range(n):
+            ids = {order[u] for u in elig_t[i]}
+            if self.mate[i] is not None:
+                ids.add(self.mate[i])
+            accept.append(ids)
+        self.accept = accept
+
+        # in-flight wave: (sender index, target indices | None=mate, count)
+        pending: List[Tuple[int, Optional[List[int]], int]] = []
+        live: List[int] = []
+        for i in range(n):
+            if self.side[i] is None or not elig_t[i]:
+                self.finished[i] = True  # non-participant: halt, output None
+            elif self.side[i] == X_SIDE and self.mate[i] is None:
+                self.out[i] = CountState(t=0, counts={}, total=1)
+                self.finished[i] = True  # free X: seed the wave and halt
+                pending.append((i, elig_t[i], 1))
+            else:
+                live.append(i)
+        self.live = live
+        self.pending_msgs = pending
+
+    def step(self, round_number: int) -> int:
+        A = self.arrays
+        order = A.order
+        index = A.index
+        slot_of = self.net._slot_of
+        finished = self.finished
+        accept = self.accept
+        extra = 0
+        messages = 0
+        bits_sum = 0
+        max_bits = 0
+        arrivals: Dict[int, Dict[int, int]] = {}
+        for i, targets, value in self.pending_msgs:  # ascending sender
+            sid = order[i]
+            if targets is None:  # matched Y forwarding along its mate edge
+                mid = self.mate[i]
+                if mid not in slot_of[sid]:
+                    raise ProtocolError(
+                        f"node {sid} tried to message non-neighbor {mid}"
+                    )
+                targets = (index[mid],)
+            bits = int_bits(value)
+            charge = self.charge(bits, sid, order[targets[0]])
+            if charge > extra:
+                extra = charge
+            cnt = len(targets)
+            messages += cnt
+            bits_sum += bits * cnt
+            if bits > max_bits:
+                max_bits = bits
+            for t in targets:
+                if finished[t] or sid not in accept[t]:
+                    continue  # discarded or filtered on receipt
+                box = arrivals.get(t)
+                if box is None:
+                    box = {}
+                    arrivals[t] = box
+                box[sid] = value
+        self.record_traffic(messages, bits_sum, max_bits)
+
+        ell = self.ell
+        r = round_number
+        out = self.out
+        side = self.side
+        mate = self.mate
+        new_live: List[int] = []
+        new_pending: List[Tuple[int, Optional[List[int]], int]] = []
+        for i in self.live:
+            arr = arrivals.get(i)
+            if arr is None:
+                if r >= ell:
+                    finished[i] = True  # the wave can no longer reach us
+                else:
+                    new_live.append(i)
+                continue
+            total = sum(arr.values())
+            state = CountState(t=r, counts=arr, total=total)
+            out[i] = state
+            finished[i] = True
+            if side[i] == X_SIDE:
+                new_pending.append((i, self.elig_t[i], total))
+            elif mate[i] is None:
+                state.early_free_y = r < ell
+            elif r < ell:
+                new_pending.append((i, None, total))
+        self.live = new_live
+        self.pending_msgs = new_pending
+        return extra
+
+    # -- protocol surface ------------------------------------------------
+    def unfinished(self) -> bool:
+        return bool(self.live)
+
+    def pending(self) -> bool:
+        return bool(self.pending_msgs)
+
+    def outputs(self) -> Dict[int, Any]:
+        order = self.arrays.order
+        out = self.out
+        return {order[i]: out[i] for i in range(self.arrays.n)}
 
 
 def run_counting(network: Network, side: Dict[int, Optional[int]],

@@ -20,8 +20,9 @@ eligible subgraph.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
+from ..congest.kernels import RoundKernel, register_kernel
 from ..congest.network import Network
 from ..congest.node import BROADCAST, Inbox, NodeAlgorithm, NodeContext, Outbox
 from ..congest.runtime import as_network, register_map
@@ -117,6 +118,254 @@ class IsraeliItaiNode(NodeAlgorithm):
             return {self.proposed_to: _PROPOSE}
         self.proposed_to = None
         return {}
+
+
+@register_kernel(IsraeliItaiNode)
+class IsraeliItaiKernel(RoundKernel):
+    """Vectorized superstep executor for :class:`IsraeliItaiNode`.
+
+    State lives in packed per-node-index arrays (mate, free-degree) plus a
+    per-edge-slot boolean mask ``free[e]`` meaning "the owner of slot ``e``
+    believes its target is free".  One engine round maps to one :meth:`step`
+    in a four-phase cycle mirroring the node program exactly:
+
+    * ``announce`` (round 1) — deliver the f/m status tags, halt matched and
+      stuck nodes, flip coins and stage proposals;
+    * ``accept`` (rounds 2+3t) — deliver proposals; each non-proposing
+      target picks one uniformly (same ``rng.choice`` over the same sorted
+      candidate list as the node program) and stages an acceptance;
+    * ``notify`` (rounds 3+3t) — deliver acceptances; both endpoints of
+      every new edge stage an "m" announcement to all eligible neighbors;
+    * ``prune`` (rounds 4+3t) — deliver the announcements: clear the
+      reverse slot of every eligible edge of a newly matched node (the CSR
+      ``rev`` array makes "me in my neighbor's row" O(1)), halt matched and
+      stuck nodes, and stage the next proposals.
+
+    All wire tags are single characters (12 bits), so pricing a round is
+    one memoized charge plus a message count.  numpy (when importable)
+    builds the initial free mask and free-degree counts in bulk scatter
+    operations; the round loop itself runs on python lists, whose
+    single-slot probes are faster than numpy scalar boxing at CONGEST
+    degrees.
+    """
+
+    def setup(self, shared: Dict[str, Any]) -> None:
+        A = self.arrays
+        np = A.np
+        n = A.n
+        order = A.order
+        tgt = A.tgt
+        initial_mate: Dict[int, Optional[int]] = shared.get("initial_mate", {})
+        allowed: Optional[Set[Edge]] = shared.get("allowed_edges")
+
+        self.mate: List[Optional[int]] = [initial_mate.get(v) for v in order]
+        self.finished = [False] * n
+        self.proposed = [False] * n
+
+        # eligible slots per node (CSR rows are sorted by neighbor id, so
+        # these lists are ascending by target id — which keeps the
+        # rng.choice candidate order identical to the node program's
+        # ``sorted(free_neighbors)``)
+        if allowed is None:
+            elig: List[List[int]] = [list(A.row(i)) for i in range(n)]
+        else:
+            elig = []
+            for i in range(n):
+                vid = order[i]
+                elig.append([e for e in A.row(i)
+                             if edge_key(vid, order[tgt[e]]) in allowed])
+        self.elig = elig
+        self.elig_count = [len(s) for s in elig]
+
+        live: List[int] = []
+        announce = 0
+        for i in range(n):
+            if elig[i]:
+                live.append(i)
+                announce += len(elig[i])
+            else:
+                self.finished[i] = True  # start(): no eligible edge -> halt
+        self.live = live
+        self._announce_count = announce
+
+        # per-slot "I believe my target is free" mask and its per-node count.
+        # numpy builds the initial mask in bulk scatters, then hands off to
+        # plain python lists: every later read is a single-slot probe, where
+        # list indexing beats numpy scalar boxing (measured; the per-cycle
+        # pruning touches only the newly matched nodes' few slots)
+        free0 = [m is None for m in self.mate]
+        if np is not None and announce:
+            all_el = (np.concatenate([np.asarray(elig[i], dtype=np.int64)
+                                      for i in live])
+                      if allowed is not None else
+                      np.arange(A.num_slots, dtype=np.int64))
+            np_mask = np.zeros(A.num_slots, dtype=bool)
+            np_mask[all_el] = np.asarray(free0, dtype=bool)[A.np_tgt[all_el]]
+            free_np = np.zeros(n, dtype=np.int64)
+            slot_owner = np.repeat(np.arange(n, dtype=np.int64),
+                                   np.diff(A.np_indptr))
+            on = all_el[np_mask[all_el]]
+            np.add.at(free_np, slot_owner[on], 1)
+            mask = np_mask.tolist()
+            free_deg = free_np.tolist()
+        else:
+            mask = [False] * A.num_slots
+            free_deg = [0] * n
+            for i in live:
+                c = 0
+                for e in elig[i]:
+                    if free0[tgt[e]]:
+                        mask[e] = True
+                        c += 1
+                free_deg[i] = c
+        self.mask = mask
+        self.free_deg = free_deg
+
+        self.phase = "announce"
+        self.proposals: List[Tuple[int, int]] = []  # (proposer, target) idx
+        self.accepts: List[Tuple[int, int]] = []    # (accepter, proposer) idx
+        self.newly: List[int] = []                  # matched this cycle
+
+    # -- helpers ---------------------------------------------------------
+    def _price12(self, count: int, sender: int, receiver: int) -> int:
+        """Price one round of uniform 12-bit tag messages."""
+        if not count:
+            self.record_traffic(0, 0, 0)
+            return 0
+        extra = self.charge(12, sender, receiver)
+        self.record_traffic(count, 12 * count, 12)
+        return extra
+
+    def _free_targets(self, i: int) -> List[int]:
+        """Node ``i``'s believed-free eligible targets (ascending indices)."""
+        mask = self.mask
+        tgt = self.arrays.tgt
+        return [tgt[e] for e in self.elig[i] if mask[e]]
+
+    def _advance(self) -> None:
+        """The shared halt-or-propose pass (announce and prune rounds).
+
+        Halts matched and stuck nodes, then lets every survivor flip the
+        node program's coin and (heads) pick a believed-free target —
+        ``rng.choice`` only consumes an index draw, so choosing from the
+        target-index list yields the same pick as the node program's choice
+        from the id list (both ascending, same length).
+        """
+        order = self.arrays.order
+        mate = self.mate
+        free_deg = self.free_deg
+        finished = self.finished
+        proposed = self.proposed
+        new_live: List[int] = []
+        proposals: List[Tuple[int, int]] = []
+        for i in self.live:
+            if mate[i] is not None or not free_deg[i]:
+                finished[i] = True  # matched, or no free eligible neighbor
+                continue
+            new_live.append(i)
+            r = self.rng(i)
+            if r.random() < 0.5:
+                ti = r.choice(self._free_targets(i))
+                proposed[i] = True
+                proposals.append((i, ti))
+            else:
+                proposed[i] = False
+        self.live = new_live
+        self.proposals = proposals
+
+    # -- the four phases -------------------------------------------------
+    def step(self, round_number: int) -> int:
+        A = self.arrays
+        order = A.order
+        phase = self.phase
+
+        if phase == "announce":
+            live = self.live
+            if live:
+                i0 = live[0]
+                extra = self._price12(self._announce_count, order[i0],
+                                      order[A.tgt[self.elig[i0][0]]])
+            else:
+                extra = self._price12(0, 0, 0)
+            self._advance()
+            self.phase = "accept"
+            return extra
+
+        if phase == "accept":
+            proposals = self.proposals
+            if proposals:
+                p0, t0 = proposals[0]
+                extra = self._price12(len(proposals), order[p0], order[t0])
+            else:
+                extra = self._price12(0, 0, 0)
+            by_target: Dict[int, List[int]] = {}
+            for p, t in proposals:  # ascending proposer: lists stay sorted
+                by_target.setdefault(t, []).append(p)
+            accepts: List[Tuple[int, int]] = []
+            mate = self.mate
+            for t in sorted(by_target):
+                if self.proposed[t]:
+                    continue  # proposers ignore incoming proposals
+                p = self.rng(t).choice(by_target[t])
+                mate[t] = order[p]
+                accepts.append((t, p))
+            self.accepts = accepts
+            self.phase = "notify"
+            return extra
+
+        if phase == "notify":
+            accepts = self.accepts
+            if accepts:
+                t0, p0 = accepts[0]
+                extra = self._price12(len(accepts), order[t0], order[p0])
+            else:
+                extra = self._price12(0, 0, 0)
+            newly: List[int] = []
+            mate = self.mate
+            for t, p in accepts:
+                mate[p] = order[t]
+                newly.append(t)
+                newly.append(p)
+            newly.sort()
+            self.newly = newly
+            self.phase = "prune"
+            return extra
+
+        # phase == "prune": deliver the "m" announcements
+        newly = self.newly
+        count = sum(self.elig_count[v] for v in newly)
+        if count:
+            v0 = newly[0]
+            extra = self._price12(count, order[v0],
+                                  order[A.tgt[self.elig[v0][0]]])
+        else:
+            extra = self._price12(0, 0, 0)
+        if newly:
+            # clear the reverse slot of every eligible edge of a newly
+            # matched node: rev[e] is "me in my neighbor's row" in O(1)
+            mask = self.mask
+            rev = A.rev
+            tgt = A.tgt
+            free_deg = self.free_deg
+            for v in newly:
+                for e in self.elig[v]:
+                    mask[rev[e]] = False
+                    free_deg[tgt[e]] -= 1
+        self._advance()
+        self.phase = "accept"
+        return extra
+
+    # -- protocol surface ------------------------------------------------
+    def unfinished(self) -> bool:
+        return bool(self.live)
+
+    def pending(self) -> bool:  # clock-driven protocol: never consulted
+        return bool(self.proposals or self.accepts or self.newly)
+
+    def outputs(self) -> Dict[int, Any]:
+        order = self.arrays.order
+        mate = self.mate
+        return {order[i]: {"mate": mate[i]} for i in range(self.arrays.n)}
 
 
 def israeli_itai(network: Network,

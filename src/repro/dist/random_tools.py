@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+import os
 import random
 from typing import Dict, Sequence, Tuple, Union
 
@@ -61,6 +62,63 @@ def spawn_seed(seed: int, *path: PathElement) -> int:
 def spawn_rng(seed: int, *path: PathElement) -> random.Random:
     """A ``random.Random`` seeded by :func:`spawn_seed`."""
     return random.Random(spawn_seed(seed, *path))
+
+
+#: Environment variable restoring the pre-1.4 *additive* per-node seed
+#: mixing (value ``1``/``true``/``yes``/``on``) for runs whose goldens were
+#: pinned against the old streams.  The additive formula could alias
+#: distinct ``(seed, run, salt, node)`` quadruples (e.g. ``salt * 0x1003F``
+#: collides with node-id offsets); the splitmix64 chain cannot.
+ADDITIVE_NODE_RNG_ENV = "REPRO_ADDITIVE_NODE_RNG"
+
+
+def additive_node_rng_requested() -> bool:
+    """True when :data:`ADDITIVE_NODE_RNG_ENV` asks for the legacy mixing."""
+    flag = os.environ.get(ADDITIVE_NODE_RNG_ENV, "").strip().lower()
+    return flag in ("1", "true", "yes", "on")
+
+
+def node_stream_seed(seed: int, run_counter: int, node_id: int,
+                     salt: int = 0, additive: bool = False) -> int:
+    """Seed of one node's private stream for one protocol run.
+
+    The default derivation routes through the :func:`spawn_seed` splitmix64
+    chain, so streams are collision-safe: distinct ``(seed, run, salt,
+    node)`` quadruples always yield distinct (and decorrelated) seeds.
+    ``additive=True`` reproduces the historical linear formula for
+    golden-pinned runs — both :class:`~repro.congest.network.Network` and
+    :class:`~repro.congest.asynchrony.AsyncNetwork` consult this helper, so
+    a program's random stream always matches between the two executors.
+    """
+    if additive:
+        return (seed * _GAMMA
+                + run_counter * _FNV_PRIME
+                + salt * 0x1003F
+                + node_id) & _MASK64
+    return spawn_seed(seed, "node", run_counter, salt, node_id)
+
+
+def node_stream_prefix(seed: int, run_counter: int, salt: int = 0) -> int:
+    """The shared prefix state of :func:`node_stream_seed`'s splitmix chain.
+
+    ``spawn_seed(seed, "node", run, salt, node_id)`` folds the same
+    ``(seed, "node", run, salt)`` prefix for every node of a run — including
+    an FNV hash of the string label each time.  Executors therefore compute
+    the prefix once per ``(run, salt)`` and derive each node's seed with
+    :func:`node_seed_from_prefix`, turning n four-fold chains into one
+    prefix plus n single finalizations.  By construction
+    ``node_seed_from_prefix(node_stream_prefix(s, r, t), v) ==
+    node_stream_seed(s, r, v, t)`` for every node id ``v``.
+    """
+    state = _splitmix64(seed & _MASK64)
+    state = _fold(state, "node")
+    state = _fold(state, run_counter)
+    return _fold(state, salt)
+
+
+def node_seed_from_prefix(prefix: int, node_id: int) -> int:
+    """Finalize one node's stream seed from a precomputed prefix state."""
+    return _splitmix64(prefix ^ (node_id & _MASK64))
 
 
 def sample_max_uniform(rng: random.Random, count: int, cap: int) -> int:

@@ -20,6 +20,18 @@ overhead) and writes a machine-readable report — rounds/sec per
 workload/engine, speedups, overhead ratios, and run metadata.  The
 committed ``BENCH_engine.json`` at the repo root is produced this way.
 
+``--kernels`` measures the vectorized kernel fast path
+(:mod:`repro.congest.kernels`) against per-node dispatch on the same
+batched engine — Israeli-Itai, Luby MIS and the counting pass on
+1000-node graphs of mean degree 16, each with numpy and on the
+pure-python fallback.  Acceptance gates: >= 3x rounds/sec with numpy and
+>= 1.2x pure-python on ``israeli_itai`` and ``luby_mis``.  The committed
+``BENCH_kernels.json`` is produced with ``--kernels --json``;
+``--check-against BENCH_kernels.json`` additionally fails when a current
+*speedup ratio* regressed more than 20% below the committed one — ratios
+(kernel vs node on the same machine) travel across runners, absolute
+rounds/sec do not.
+
 ``--smoke`` shrinks the workloads and disables the acceptance gates
 (always exit 0): a CI-friendly "does the harness still run" check —
 shared runners are far too noisy for timing gates.
@@ -49,14 +61,19 @@ import tempfile
 
 from repro.congest import (
     BROADCAST,
+    CONGEST,
     LOCAL,
+    PIPELINE,
     EventBus,
     JsonlTraceWriter,
     Network,
     NodeAlgorithm,
+    kernels,
 )
+from repro.dist.bipartite_counting import X_SIDE, Y_SIDE, run_counting
 from repro.dist.israeli_itai import israeli_itai
-from repro.graphs import random_bipartite
+from repro.dist.luby_mis import luby_mis
+from repro.graphs import gnp, random_bipartite
 
 
 class FloodMax(NodeAlgorithm):
@@ -181,6 +198,147 @@ def _bench_observed(n_side: int, p: float, rounds: int, record=None) -> int:
     return 0 if worst_structural <= 1.5 else 1
 
 
+# --- vectorized kernel fast path (--kernels) ---------------------------
+
+KERNEL_DEG = 16            # mean degree of the 1000-node benchmark graphs
+NUMPY_SPEEDUP_TARGET = 3.0
+FALLBACK_SPEEDUP_TARGET = 1.2
+GATED_WORKLOADS = ("israeli_itai", "luby_mis")
+REGRESSION_TOLERANCE = 0.8  # current speedup must be >= 80% of committed
+
+
+def _counting_instance(n: int):
+    half = max(1, n // 2)
+    g = random_bipartite(half, half, KERNEL_DEG / half, rng=7)
+    side = {v: (X_SIDE if v < half else Y_SIDE) for v in sorted(g.nodes)}
+    mate = {v: None for v in g.nodes}
+    for u in sorted(g.nodes):  # deterministic greedy seed matching
+        if side[u] != X_SIDE or mate[u] is not None:
+            continue
+        for v in sorted(g.neighbors(u)):
+            if mate[v] is None:
+                mate[u] = v
+                mate[v] = u
+                break
+    return g, side, mate
+
+
+def _kernel_workloads(n: int):
+    """(name, build, go) triples: ``build(engine)`` makes a fresh Network,
+    ``go(net)`` runs the protocol and returns a comparable result."""
+    p = KERNEL_DEG / max(2, n - 1)
+
+    def build_gnp(engine):
+        return Network(gnp(n, p, rng=7), policy=CONGEST, seed=7,
+                       engine=engine)
+
+    counting_shared = {}
+
+    def build_counting(engine):
+        g, side, mate = _counting_instance(n)
+        counting_shared["side"], counting_shared["mate"] = side, mate
+        return Network(g, policy=PIPELINE, seed=7, engine=engine)
+
+    def go_counting(net):
+        outputs = run_counting(net, counting_shared["side"],
+                               counting_shared["mate"], ell=6)
+        return tuple((v, None if s is None else (s.t, s.total))
+                     for v, s in sorted(outputs.items()))
+
+    return [
+        ("israeli_itai", build_gnp,
+         lambda net: frozenset(israeli_itai(net).edges())),
+        ("luby_mis", build_gnp, lambda net: frozenset(luby_mis(net))),
+        ("counting", build_counting, go_counting),
+    ]
+
+
+def _time_kernel_workload(build, go, engine: str, reps: int):
+    """Best-of-reps rounds/sec; graph + Network build stay outside timing."""
+    best_rs, out, rounds = 0.0, None, 0
+    for _ in range(reps):
+        net = build(engine)
+        t0 = time.perf_counter()
+        result = go(net)
+        dt = time.perf_counter() - t0
+        out, rounds = result, net.metrics.rounds
+        best_rs = max(best_rs, rounds / dt)
+    return best_rs, rounds, out
+
+
+def _bench_kernels(n: int, reps: int, record=None) -> int:
+    """Kernel fast path vs per-node dispatch, with and without numpy."""
+    status = 0
+    have_numpy = kernels._np is not None
+    modes = [("numpy", True)] if have_numpy else []
+    modes.append(("fallback", False))
+    if not have_numpy:
+        print("numpy unavailable: skipping the numpy mode")
+    print(f"kernel fast path vs per-node dispatch "
+          f"({n} nodes, mean degree {KERNEL_DEG}):")
+    for mode_name, use_numpy in modes:
+        saved = kernels._np
+        if not use_numpy:
+            kernels._np = None
+        try:
+            for name, build, go in _kernel_workloads(n):
+                k_rs, k_rounds, k_out = _time_kernel_workload(
+                    build, go, "csr", reps)
+                n_rs, n_rounds, n_out = _time_kernel_workload(
+                    build, go, "node", reps)
+                assert k_out == n_out and k_rounds == n_rounds, (
+                    f"{name}: kernel and per-node paths disagree!")
+                speedup = k_rs / n_rs
+                print(f"{name:>14} [{mode_name:8}]: node {n_rs:8.1f} r/s   "
+                      f"kernel {k_rs:8.1f} r/s   speedup {speedup:.2f}x   "
+                      f"({k_rounds} rounds)")
+                if record is not None:
+                    record.setdefault(name, {})[mode_name] = {
+                        "node_rounds_per_sec": round(n_rs, 1),
+                        "kernel_rounds_per_sec": round(k_rs, 1),
+                        "rounds": k_rounds,
+                        "speedup": round(speedup, 2),
+                    }
+                target = (NUMPY_SPEEDUP_TARGET if use_numpy
+                          else FALLBACK_SPEEDUP_TARGET)
+                if name in GATED_WORKLOADS and speedup < target:
+                    print(f"{name:>14} [{mode_name}]: speedup {speedup:.2f}x "
+                          f"below the {target:.1f}x gate")
+                    status = 1
+        finally:
+            kernels._np = saved
+    print(f"gates: {' and '.join(GATED_WORKLOADS)} need "
+          f">= {NUMPY_SPEEDUP_TARGET:.1f}x with numpy, "
+          f">= {FALLBACK_SPEEDUP_TARGET:.1f}x pure-python")
+    return status
+
+
+def _check_kernel_regression(record, committed_path: str) -> int:
+    """Fail when a current speedup ratio regressed > 20% vs the committed
+    report.  Ratios (kernel vs node on the same machine) are compared, not
+    absolute rounds/sec, so the check is portable across runners."""
+    with open(committed_path) as fh:
+        committed = json.load(fh)
+    status = 0
+    for name, modes in committed.get("kernels", {}).items():
+        for mode_name, entry in modes.items():
+            base = entry.get("speedup")
+            current = (record.get(name, {}).get(mode_name, {})
+                       .get("speedup"))
+            if base is None or current is None:
+                continue
+            floor = base * REGRESSION_TOLERANCE
+            if current < floor:
+                print(f"REGRESSION {name} [{mode_name}]: speedup "
+                      f"{current:.2f}x < {floor:.2f}x "
+                      f"(80% of committed {base:.2f}x)")
+                status = 1
+    if status == 0:
+        print(f"no kernel-path regression vs {committed_path} "
+              f"(tolerance: within 20% of committed speedups)")
+    return status
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="legacy vs CSR engine rounds/sec")
@@ -194,6 +352,16 @@ def main(argv=None) -> int:
     parser.add_argument("--observed", action="store_true",
                         help="measure event-bus subscriber overhead on the "
                              "CSR flood workload instead")
+    parser.add_argument("--kernels", action="store_true",
+                        help="measure the vectorized kernel fast path "
+                             "against per-node dispatch instead")
+    parser.add_argument("--reps", type=int, default=5,
+                        help="best-of repetitions per measurement "
+                             "(default 5)")
+    parser.add_argument("--check-against", metavar="PATH", default=None,
+                        help="with --kernels: also fail when a speedup "
+                             "ratio regressed > 20%% vs this committed "
+                             "report (BENCH_kernels.json)")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="run both sections and write a machine-"
                              "readable report (BENCH_engine.json)")
@@ -205,6 +373,41 @@ def main(argv=None) -> int:
         args.rounds = min(args.rounds, 10)
         args.p = max(args.p, 0.04)  # keep the tiny graph connected enough
     n_side = max(1, args.n // 2)
+
+    if args.kernels:
+        kernel_record = {}
+        status = _bench_kernels(args.n, args.reps, record=kernel_record)
+        if args.check_against is not None:
+            status = max(status,
+                         _check_kernel_regression(kernel_record,
+                                                  args.check_against))
+        if args.json is not None:
+            report = {
+                "meta": {
+                    "tool": "tools/bench_engine.py --kernels",
+                    "graph": f"gnp({args.n}, deg {KERNEL_DEG}) / "
+                             f"random_bipartite(deg {KERNEL_DEG})",
+                    "nodes": args.n,
+                    "reps": args.reps,
+                    "numpy": kernels._np is not None,
+                    "python": platform.python_version(),
+                    "machine": platform.machine(),
+                    "smoke": bool(args.smoke),
+                },
+                "kernels": kernel_record,
+                "gates": {
+                    "numpy_speedup_target": NUMPY_SPEEDUP_TARGET,
+                    "fallback_speedup_target": FALLBACK_SPEEDUP_TARGET,
+                    "gated_workloads": list(GATED_WORKLOADS),
+                    "regression_tolerance": REGRESSION_TOLERANCE,
+                    "passed": status == 0,
+                },
+            }
+            with open(args.json, "w") as fh:
+                json.dump(report, fh, indent=2, sort_keys=False)
+                fh.write("\n")
+            print(f"wrote {args.json}")
+        return 0 if args.smoke else status
 
     if args.observed and args.json is None:
         status = _bench_observed(n_side, args.p, args.rounds)
