@@ -61,7 +61,7 @@ from .congest import (
 from .graphs import BipartiteGraph, Graph
 from .matching import Matching
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ALGORITHMS",

@@ -6,6 +6,7 @@ Usage::
     python -m repro experiments t01 t05      # run specific tables
     python -m repro experiments --all        # the full suite
     python -m repro experiments --all --jobs 8 --cache .repro-cache
+    python -m repro experiments --all --jobs 2 --shards 4
     python -m repro experiments t01 --trace traces/ --profile
     python -m repro match edges.txt --eps 0.25 --seed 3
     python -m repro match edges.txt --weighted --eps 0.1
@@ -55,6 +56,19 @@ def _load_graph(spec: str, seed: int) -> Graph:
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
+    if args.shards is not None:
+        if args.shards < 0:
+            print("--shards wants a count >= 0 (0 disables sharding)",
+                  file=sys.stderr)
+            return 2
+        # the environment switch reaches every Network the tier functions
+        # build, and is inherited by --jobs worker processes; outputs are
+        # bit-identical either way, so cached tables stay valid
+        import os
+
+        from .congest.sharding import SHARDS_ENV
+
+        os.environ[SHARDS_ENV] = str(args.shards)
     if args.list:
         print("available experiments:")
         for name in sorted(ALL_EXPERIMENTS):
@@ -211,6 +225,11 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--cache", metavar="DIR",
                      help="memoize finished tables under DIR; unchanged "
                           "experiments are read back instead of re-run")
+    exp.add_argument("--shards", type=int, metavar="K",
+                     help="run each eligible protocol on K shard worker "
+                          "processes (sets REPRO_SHARDS; 0 disables; "
+                          "composes with --jobs — keep jobs*K within the "
+                          "core count)")
     exp.add_argument("--trace", metavar="DIR",
                      help="stream each experiment's structured events to "
                           "DIR/<name>.jsonl (serial-only)")

@@ -196,6 +196,14 @@ class RoundKernel:
     #: mirror of the node program's ``passive`` flag: True enables the
     #: engine's quiescence rule (nothing in flight and nobody will speak)
     passive: bool = False
+    #: shard-safety declaration for :mod:`repro.congest.sharding`: True
+    #: promises that the registered *node program* (not the kernel) keeps
+    #: all mutable state node-local, treats ``shared`` and its inbox as
+    #: read-only, and sends only plain-data payloads (None, bools, ints,
+    #: floats, strings and nested tuples/lists/dicts/sets) — the contract
+    #: that makes partitioned multi-process execution golden-equivalent.
+    #: Set False on a kernel whose protocol breaks any of these.
+    shardable: bool = True
 
     def __init__(self, net: Network) -> None:
         self.net = net

@@ -42,6 +42,18 @@ class Metrics:
     #: raw child rounds per subnetwork label (absorbed children included,
     #: so the breakdown is complete even when totals live elsewhere)
     subnetwork_rounds: Dict[str, int] = field(default_factory=dict)
+    # shard account (sharded multi-process execution): the partition cut
+    # size and the halo traffic that crossed shard boundaries.  Excluded
+    # from equality so sharded runs stay golden-comparable to
+    # single-process runs on the legacy accounts.
+    shard_cut_edges: int = field(default=0, compare=False)
+    shard_halo_bits: int = field(default=0, compare=False)
+    #: max shard size * shards / n of the latest partition (1.0 = perfect)
+    shard_imbalance: float = field(default=0.0, compare=False)
+    # CSR adjacency cache reuse on the underlying Graph (also compare=False:
+    # cache behavior is an implementation detail, never a cost-model fact)
+    csr_cache_hits: int = field(default=0, compare=False)
+    csr_cache_misses: int = field(default=0, compare=False)
 
     @property
     def total_rounds(self) -> int:
@@ -114,6 +126,25 @@ class Metrics:
         self.sub_bits += other.sub_bits
         for k, v in other.subnetwork_rounds.items():
             self.subnetwork_rounds[k] = self.subnetwork_rounds.get(k, 0) + v
+        self.shard_cut_edges = max(self.shard_cut_edges, other.shard_cut_edges)
+        self.shard_halo_bits += other.shard_halo_bits
+        self.shard_imbalance = max(self.shard_imbalance, other.shard_imbalance)
+        self.csr_cache_hits += other.csr_cache_hits
+        self.csr_cache_misses += other.csr_cache_misses
+
+    def record_shard_run(self, cut_edges: int, imbalance: float) -> None:
+        """Record the partition shape of a sharded execution (gauges)."""
+        self.shard_cut_edges = cut_edges
+        self.shard_imbalance = imbalance
+
+    def record_halo_bits(self, bits: int) -> None:
+        """Account halo (cut-edge) traffic exchanged between shards."""
+        self.shard_halo_bits += bits
+
+    def record_csr_cache(self, hits: int, misses: int) -> None:
+        """Fold Graph CSR-cache reuse counters into this account."""
+        self.csr_cache_hits += hits
+        self.csr_cache_misses += misses
 
     def record_subnetwork(self, label: str, child: "Metrics",
                           physical: bool = False,
@@ -160,6 +191,11 @@ class Metrics:
             sub_messages=self.sub_messages,
             sub_bits=self.sub_bits,
             subnetwork_rounds=dict(self.subnetwork_rounds),
+            shard_cut_edges=self.shard_cut_edges,
+            shard_halo_bits=self.shard_halo_bits,
+            shard_imbalance=self.shard_imbalance,
+            csr_cache_hits=self.csr_cache_hits,
+            csr_cache_misses=self.csr_cache_misses,
         )
         return m
 
@@ -187,6 +223,11 @@ class Metrics:
                 for k, v in self.subnetwork_rounds.items()
                 if v - before.subnetwork_rounds.get(k, 0) > 0
             },
+            shard_cut_edges=self.shard_cut_edges,
+            shard_halo_bits=self.shard_halo_bits - before.shard_halo_bits,
+            shard_imbalance=self.shard_imbalance,
+            csr_cache_hits=self.csr_cache_hits - before.csr_cache_hits,
+            csr_cache_misses=self.csr_cache_misses - before.csr_cache_misses,
         )
 
     def __str__(self) -> str:

@@ -161,7 +161,8 @@ class Network:
                  engine: Optional[str] = None,
                  max_rounds: Optional[int] = None,
                  observe: Any = None,
-                 faults: Optional[FaultSpec] = None) -> None:
+                 faults: Optional[FaultSpec] = None,
+                 shards: Optional[int] = None) -> None:
         self.graph = graph
         self.policy = policy
         self.seed = seed
@@ -170,10 +171,19 @@ class Network:
         self._run_counter = 0
         if engine is None:
             engine = default_engine()
-        if engine not in ("csr", "legacy", "node"):
+        if engine not in ("csr", "legacy", "node", "sharded"):
             raise ValueError(f"unknown engine {engine!r}; "
-                             f"use 'csr', 'legacy' or 'node'")
+                             f"use 'csr', 'legacy', 'node' or 'sharded'")
+        if shards is not None and shards < 1:
+            raise ValueError("shards must be >= 1")
+        if shards is not None and engine in ("legacy", "node"):
+            raise ValueError(f"shards= requires the 'csr' or 'sharded' "
+                             f"engine, not {engine!r}")
         self.engine = engine
+        #: explicit shard request (``shards=`` or ``engine="sharded"``);
+        #: resolution and eligibility live in :mod:`repro.congest.sharding`
+        self.requested_shards = shards
+        self._sharded_execs: Dict[int, Any] = {}
 
         # per-node random streams: splitmix64 spawn_seed chain by default,
         # legacy additive mixing behind REPRO_ADDITIVE_NODE_RNG=1 (imported
@@ -225,8 +235,14 @@ class Network:
         else:
             self._fault_rng = None
 
-        # flat CSR adjacency: the batched engine's whole world
+        # flat CSR adjacency: the batched engine's whole world (a cached
+        # snapshot on the Graph — repeat constructions over one graph hit)
+        hits0 = getattr(graph, "csr_cache_hits", 0)
+        misses0 = getattr(graph, "csr_cache_misses", 0)
         self.csr = graph.to_csr()
+        self.metrics.record_csr_cache(
+            getattr(graph, "csr_cache_hits", 0) - hits0,
+            getattr(graph, "csr_cache_misses", 0) - misses0)
         self._order: Tuple[int, ...] = self.csr.order
         self._neighbor_cache: Dict[int, Tuple[int, ...]] = {}
         self._weight_cache: Dict[int, Dict[int, float]] = {}
@@ -310,6 +326,13 @@ class Network:
         # its results may still reference them
         self._round_inboxes = {}
         self._live_boxes = []
+
+        sharded = self._select_sharded(factory, shared)
+        if sharded is not None:
+            result = sharded.execute(factory, protocol, shared, limit,
+                                     on_round_end)
+            result.metrics = self.metrics.delta_since(before)
+            return self._attach_profile(result)
 
         kernel = self._select_kernel(factory)
         if kernel is not None:
@@ -423,7 +446,7 @@ class Network:
         wants the per-message event stream, and the kernel itself accepts
         the run.
         """
-        if self.engine != "csr":
+        if self.engine not in ("csr", "sharded"):
             return None
         from . import kernels as _kernels
 
@@ -441,6 +464,61 @@ class Network:
             return None  # per-message observers need the slow path
         kernel = kernel_cls(self)
         return kernel if kernel.accepts() else None
+
+    def _select_sharded(self, factory: NodeFactory,
+                        shared: Dict[str, Any]) -> Optional[Any]:
+        """The :class:`~repro.congest.sharding.ShardedNetwork` executor to
+        run ``factory`` with, or None for single-process execution.
+
+        Sharding sits at the top of the selection ladder (node dispatch ->
+        kernel -> sharded): it engages only when shards are requested or
+        the auto rules fire (see :func:`repro.congest.sharding.
+        resolve_shards`) AND the run is shard-eligible — the factory has a
+        registered kernel declaring ``shardable``, no fault injection, a
+        plain bandwidth policy, no per-message observer, no callables in
+        ``shared``, and a non-empty graph.  Ineligible runs fall through
+        to the kernel/per-node path silently, exactly like the kernel
+        ladder itself.
+        """
+        if self.engine not in ("csr", "sharded"):
+            return None
+        from . import sharding as _sharding
+
+        k = _sharding.resolve_shards(self)
+        if k is None:
+            return None
+        from . import kernels as _kernels
+
+        kernel_cls = _kernels.kernel_for(factory)
+        if kernel_cls is None or not getattr(kernel_cls, "shardable", False):
+            return None
+        if self._fault_rng is not None:
+            return None  # per-message drops need one inbox universe
+        if type(self.policy) is not BandwidthPolicy:
+            return None  # subclasses may price per edge
+        bus = self.bus
+        if bus is not None and bus.wants(MESSAGE_DELIVERED):
+            return None  # per-message observers need the slow path
+        if any(callable(v) for v in shared.values()):
+            return None  # closures cannot cross process boundaries
+        n = self.graph.num_nodes
+        if n == 0:
+            return None
+        k = min(k, n)
+        executor = self._sharded_execs.get(k)
+        if executor is None or executor.broken:
+            executor = _sharding.ShardedNetwork(self, k)
+            self._sharded_execs[k] = executor
+        return executor
+
+    def close(self) -> None:
+        """Release external resources (sharded worker pools and their
+        shared-memory blocks).  Idempotent; the network remains usable —
+        single-process paths are unaffected and a later sharded run
+        simply builds a fresh pool."""
+        execs, self._sharded_execs = self._sharded_execs, {}
+        for executor in execs.values():
+            executor.close()
 
     # ------------------------------------------------------------------
     def subnetwork(self, graph: Graph, **kwargs: Any) -> Any:

@@ -202,6 +202,10 @@ class Subnetwork:
                 "bits": child.total_bits,
                 "fold": self.fold,
             }
+            if self.fold == "emulate":
+                # the physical rounds the parent is charged for this
+                # emulated run (offline tools cannot recover the factor)
+                detail["charge"] = child.rounds * self.emulation_factor
             if self.network.dropped:
                 detail["dropped"] = self.network.dropped
             if failed:

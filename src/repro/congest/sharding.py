@@ -1,0 +1,1135 @@
+"""Sharded multi-core execution: partitioned networks with halo exchange.
+
+Large networks are embarrassingly parallel *within* a round: every node's
+transition depends only on its own state and its inbox.  This module
+exploits that by partitioning the graph into ``k`` edge-cut shards
+(:func:`partition_graph`), pinning each shard to a persistent worker
+process, and running every superstep in parallel.  Only messages that
+cross the cut — the **halo** — are exchanged between workers, through
+``multiprocessing.shared_memory`` blocks with a compact binary codec
+(:func:`encode_payload`), so the per-round steady state never touches a
+pickle.  Pickling happens exactly twice per run: the ``(factory, shared)``
+dispatch at the start and the output gather at the end.
+
+The executor is **golden-equivalent** to the single-process engine:
+identical outputs, round counts, :class:`~repro.congest.metrics.Metrics`
+(physical account), per-node random streams, structural event stream
+(``RoundStart``/``RoundEnd``) and error behavior, enforced by
+``tests/test_sharding.py``.  Equivalence holds by construction rather
+than by re-derivation: each worker runs the *per-node* reference path
+(real :class:`~repro.congest.node.NodeAlgorithm` instances, engine-order
+delivery, sender-side pricing that replays ``_deliver_batched`` branch
+for branch), and the coordinator replays ``Network.run``'s loop — the
+same termination, quiescence and round-limit rules, the same metric
+recording points, the same event emission points.
+
+Coordination protocol (one reusable cyclic barrier, ``k + 1`` parties)::
+
+    per run:   dispatch(pipe) -> setup -> B0(sync)
+    per round: B1(command) -> deliver+publish -> B2(halo) ->
+               absorb+compute -> B3(stats)
+    finish:    B1 carries FINISH/ABORT; outputs (or the error) return
+               over each worker's pipe.
+
+Control words and per-worker statistics live in one shared-memory block
+of int64 words; each worker owns one halo block whose capacity doubles
+on demand (generation-numbered names, peers re-attach lazily).
+
+Error equivalence: the engine raises the *first* error in global sender
+(or node) order.  Workers record their first error's phase and global
+order position; the coordinator takes the minimum over ``(phase, pos)``
+and re-raises the reconstructed exception — with the engine's exact
+message — while recording exactly what the engine would have recorded
+(nothing for a delivery-phase error; traffic and the round for a
+compute-phase error).
+
+Shard safety is *declared*, not inferred: a protocol is eligible only
+when its node class has a registered :class:`~repro.congest.kernels.
+RoundKernel` whose ``shardable`` flag is True — the curated promise that
+the node program keeps all state node-local, never mutates ``shared``,
+and sends only plain-data payloads the halo codec can carry (None,
+bools, ints, floats, strings and nested tuples/lists/dicts/sets).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import struct
+import uuid
+import weakref
+from array import array
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .message import payload_bits_fast
+from .node import BROADCAST, NodeContext
+
+#: Environment variable steering shard selection: unset/empty follows the
+#: constructor and auto rules; ``0``/``off`` disables sharding entirely
+#: (the kill switch); a positive integer forces that many shards for every
+#: eligible run, waiving the auto threshold and core-count checks.
+SHARDS_ENV = "REPRO_SHARDS"
+
+#: Auto-sharding engages only at or above this node count (smaller
+#: networks round-trip the pool faster than they compute).
+AUTO_SHARD_MIN_NODES = 4096
+
+#: Auto-sharding never uses more shards than this (or the core count).
+MAX_AUTO_SHARDS = 4
+
+#: Default partition balance guard: max shard size may not exceed
+#: ``ceil(balance * n / k)``.
+DEFAULT_BALANCE = 1.2
+
+#: Initial per-worker halo block capacity in bytes (doubles on demand).
+INITIAL_HALO_BYTES = 1 << 16
+
+#: Seconds a barrier wait may block before the pool is declared broken.
+BARRIER_TIMEOUT = 300.0
+
+
+class ShardingError(RuntimeError):
+    """Raised when the sharded executor itself fails (never for protocol
+    errors — those re-raise with their original type and message)."""
+
+
+# ---------------------------------------------------------------------------
+# deterministic edge-cut partitioner
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Partition:
+    """An edge-cut partition of a CSR adjacency into ``k`` shards.
+
+    ``owner[i]`` is the shard of node *index* ``i`` (position in
+    ``csr.order``); ``shards[s]`` lists shard ``s``'s node indices in
+    ascending order.  ``cut_edges`` counts undirected edges whose
+    endpoints live in different shards; ``imbalance`` is
+    ``max_shard_size * k / n`` (1.0 = perfectly even).
+    """
+
+    k: int
+    seed: int
+    balance: float
+    owner: Tuple[int, ...]
+    shards: Tuple[Tuple[int, ...], ...]
+    sizes: Tuple[int, ...]
+    cut_edges: int
+    imbalance: float
+
+
+def partition_graph(graph: Any, shards: int, seed: int = 0,
+                    balance: float = DEFAULT_BALANCE) -> Partition:
+    """Deterministically partition a graph (or CSR view) into shards.
+
+    Greedy BFS growth: each shard grows from a seeded-random start node,
+    absorbing the BFS frontier until it reaches its equal-fill target
+    ``ceil(remaining / remaining_shards)`` (fresh random restarts bridge
+    exhausted components).  The equal-fill cap guarantees every shard
+    holds at most ``ceil(n / k)`` nodes, which satisfies any ``balance``
+    bound >= 1; the bound is still asserted on the result as a guard.
+
+    The result is a pure function of ``(adjacency, shards, seed,
+    balance)`` — bit-identical across processes and platforms — because
+    the only randomness is a :func:`~repro.dist.random_tools.spawn_seed`
+    stream and all iteration is over the sorted CSR layout.
+    """
+    csr = graph.to_csr() if hasattr(graph, "to_csr") else graph
+    n = len(csr.order)
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if balance < 1.0:
+        raise ValueError("balance must be >= 1.0")
+    k = min(shards, n) if n else 1
+    owner = array("q", [-1]) * n
+    indptr, indices = csr.indptr, csr.indices
+    from ..dist.random_tools import spawn_seed
+
+    rng = random.Random(spawn_seed(seed, "partition", k))
+    remaining = n
+    frontier: deque = deque()
+    for s in range(k):
+        cap = -(-remaining // (k - s))  # ceil: equal-fill target
+        size = 0
+        frontier.clear()
+        while size < cap:
+            if not frontier:
+                # fresh start: the rng.randrange(remaining)-th unassigned
+                # node in index order (deterministic given the stream)
+                skip = rng.randrange(remaining)
+                for i in range(n):
+                    if owner[i] < 0:
+                        if skip == 0:
+                            start = i
+                            break
+                        skip -= 1
+                owner[start] = s
+                size += 1
+                remaining -= 1
+                frontier.append(start)
+                continue
+            i = frontier.popleft()
+            for e in range(indptr[i], indptr[i + 1]):
+                j = indices[e]
+                if owner[j] < 0:
+                    owner[j] = s
+                    size += 1
+                    remaining -= 1
+                    frontier.append(j)
+                    if size >= cap:
+                        break
+    members: List[List[int]] = [[] for _ in range(k)]
+    for i in range(n):
+        members[owner[i]].append(i)
+    sizes = tuple(len(m) for m in members)
+    cut = 0
+    for i in range(n):
+        o = owner[i]
+        for e in range(indptr[i], indptr[i + 1]):
+            if owner[indices[e]] != o:
+                cut += 1
+    cut //= 2
+    imbalance = (max(sizes) * k / n) if n else 0.0
+    bound = -(-int(balance * n) // k) if n else 0  # ceil(balance*n/k)
+    if n and max(sizes) > max(bound, -(-n // k)):
+        raise ShardingError(
+            f"partition balance bound violated: max shard {max(sizes)} > "
+            f"ceil({balance} * {n} / {k})")
+    return Partition(k=k, seed=seed, balance=balance,
+                     owner=tuple(owner),
+                     shards=tuple(tuple(m) for m in members),
+                     sizes=sizes, cut_edges=cut, imbalance=imbalance)
+
+
+# ---------------------------------------------------------------------------
+# halo payload codec
+# ---------------------------------------------------------------------------
+# One-byte type tag followed by a fixed or length-prefixed body.  Covers
+# exactly the plain-data payload universe the pricing model knows
+# (payload_bits_fast); anything else raises ShardingError.  dicts
+# round-trip in insertion order; sets re-insert in iteration order.
+
+_T_NONE, _T_TRUE, _T_FALSE = 0, 1, 2
+_T_INT_POS, _T_INT_NEG, _T_FLOAT, _T_STR = 3, 4, 5, 6
+_T_TUPLE, _T_LIST, _T_DICT, _T_SET, _T_FROZENSET = 7, 8, 9, 10, 11
+
+_pack_q = struct.Struct("<q").pack
+_pack_d = struct.Struct("<d").pack
+_unpack_q = struct.Struct("<q").unpack_from
+_unpack_d = struct.Struct("<d").unpack_from
+
+
+def encode_payload(buf: bytearray, obj: Any) -> None:
+    """Append the binary encoding of ``obj`` to ``buf``."""
+    t = type(obj)
+    if obj is None:
+        buf.append(_T_NONE)
+    elif t is bool:
+        buf.append(_T_TRUE if obj else _T_FALSE)
+    elif t is int:
+        if obj >= 0:
+            buf.append(_T_INT_POS)
+            mag = obj
+        else:
+            buf.append(_T_INT_NEG)
+            mag = -obj
+        raw = mag.to_bytes((mag.bit_length() + 7) // 8 or 1, "little")
+        buf += _pack_q(len(raw))
+        buf += raw
+    elif t is float:
+        buf.append(_T_FLOAT)
+        buf += _pack_d(obj)
+    elif t is str:
+        raw = obj.encode("utf-8")
+        buf.append(_T_STR)
+        buf += _pack_q(len(raw))
+        buf += raw
+    elif t is tuple or t is list or t is set or t is frozenset:
+        buf.append({tuple: _T_TUPLE, list: _T_LIST,
+                    set: _T_SET, frozenset: _T_FROZENSET}[t])
+        buf += _pack_q(len(obj))
+        for member in obj:
+            encode_payload(buf, member)
+    elif t is dict:
+        buf.append(_T_DICT)
+        buf += _pack_q(len(obj))
+        for key, value in obj.items():
+            encode_payload(buf, key)
+            encode_payload(buf, value)
+    else:
+        raise ShardingError(
+            f"halo codec cannot encode payload of type {t.__name__}; "
+            f"shardable protocols must send plain data")
+
+
+def decode_payload(view: Any, pos: int) -> Tuple[Any, int]:
+    """Decode one payload from ``view`` at ``pos``; return (obj, new pos)."""
+    tag = view[pos]
+    pos += 1
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_INT_POS or tag == _T_INT_NEG:
+        (length,) = _unpack_q(view, pos)
+        pos += 8
+        mag = int.from_bytes(view[pos:pos + length], "little")
+        return (mag if tag == _T_INT_POS else -mag), pos + length
+    if tag == _T_FLOAT:
+        (value,) = _unpack_d(view, pos)
+        return value, pos + 8
+    if tag == _T_STR:
+        (length,) = _unpack_q(view, pos)
+        pos += 8
+        return bytes(view[pos:pos + length]).decode("utf-8"), pos + length
+    if tag in (_T_TUPLE, _T_LIST, _T_SET, _T_FROZENSET):
+        (count,) = _unpack_q(view, pos)
+        pos += 8
+        items = []
+        for _ in range(count):
+            obj, pos = decode_payload(view, pos)
+            items.append(obj)
+        if tag == _T_TUPLE:
+            return tuple(items), pos
+        if tag == _T_LIST:
+            return items, pos
+        if tag == _T_SET:
+            return set(items), pos
+        return frozenset(items), pos
+    if tag == _T_DICT:
+        (count,) = _unpack_q(view, pos)
+        pos += 8
+        out: Dict[Any, Any] = {}
+        for _ in range(count):
+            key, pos = decode_payload(view, pos)
+            value, pos = decode_payload(view, pos)
+            out[key] = value
+        return out, pos
+    raise ShardingError(f"halo codec: unknown tag {tag}")
+
+
+# ---------------------------------------------------------------------------
+# shared-memory layout
+# ---------------------------------------------------------------------------
+# The meta block is int64 words: [CMD] then k rows of _S_COLS stats words.
+# The coordinator writes CMD before the command barrier; worker w writes
+# its stats row before the stats barrier (plus the halo generation words
+# before the halo barrier).  Barriers order every access.
+
+_CMD = 0
+_CTRL_WORDS = 1
+
+_S_STATUS = 0          # 0 ok, 1 error pending
+_S_ERR_PHASE = 1       # 0 factory, 1 start, 2 deliver, 3 compute
+_S_ERR_POS = 2         # global order index of the erroring node
+_S_MESSAGES = 3
+_S_BITS = 4
+_S_MAX_BITS = 5
+_S_EXTRA = 6           # pipelining charge (max over this worker's messages)
+_S_HALO_BITS = 7       # 8 * encoded halo bytes published this round
+_S_ANY_OUT = 8
+_S_ALL_PASSIVE = 9
+_S_ANY_UNFINISHED = 10
+_S_HALO_GEN = 11       # current generation of this worker's halo block
+_S_COLS = 12
+
+_PHASE_FACTORY, _PHASE_START, _PHASE_DELIVER, _PHASE_COMPUTE = 0, 1, 2, 3
+
+_CMD_CONTINUE, _CMD_FINISH, _CMD_ABORT = 0, 1, 2
+
+_HEADER_WORDS_PER_SHARD = 1  # halo header: (k + 1) segment offsets
+
+
+def _attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing block (creator keeps tracker ownership).
+
+    Every worker is forked from the coordinator, so the whole pool shares
+    one resource tracker and its cache is a per-name *set*: the attach
+    registration Python 3.11 performs unconditionally is a no-op there,
+    and the single creator-side ``unlink`` balances it.  (Do not
+    ``unregister`` attachments: that would delete the creator's entry.)
+    """
+    return shared_memory.SharedMemory(name=name, create=False)
+
+
+def _halo_name(base: str, worker: int, generation: int) -> str:
+    return f"{base}h{worker}g{generation}"
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _WorkerSpec:
+    """Everything a worker needs, shipped once at pool start."""
+
+    worker: int
+    k: int
+    base: str               # shared-memory name prefix for halo blocks
+    meta_name: str
+    csr: Any                # CSRAdjacency (picklable arrays)
+    owner: Tuple[int, ...]
+    policy: Any
+    seed: int
+    rng_additive: bool
+    halo_bytes: int
+    timeout: float
+
+
+class _DeliveryFault(Exception):
+    """Internal: wraps the first per-sender error with its global position."""
+
+    def __init__(self, pos: int, error: BaseException) -> None:
+        super().__init__(pos)
+        self.pos = pos
+        self.error = error
+
+
+class _ShardWorker:
+    """Per-process shard executor: owns one halo block and one stats row."""
+
+    def __init__(self, spec: _WorkerSpec) -> None:
+        self.spec = spec
+        self.w = spec.worker
+        self.k = spec.k
+        csr = spec.csr
+        self.order = csr.order
+        self.n = len(csr.order)
+        self.owner = spec.owner
+        self.policy = spec.policy
+        # static per-node adjacency, rebuilt once from the CSR snapshot
+        # (same construction as Network.__init__, restricted to owned rows
+        # for weights/slots; neighbor ids are global)
+        self.my_indices: List[int] = [
+            i for i in range(self.n) if spec.owner[i] == self.w]
+        self.my_ids: List[int] = [csr.order[i] for i in self.my_indices]
+        self.nbrs: Dict[int, Tuple[int, ...]] = {}
+        self.weights: Dict[int, Dict[int, float]] = {}
+        self.slot_of: Dict[int, Dict[int, int]] = {}
+        order, indptr, indices, weights = (
+            csr.order, csr.indptr, csr.indices, csr.weights)
+        for i in self.my_indices:
+            v = order[i]
+            lo, hi = indptr[i], indptr[i + 1]
+            row = tuple(order[indices[e]] for e in range(lo, hi))
+            self.nbrs[v] = row
+            self.weights[v] = {u: weights[lo + off]
+                               for off, u in enumerate(row)}
+            self.slot_of[v] = {u: off for off, u in enumerate(row)}
+        self.owner_of_id: Dict[int, int] = {
+            order[i]: spec.owner[i] for i in range(self.n)}
+        self.pos_of_id: Dict[int, int] = {
+            v: i for i, v in enumerate(order)}
+        self._charge_cache: Dict[int, int] = {}
+        from ..dist.random_tools import (
+            node_seed_from_prefix,
+            node_stream_prefix,
+            node_stream_seed,
+        )
+        self._node_stream_seed = node_stream_seed
+        self._node_stream_prefix = node_stream_prefix
+        self._node_seed_from_prefix = node_seed_from_prefix
+        self._rng_prefix: Tuple[int, int] = (-1, 0)  # (run, prefix)
+        # shared-memory attachments
+        self.meta = _attach_shm(spec.meta_name)
+        self.words = memoryview(self.meta.buf).cast("q")
+        self.halo_gen = 0
+        self.halo_cap = spec.halo_bytes
+        self.halo = shared_memory.SharedMemory(
+            name=_halo_name(spec.base, self.w, 0), create=True,
+            size=self.halo_cap)
+        self.peer_halo: List[Optional[Tuple[int, Any]]] = [None] * self.k
+        self._stat_base = _CTRL_WORDS + self.w * _S_COLS
+
+    # -- infrastructure ------------------------------------------------
+    def node_rng(self, run_counter: int, node_id: int) -> random.Random:
+        """Bit-identical replica of ``Network.node_rng`` (salt 0)."""
+        if self.spec.rng_additive:
+            return random.Random(self._node_stream_seed(
+                self.spec.seed, run_counter, node_id, 0, additive=True))
+        run, prefix = self._rng_prefix
+        if run != run_counter:
+            prefix = self._node_stream_prefix(self.spec.seed, run_counter, 0)
+            self._rng_prefix = (run_counter, prefix)
+        return random.Random(self._node_seed_from_prefix(prefix, node_id))
+
+    def charge(self, bits: int, sender: int, receiver: int) -> int:
+        cache = self._charge_cache
+        charge = cache.get(bits, -1)
+        if charge < 0:
+            charge = self.policy.charge(bits, self.n, sender, receiver)
+            cache[bits] = charge
+        return charge
+
+    def stat(self, col: int, value: int) -> None:
+        self.words[self._stat_base + col] = value
+
+    def _publish_halo(self, staged: List[bytearray]) -> int:
+        """Write per-destination segments into my halo block; return bits."""
+        k = self.k
+        header = 8 * (k + 1)
+        total = sum(len(s) for s in staged)
+        need = header + total
+        if need > self.halo_cap:
+            new_cap = max(self.halo_cap * 2, need)
+            self.halo_gen += 1
+            fresh = shared_memory.SharedMemory(
+                name=_halo_name(self.spec.base, self.w, self.halo_gen),
+                create=True, size=new_cap)
+            # peers are never reading between the command and halo
+            # barriers, so the old generation can be retired immediately
+            # (existing mappings stay valid until they close it)
+            self.halo.unlink()
+            self.halo.close()
+            self.halo = fresh
+            self.halo_cap = new_cap
+        buf = self.halo.buf
+        offsets = memoryview(buf)[:header].cast("q")
+        pos = 0
+        offsets[0] = 0
+        for d in range(k):
+            segment = staged[d]
+            if segment:
+                buf[header + pos:header + pos + len(segment)] = segment
+                pos += len(segment)
+            offsets[d + 1] = pos
+        offsets.release()
+        self.stat(_S_HALO_GEN, self.halo_gen)
+        return 8 * total
+
+    def _absorb_halo(self, inboxes: Dict[int, Dict[int, Any]]) -> None:
+        """Merge peers' segments for me into ``inboxes``, engine order.
+
+        The engine inserts inbox entries in ascending global sender order;
+        local delivery preserved that for local senders, so any target
+        that also received remote mail gets its box rebuilt from the
+        sorted union.
+        """
+        remote: Dict[int, List[Tuple[int, Any]]] = {}
+        for p in range(self.k):
+            if p == self.w:
+                continue
+            gen = self.words[_CTRL_WORDS + p * _S_COLS + _S_HALO_GEN]
+            cached = self.peer_halo[p]
+            if cached is None or cached[0] != gen:
+                if cached is not None:
+                    cached[1].close()
+                shm = _attach_shm(_halo_name(self.spec.base, p, gen))
+                self.peer_halo[p] = (gen, shm)
+            else:
+                shm = cached[1]
+            buf = shm.buf
+            header = 8 * (self.k + 1)
+            offsets = memoryview(buf)[:header].cast("q")
+            lo, hi = offsets[self.w], offsets[self.w + 1]
+            offsets.release()
+            if lo == hi:
+                continue
+            view = memoryview(buf)[header + lo:header + hi]
+            pos = 0
+            end = hi - lo
+            while pos < end:
+                (sender,) = _unpack_q(view, pos)
+                (target,) = _unpack_q(view, pos + 8)
+                pos += 16
+                payload, pos = decode_payload(view, pos)
+                remote.setdefault(target, []).append((sender, payload))
+            view.release()
+        for target, pairs in remote.items():
+            box = inboxes.get(target)
+            if box:
+                pairs.extend(box.items())
+            pairs.sort(key=lambda sp: sp[0])
+            inboxes[target] = dict(pairs)
+
+    # -- one protocol run ----------------------------------------------
+    def run_protocol(self, barrier: Any, conn: Any, factory: Callable,
+                     shared: Dict[str, Any], run_counter: int) -> None:
+        timeout = self.spec.timeout
+        error: Optional[Tuple[int, int, BaseException]] = None
+        algorithms: Dict[int, Any] = {}
+        outboxes: Dict[int, Dict[Any, Any]] = {}
+        unfinished: List[int] = []
+        shared = dict(shared)
+        # setup: the engine runs every factory, then every start()
+        try:
+            for i, v in zip(self.my_indices, self.my_ids):
+                ctx = NodeContext(
+                    node_id=v, neighbors=self.nbrs[v],
+                    edge_weights=self.weights[v], n=self.n,
+                    rng=self.node_rng(run_counter, v), shared=shared)
+                algorithms[v] = factory(ctx)
+        except BaseException as exc:
+            error = (_PHASE_FACTORY, self.my_indices[len(algorithms)], exc)
+        if error is None:
+            try:
+                for i, v in zip(self.my_indices, self.my_ids):
+                    alg = algorithms[v]
+                    out = alg.start()
+                    if out:
+                        outboxes[v] = out
+                    if not alg.finished:
+                        unfinished.append(v)
+            except BaseException as exc:
+                error = (_PHASE_START, i, exc)
+        self._write_round_stats(error, 0, 0, 0, 0, 0,
+                                outboxes, algorithms, unfinished)
+        barrier.wait(timeout)  # B0: setup done, flags readable
+        while True:
+            barrier.wait(timeout)  # B1: command word readable
+            cmd = self.words[_CMD]
+            if cmd == _CMD_FINISH:
+                conn.send(("ok", {v: algorithms[v].output
+                                  for v in self.my_ids}))
+                return
+            if cmd == _CMD_ABORT:
+                if error is not None:
+                    phase, pos, exc = error
+                    conn.send(("err", phase, pos,
+                               type(exc).__name__, str(exc)))
+                else:
+                    conn.send(("aborted",))
+                return
+            # one round: deliver -> publish -> absorb -> compute
+            staged: List[bytearray] = [bytearray() for _ in range(self.k)]
+            inboxes: Dict[int, Dict[int, Any]] = {}
+            messages = bits_sum = max_bits = extra = 0
+            try:
+                messages, bits_sum, max_bits, extra = self._deliver(
+                    outboxes, staged, inboxes)
+            except _DeliveryFault as fault:
+                error = (_PHASE_DELIVER, fault.pos, fault.error)
+                staged = [bytearray() for _ in range(self.k)]
+            halo_bits = self._publish_halo(staged)
+            barrier.wait(timeout)  # B2: every halo block published
+            if error is None:
+                self._absorb_halo(inboxes)
+                outboxes.clear()
+                still_active: List[int] = []
+                try:
+                    for v in unfinished:
+                        alg = algorithms[v]
+                        out = alg.on_round(inboxes.get(v, _EMPTY_INBOX))
+                        if out:
+                            outboxes[v] = out
+                        if not alg.finished:
+                            still_active.append(v)
+                    unfinished = still_active
+                except BaseException as exc:
+                    error = (_PHASE_COMPUTE, self.pos_of_id[v], exc)
+            self._write_round_stats(error, messages, bits_sum, max_bits,
+                                    extra, halo_bits, outboxes, algorithms,
+                                    unfinished)
+            barrier.wait(timeout)  # B3: stats row readable
+
+    def _write_round_stats(self, error, messages, bits_sum, max_bits,
+                           extra, halo_bits, outboxes, algorithms,
+                           unfinished) -> None:
+        if error is not None:
+            self.stat(_S_STATUS, 1)
+            self.stat(_S_ERR_PHASE, error[0])
+            self.stat(_S_ERR_POS, error[1])
+        else:
+            self.stat(_S_STATUS, 0)
+        self.stat(_S_MESSAGES, messages)
+        self.stat(_S_BITS, bits_sum)
+        self.stat(_S_MAX_BITS, max_bits)
+        self.stat(_S_EXTRA, extra)
+        self.stat(_S_HALO_BITS, halo_bits)
+        self.stat(_S_ANY_OUT, 1 if outboxes else 0)
+        self.stat(_S_ALL_PASSIVE,
+                  1 if all(algorithms[v].passive for v in unfinished) else 0)
+        self.stat(_S_ANY_UNFINISHED, 1 if unfinished else 0)
+
+    def _deliver(self, outboxes: Dict[int, Dict[Any, Any]],
+                 staged: List[bytearray],
+                 inboxes: Dict[int, Dict[int, Any]],
+                 ) -> Tuple[int, int, int, int]:
+        """Sender-side delivery: ``_deliver_batched`` branch for branch.
+
+        Local targets land in ``inboxes``; cut-edge targets are encoded
+        into ``staged[destination_shard]``.  Every message is priced by
+        its sender's worker, so sums/maxima over workers equal the
+        engine's single-pass totals exactly.  The first per-sender error
+        is wrapped in :class:`_DeliveryFault` with the sender's global
+        order position.
+        """
+        messages = bits_sum = max_bits = extra = 0
+        w = self.w
+        owner_of = self.owner_of_id
+        from .network import ProtocolError
+
+        for i, sender in zip(self.my_indices, self.my_ids):
+            out = outboxes.get(sender)
+            if not out:
+                continue
+            try:
+                nbrs = self.nbrs[sender]
+                if BROADCAST in out:
+                    if len(out) == 1:
+                        # pure broadcast: price once, deliver the row
+                        if not nbrs:
+                            continue
+                        payload = out[BROADCAST]
+                        bits = payload_bits_fast(payload)
+                        charge = self.charge(bits, sender, nbrs[0])
+                        if charge > extra:
+                            extra = charge
+                        messages += len(nbrs)
+                        bits_sum += bits * len(nbrs)
+                        if bits > max_bits:
+                            max_bits = bits
+                        encoded: Optional[bytearray] = None
+                        for u in nbrs:
+                            d = owner_of[u]
+                            if d == w:
+                                inboxes.setdefault(u, {})[sender] = payload
+                            else:
+                                if encoded is None:
+                                    encoded = bytearray()
+                                    encode_payload(encoded, payload)
+                                seg = staged[d]
+                                seg += _pack_q(sender)
+                                seg += _pack_q(u)
+                                seg += encoded
+                        continue
+                    # mixed broadcast + unicast: expand into slot order so
+                    # later entries overwrite earlier ones exactly as the
+                    # engine's slot scratch does
+                    slots: List[Any] = [_UNSET] * len(nbrs)
+                    slot_of = self.slot_of[sender]
+                    for target, payload in out.items():
+                        if target == BROADCAST:
+                            for off in range(len(nbrs)):
+                                slots[off] = payload
+                        else:
+                            off = slot_of.get(target)
+                            if off is None:
+                                raise ProtocolError(
+                                    f"node {sender} tried to message "
+                                    f"non-neighbor {target}")
+                            slots[off] = payload
+                    for off, payload in enumerate(slots):
+                        if payload is _UNSET:
+                            continue
+                        target = nbrs[off]
+                        bits = payload_bits_fast(payload)
+                        charge = self.charge(bits, sender, target)
+                        if charge > extra:
+                            extra = charge
+                        messages += 1
+                        bits_sum += bits
+                        if bits > max_bits:
+                            max_bits = bits
+                        d = owner_of[target]
+                        if d == w:
+                            inboxes.setdefault(target, {})[sender] = payload
+                        else:
+                            seg = staged[d]
+                            seg += _pack_q(sender)
+                            seg += _pack_q(target)
+                            encode_payload(seg, payload)
+                    continue
+                # unicast-only: validate and price in insertion order
+                slot_of = self.slot_of[sender]
+                for target, payload in out.items():
+                    if target not in slot_of:
+                        raise ProtocolError(
+                            f"node {sender} tried to message non-neighbor "
+                            f"{target}")
+                    bits = payload_bits_fast(payload)
+                    charge = self.charge(bits, sender, target)
+                    if charge > extra:
+                        extra = charge
+                    messages += 1
+                    bits_sum += bits
+                    if bits > max_bits:
+                        max_bits = bits
+                    d = owner_of[target]
+                    if d == w:
+                        inboxes.setdefault(target, {})[sender] = payload
+                    else:
+                        seg = staged[d]
+                        seg += _pack_q(sender)
+                        seg += _pack_q(target)
+                        encode_payload(seg, payload)
+            except BaseException as exc:
+                raise _DeliveryFault(i, exc) from exc
+        return messages, bits_sum, max_bits, extra
+
+    def close(self) -> None:
+        self.words.release()
+        self.meta.close()
+        for cached in self.peer_halo:
+            if cached is not None:
+                cached[1].close()
+        try:
+            self.halo.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass
+        self.halo.close()
+
+
+_UNSET = object()
+_EMPTY_INBOX: Dict[int, Any] = {}
+
+
+def _shard_worker_main(spec: _WorkerSpec, barrier: Any, conn: Any) -> None:
+    """Worker process entry point: serve protocol runs until closed."""
+    worker = _ShardWorker(spec)
+    try:
+        while True:
+            try:
+                cmd = conn.recv()
+            except (EOFError, OSError):
+                break
+            if not cmd or cmd[0] != "run":
+                break
+            _, factory, protocol, shared, run_counter = cmd
+            worker.run_protocol(barrier, conn, factory, shared, run_counter)
+    finally:
+        worker.close()
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# coordinator side
+# ---------------------------------------------------------------------------
+
+def _cleanup_pool(processes: List[Any], conns: List[Any],
+                  meta: Optional[shared_memory.SharedMemory],
+                  views: List[Any], owner_pid: int) -> None:
+    """Finalizer-safe pool teardown (must not reference the Network).
+
+    ``owner_pid`` guards against inherited finalizers: a process forked
+    while the pool is alive (a later pool's workers, an experiments
+    ``--jobs`` worker) carries this registration in its memory image, and
+    running it there would try to join processes it does not own and
+    unlink shared memory the real owner still uses.  Only the creating
+    process tears the pool down; everyone else releases their buffer
+    views (required before interpreter shutdown can close the inherited
+    shm mapping) and walks away.
+    """
+    if os.getpid() != owner_pid:
+        for view in views:
+            try:
+                view.release()
+            except Exception:
+                pass
+        return
+    for view in views:
+        try:
+            view.release()
+        except Exception:
+            pass
+    views.clear()
+    for conn in conns:
+        try:
+            conn.send(("close",))
+        except Exception:
+            pass
+    for proc in processes:
+        proc.join(timeout=5.0)
+        if proc.is_alive():  # pragma: no cover - stuck worker
+            proc.terminate()
+            proc.join(timeout=5.0)
+    for conn in conns:
+        try:
+            conn.close()
+        except Exception:
+            pass
+    if meta is not None:
+        try:
+            meta.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass
+        meta.close()
+
+
+class ShardedNetwork:
+    """Partitioned executor for one :class:`~repro.congest.network.Network`.
+
+    Owns a persistent pool of ``k`` worker processes (forked when the
+    platform supports it), the control/stats shared-memory block, and
+    the partition.  :meth:`execute` runs one protocol with the engine
+    loop's exact semantics; the pool is reused across runs until
+    :meth:`close` (called by ``Network.close()`` and by a GC finalizer).
+    """
+
+    def __init__(self, net: Any, shards: int,
+                 balance: float = DEFAULT_BALANCE) -> None:
+        import multiprocessing as mp
+
+        self.net = net
+        n = net.graph.num_nodes
+        self.k = max(1, min(shards, n if n else 1))
+        self.partition = partition_graph(net.csr, self.k, seed=net.seed,
+                                         balance=balance)
+        self.broken = False
+        self._closed = False
+        base = "rs" + uuid.uuid4().hex[:12]
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platform
+            ctx = mp.get_context()
+        self._barrier = ctx.Barrier(self.k + 1)
+        words = _CTRL_WORDS + self.k * _S_COLS
+        self._meta = shared_memory.SharedMemory(create=True, size=8 * words)
+        self._words = memoryview(self._meta.buf).cast("q")
+        self._views = [self._words]
+        for i in range(words):
+            self._words[i] = 0
+        self._conns: List[Any] = []
+        self._procs: List[Any] = []
+        for w in range(self.k):
+            parent_conn, child_conn = ctx.Pipe()
+            spec = _WorkerSpec(
+                worker=w, k=self.k, base=base, meta_name=self._meta.name,
+                csr=net.csr, owner=self.partition.owner, policy=net.policy,
+                seed=net.seed, rng_additive=net._rng_additive,
+                halo_bytes=INITIAL_HALO_BYTES, timeout=BARRIER_TIMEOUT)
+            proc = ctx.Process(target=_shard_worker_main,
+                               args=(spec, self._barrier, child_conn),
+                               daemon=True, name=f"repro-shard-{w}")
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        self._owner_pid = os.getpid()
+        self._finalizer = weakref.finalize(
+            self, _cleanup_pool, self._procs, self._conns, self._meta,
+            self._views, self._owner_pid)
+
+    # -- barrier/stats helpers ------------------------------------------
+    def _wait(self) -> None:
+        try:
+            self._barrier.wait(BARRIER_TIMEOUT)
+        except Exception as exc:
+            self.broken = True
+            self.close()
+            raise ShardingError(
+                "sharded worker pool failed (barrier broken); "
+                "the run cannot continue") from exc
+
+    def _command(self, cmd: int) -> None:
+        self._words[_CMD] = cmd
+        self._wait()
+
+    def _stats_row(self, w: int) -> List[int]:
+        base = _CTRL_WORDS + w * _S_COLS
+        return list(self._words[base:base + _S_COLS])
+
+    def _first_error(self, rows: List[List[int]],
+                     ) -> Optional[Tuple[int, int, int]]:
+        """The engine-order first error: min (phase, pos) -> (phase, pos, w)."""
+        best: Optional[Tuple[int, int, int]] = None
+        for w, row in enumerate(rows):
+            if row[_S_STATUS]:
+                key = (row[_S_ERR_PHASE], row[_S_ERR_POS], w)
+                if best is None or key < best:
+                    best = key
+        return best
+
+    def _raise_run_error(self, error: Tuple[int, int, int]) -> None:
+        """Abort the run and re-raise the reconstructed first error."""
+        self._command(_CMD_ABORT)
+        reports: List[Tuple[int, int, str, str]] = []
+        for conn in self._conns:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError) as exc:
+                self.broken = True
+                self.close()
+                raise ShardingError("shard worker died mid-run") from exc
+            if msg[0] == "err":
+                reports.append((msg[1], msg[2], msg[3], msg[4]))
+        reports.sort(key=lambda r: (r[0], r[1]))
+        if not reports:  # pragma: no cover - stats/pipe disagreement
+            self.broken = True
+            self.close()
+            raise ShardingError("shard worker reported an error but sent "
+                                "no details")
+        _, _, typename, message = reports[0]
+        raise self._reconstruct(typename, message)
+
+    @staticmethod
+    def _reconstruct(typename: str, message: str) -> BaseException:
+        """Rebuild the worker's exception with its original type.
+
+        Engine-raised types and builtins round-trip exactly (by message);
+        anything else degrades to :class:`ShardingError` carrying the
+        original type name and text.
+        """
+        from .network import ProtocolError
+        from .policies import BandwidthExceeded
+
+        known: Dict[str, type] = {
+            "ProtocolError": ProtocolError,
+            "BandwidthExceeded": BandwidthExceeded,
+        }
+        cls = known.get(typename)
+        if cls is None:
+            import builtins
+
+            candidate = getattr(builtins, typename, None)
+            if (isinstance(candidate, type)
+                    and issubclass(candidate, BaseException)):
+                cls = candidate
+        if cls is None:
+            return ShardingError(f"{typename}: {message}")
+        try:
+            return cls(message)
+        except Exception:  # pragma: no cover - exotic signature
+            return ShardingError(f"{typename}: {message}")
+
+    # -- the replayed engine loop ----------------------------------------
+    def execute(self, factory: Callable, protocol: str,
+                shared: Dict[str, Any], limit: int,
+                on_round_end: Optional[Callable[[int, Any], None]],
+                ) -> Any:
+        """Run one protocol across the shard pool, engine-identically."""
+        if self.broken or self._closed:
+            raise ShardingError("sharded executor is closed")
+        from .events import ROUND_END, ROUND_START, RoundEnd, RoundStart
+        from .network import ProtocolError, RunResult
+
+        net = self.net
+        metrics = net.metrics
+        metrics.record_shard_run(self.partition.cut_edges,
+                                 self.partition.imbalance)
+        for conn in self._conns:
+            conn.send(("run", factory, protocol, shared, net._run_counter))
+        self._wait()  # B0: workers set up, flags readable
+        rows = [self._stats_row(w) for w in range(self.k)]
+        bus = net.bus
+        rounds = 0
+        while True:
+            error = self._first_error(rows)
+            if error is not None and error[0] <= _PHASE_START:
+                self._raise_run_error(error)
+            any_unfinished = any(r[_S_ANY_UNFINISHED] for r in rows)
+            if not any_unfinished:
+                break
+            if (rounds > 0 and not any(r[_S_ANY_OUT] for r in rows)
+                    and all(r[_S_ALL_PASSIVE] for r in rows)):
+                break  # quiescent: nothing in flight, nobody will speak
+            if rounds >= limit:
+                self._command(_CMD_ABORT)
+                for conn in self._conns:
+                    conn.recv()
+                raise ProtocolError(
+                    f"protocol {protocol!r} exceeded {limit} rounds "
+                    f"(likely a livelock)")
+            want_round_end = False
+            if bus is not None:
+                if bus.wants(ROUND_START):
+                    bus.emit(RoundStart(protocol=protocol, round=rounds + 1))
+                want_round_end = bus.wants(ROUND_END)
+                if want_round_end:
+                    msgs_before = metrics.messages
+                    bits_before = metrics.total_bits
+                    dropped_before = net.dropped
+            self._command(_CMD_CONTINUE)  # B1
+            self._wait()  # B2: halos published
+            self._wait()  # B3: stats rows written
+            rows = [self._stats_row(w) for w in range(self.k)]
+            error = self._first_error(rows)
+            if error is not None and error[0] == _PHASE_DELIVER:
+                # the engine records nothing for a delivery-phase error
+                # (the batch fold and record_round are never reached)
+                self._raise_run_error(error)
+            metrics.record_message_batch(
+                sum(r[_S_MESSAGES] for r in rows),
+                sum(r[_S_BITS] for r in rows),
+                max(r[_S_MAX_BITS] for r in rows))
+            metrics.record_halo_bits(sum(r[_S_HALO_BITS] for r in rows))
+            rounds += 1
+            metrics.record_round(protocol,
+                                 max(r[_S_EXTRA] for r in rows))
+            if error is not None:
+                # compute-phase error: traffic and the round are already
+                # recorded (the engine raises after record_round, before
+                # RoundEnd and the hook)
+                self._raise_run_error(error)
+            if want_round_end:
+                bus.emit(RoundEnd(
+                    protocol=protocol, round=rounds,
+                    messages=metrics.messages - msgs_before,
+                    bits=metrics.total_bits - bits_before,
+                    dropped=net.dropped - dropped_before))
+            if on_round_end is not None:
+                on_round_end(rounds, net)
+        self._command(_CMD_FINISH)
+        merged: Dict[int, Any] = {}
+        for conn in self._conns:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError) as exc:
+                self.broken = True
+                self.close()
+                raise ShardingError("shard worker died during output "
+                                    "gather") from exc
+            merged.update(msg[1])
+        outputs = {v: merged[v] for v in net._order}
+        return RunResult(outputs=outputs, rounds=rounds,
+                         all_finished=not any_unfinished)
+
+    def close(self) -> None:
+        """Shut the pool down and release every shared-memory block."""
+        if self._closed:
+            return
+        self._closed = True
+        self.broken = True
+        self._finalizer.detach()
+        _cleanup_pool(self._procs, self._conns, self._meta, self._views,
+                      self._owner_pid)
+
+
+# ---------------------------------------------------------------------------
+# selection
+# ---------------------------------------------------------------------------
+
+def env_shards() -> Optional[int]:
+    """:data:`SHARDS_ENV` parsed: None (no opinion), 0 (disabled), k>0."""
+    raw = os.environ.get(SHARDS_ENV, "").strip().lower()
+    if not raw:
+        return None
+    if raw in ("0", "off", "false", "no"):
+        return 0
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else 0
+
+
+def resolve_shards(net: Any) -> Optional[int]:
+    """How many shards a run on ``net`` should use, or None for none.
+
+    The ladder: the environment kill switch beats everything; a forced
+    environment count beats the constructor; ``engine="sharded"`` or a
+    ``shards=`` argument opts in explicitly; otherwise auto-sharding
+    engages for large networks (>= :data:`AUTO_SHARD_MIN_NODES` nodes)
+    on multi-core machines.
+    """
+    forced = env_shards()
+    if forced == 0:
+        return None
+    if forced is not None:
+        return forced
+    requested = getattr(net, "requested_shards", None)
+    if net.engine == "sharded" or requested is not None:
+        if requested is not None:
+            return max(1, requested)
+        return max(1, min(MAX_AUTO_SHARDS, os.cpu_count() or 1))
+    cores = os.cpu_count() or 1
+    if (net.engine == "csr" and cores >= 2
+            and net.graph.num_nodes >= AUTO_SHARD_MIN_NODES):
+        return min(MAX_AUTO_SHARDS, cores)
+    return None

@@ -23,10 +23,12 @@ charges the chunked transmission rounds of Lemma 3.9.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..congest.events import TokenCollision
-from ..congest.network import Network
+from ..congest.kernels import RoundKernel, register_kernel
+from ..congest.message import payload_bits_fast
+from ..congest.network import Network, ProtocolError
 from ..congest.node import Inbox, NodeAlgorithm, NodeContext, Outbox
 from ..congest.runtime import register_map
 from ..graphs.graph import Edge
@@ -136,6 +138,178 @@ class TokenNode(NodeAlgorithm):
             if not is_leader_end and self.tok_next is not None:
                 return {self.tok_next: (_CONFIRM, leader)}
         return {}
+
+
+@register_kernel(TokenNode)
+class TokenKernel(RoundKernel):
+    """Vectorized superstep executor for :class:`TokenNode`.
+
+    The token walk is sparse — at most one token and one confirmation per
+    node per round — so the kernel's state is a handful of per-node-index
+    registers (``token_id``/``tok_next``/``tok_prev``/``confirmed``) plus
+    the staged message list for the next round.  One :meth:`step` prices
+    and delivers the staged walk messages (sender-ascending, exactly like
+    the engine), then replays every receiving node's transition in
+    ascending node order: token survival-of-the-largest first (including
+    the :class:`TokenCollision` emission when observed), confirmation
+    retracing second — the same intra-node order as the node program's
+    ``on_round``.  Random draws (``sample_max_uniform`` at the leaders,
+    ``weighted_choice`` at odd layers) consume the identical per-node
+    streams, so outputs, metrics, rounds and rng state are bit-identical
+    to per-node dispatch.
+    """
+
+    passive = True  # tokens/confirmations drive everything; silence = done
+
+    def setup(self, shared: Dict[str, Any]) -> None:
+        A = self.arrays
+        order = A.order
+        side_map: Dict[int, Optional[int]] = shared["side"]
+        mate_map: Dict[int, Optional[int]] = shared["mate"]
+        state_map: Dict[int, Optional[CountState]] = shared["count_states"]
+        self.ell: int = shared["ell"]
+        self.value_cap: int = shared["value_cap"]
+        self._collide = shared.get("collision_observer")
+
+        self.side: List[Optional[int]] = [side_map.get(v) for v in order]
+        self.mate: List[Optional[int]] = [mate_map.get(v) for v in order]
+        self.state: List[Optional[CountState]] = [
+            state_map.get(v) for v in order
+        ]
+        self.token_id: List[Optional[int]] = [None] * A.n
+        self.tok_next: List[Optional[int]] = [None] * A.n
+        self.tok_prev: List[Optional[int]] = [None] * A.n
+        self.confirmed: List[bool] = [False] * A.n
+        self.is_leader: List[bool] = [False] * A.n
+        #: overridden output registers (default: unchanged mate, unconfirmed)
+        self.out: Dict[int, Dict[str, Any]] = {}
+        #: staged (sender_id, target_id, payload) for the next delivery,
+        #: sender-ascending by construction (nodes are processed in order)
+        self.staged: List[Tuple[int, int, Tuple]] = []
+
+        for i in range(A.n):
+            st = self.state[i]
+            if not (self.side[i] == Y_SIDE and self.mate[i] is None
+                    and st is not None and st.t == self.ell
+                    and st.total > 0):
+                continue
+            self.is_leader[i] = True
+            r = self.rng(i)
+            draw = sample_max_uniform(r, st.total, self.value_cap)
+            self.token_id[i] = order[i]
+            prev = weighted_choice(r, st.counts)
+            self.tok_prev[i] = prev
+            self.staged.append((order[i], prev, (_TOKEN, draw, order[i])))
+
+    # ------------------------------------------------------------------
+    def step(self, round_number: int) -> int:
+        A = self.arrays
+        index = A.index
+        slot_of = self.net._slot_of
+        staged = self.staged
+        self.staged = []
+
+        # delivery: price every staged message in sender-major order (the
+        # engine's outbox order), validating targets exactly like _deliver
+        extra = 0
+        messages = 0
+        bits_sum = 0
+        max_bits = 0
+        tokens_at: Dict[int, List[Tuple[int, int, int]]] = {}
+        confirms_at: Dict[int, List[int]] = {}
+        for sender, target, payload in staged:
+            if target not in slot_of[sender]:
+                raise ProtocolError(
+                    f"node {sender} tried to message non-neighbor {target}"
+                )
+            bits = payload_bits_fast(payload)
+            charge = self.charge(bits, sender, target)
+            if charge > extra:
+                extra = charge
+            messages += 1
+            bits_sum += bits
+            if bits > max_bits:
+                max_bits = bits
+            t = index[target]
+            if payload[0] == _TOKEN:
+                tokens_at.setdefault(t, []).append(
+                    (sender, payload[1], payload[2]))
+            else:
+                confirms_at.setdefault(t, []).append(payload[1])
+        self.record_traffic(messages, bits_sum, max_bits)
+
+        # compute: replay each receiving node's transition, ascending order
+        for t in sorted(tokens_at.keys() | confirms_at.keys()):
+            arrivals = tokens_at.get(t)
+            if arrivals:
+                self._handle_tokens(t, arrivals)
+            confirms = confirms_at.get(t)
+            if confirms:
+                self._handle_confirms(t, confirms)
+        return extra
+
+    def _handle_tokens(self, t: int,
+                       arrivals: List[Tuple[int, int, int]]) -> None:
+        if self.token_id[t] is not None:
+            return  # already carrying a token: drop arrivals defensively
+        order = self.arrays.order
+        sender, value, leader = arrivals[0]
+        for s, v, l in arrivals[1:]:  # first-maximal (value, leader) wins
+            if (v, l) > (value, leader):
+                sender, value, leader = s, v, l
+        if len(arrivals) > 1 and self._collide is not None:
+            self._collide(TokenCollision(node=order[t], winner=leader,
+                                         losers=len(arrivals) - 1))
+        self.token_id[t] = leader
+        self.tok_next[t] = sender
+        vid = order[t]
+        if self.side[t] == X_SIDE and self.mate[t] is None:
+            self.out[t] = {"mate": sender, "confirmed": False}
+            self.confirmed[t] = True
+            self.staged.append((vid, sender, (_CONFIRM, leader)))
+            return
+        if self.side[t] == X_SIDE:
+            mate = self.mate[t]
+            self.tok_prev[t] = mate
+            self.staged.append((vid, mate, (_TOKEN, value, leader)))
+            return
+        st = self.state[t]
+        assert st is not None, "token reached an uncounted node"
+        prev = weighted_choice(self.rng(t), st.counts)
+        self.tok_prev[t] = prev
+        self.staged.append((vid, prev, (_TOKEN, value, leader)))
+
+    def _handle_confirms(self, t: int, confirms: List[int]) -> None:
+        order = self.arrays.order
+        for leader in confirms:
+            if leader != self.token_id[t] or self.confirmed[t]:
+                continue
+            self.confirmed[t] = True
+            if self.side[t] == X_SIDE:
+                new_mate = self.tok_next[t]
+            else:
+                new_mate = self.tok_prev[t]
+            is_leader_end = self.is_leader[t] and leader == order[t]
+            self.out[t] = {"mate": new_mate, "confirmed": is_leader_end}
+            if not is_leader_end and self.tok_next[t] is not None:
+                self.staged.append(
+                    (order[t], self.tok_next[t], (_CONFIRM, leader)))
+                return
+
+    # ------------------------------------------------------------------
+    def unfinished(self) -> bool:
+        return self.arrays.n > 0  # nodes never halt; quiescence ends the run
+
+    def pending(self) -> bool:
+        return bool(self.staged)
+
+    def outputs(self) -> Dict[int, Any]:
+        order = self.arrays.order
+        out = self.out
+        return {
+            order[i]: out.get(i) or {"mate": self.mate[i], "confirmed": False}
+            for i in range(self.arrays.n)
+        }
 
 
 def run_token_selection(network: Network, side: Dict[int, Optional[int]],

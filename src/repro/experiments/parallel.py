@@ -101,8 +101,12 @@ class ResultCache:
         try:
             with path.open("rb") as fh:
                 table = pickle.load(fh)
-        except (pickle.PickleError, EOFError, OSError):
-            return None  # corrupt entry: treat as a miss, recompute
+        except Exception:
+            # corrupt entry: treat as a miss, recompute.  Unpickling
+            # arbitrary bytes can raise nearly anything (ValueError,
+            # UnicodeDecodeError, AttributeError...), not just
+            # PickleError/EOFError, and a stale cache must never crash
+            return None
         return table if isinstance(table, Table) else None
 
     def store(self, item: WorkItem, table: Table) -> Path:

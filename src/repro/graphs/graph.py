@@ -65,6 +65,15 @@ class Graph:
 
     def __init__(self) -> None:
         self._adj: Dict[int, Dict[int, float]] = {}
+        # CSR snapshot cache, keyed by the mutation version: every mutator
+        # bumps ``_version``, so a cached snapshot is valid exactly while
+        # the adjacency content is unchanged (repeated ``Network``
+        # constructions over one graph stop rebuilding the packed arrays)
+        self._version = 0
+        self._csr_cache: Optional[CSRAdjacency] = None
+        self._csr_cache_version = -1
+        self.csr_cache_hits = 0
+        self.csr_cache_misses = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -73,7 +82,9 @@ class Graph:
         """Add an isolated node (no-op if already present)."""
         if not isinstance(v, int):
             raise GraphError(f"node ids must be integers, got {v!r}")
-        self._adj.setdefault(v, {})
+        if v not in self._adj:
+            self._version += 1
+            self._adj[v] = {}
 
     def add_nodes(self, nodes: Iterable[int]) -> None:
         for v in nodes:
@@ -94,18 +105,21 @@ class Graph:
         self.add_node(v)
         existing = self._adj[u].get(v)
         if existing is None or weight > existing:
+            self._version += 1
             self._adj[u][v] = weight
             self._adj[v][u] = weight
 
     def remove_edge(self, u: int, v: int) -> None:
         if not self.has_edge(u, v):
             raise GraphError(f"edge ({u}, {v}) not in graph")
+        self._version += 1
         del self._adj[u][v]
         del self._adj[v][u]
 
     def remove_node(self, v: int) -> None:
         if v not in self._adj:
             raise GraphError(f"node {v} not in graph")
+        self._version += 1
         for u in list(self._adj[v]):
             del self._adj[u][v]
         del self._adj[v]
@@ -177,7 +191,19 @@ class Graph:
         Rows follow :attr:`nodes` order (sorted ids) and each row lists
         neighbors in sorted-id order, so iteration over the CSR reproduces
         exactly the deterministic order the rest of the library relies on.
+
+        Snapshots are cached per mutation version: repeated calls on an
+        unmodified graph (every ``Network`` construction, each shard worker
+        of a sharded run) return the same immutable snapshot instead of
+        rebuilding the packed arrays.  ``csr_cache_hits``/``csr_cache_misses``
+        count reuse; :class:`~repro.congest.network.Network` folds them
+        into its :class:`~repro.congest.metrics.Metrics`.
         """
+        if (self._csr_cache is not None
+                and self._csr_cache_version == self._version):
+            self.csr_cache_hits += 1
+            return self._csr_cache
+        self.csr_cache_misses += 1
         order = tuple(self.nodes)
         index = {v: i for i, v in enumerate(order)}
         indptr = array("q", [0] * (len(order) + 1))
@@ -199,8 +225,11 @@ class Graph:
             row = slot_of[i]
             for e in range(indptr[i], indptr[i + 1]):
                 rev[row[indices[e]]] = e
-        return CSRAdjacency(order=order, index=index, indptr=indptr,
-                            indices=indices, weights=weights, rev=rev)
+        csr = CSRAdjacency(order=order, index=index, indptr=indptr,
+                           indices=indices, weights=weights, rev=rev)
+        self._csr_cache = csr
+        self._csr_cache_version = self._version
+        return csr
 
     # ------------------------------------------------------------------
     # derived graphs

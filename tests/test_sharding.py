@@ -1,0 +1,513 @@
+"""Sharded multi-core execution: partitioner properties and golden parity.
+
+The sharded executor must be *bit-identical* to the single-process engine:
+same outputs, same round counts, same physical :class:`~repro.congest.
+metrics.Metrics`, same structural event stream, same errors at the same
+points — across every kernelized protocol, seed, and shard count
+(including the degenerate 1-shard pool).  The partitioner must be a pure
+deterministic function of ``(graph, shards, seed, balance)``, including
+across processes.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.congest import (
+    CONGEST,
+    LOCAL,
+    PIPELINE,
+    BandwidthExceeded,
+    BandwidthPolicy,
+    FaultSpec,
+    MessageDelivered,
+    Network,
+    ProtocolError,
+    RoundEnd,
+    RoundStart,
+    ShardingError,
+    congest,
+    partition_graph,
+    resolve_shards,
+)
+from repro.congest import sharding
+from repro.congest.sharding import decode_payload, encode_payload
+from repro.dist.bipartite_counting import (
+    X_SIDE,
+    Y_SIDE,
+    CountingNode,
+    run_counting,
+)
+from repro.dist.israeli_itai import IsraeliItaiNode, israeli_itai
+from repro.dist.luby_mis import LubyMISNode, luby_mis
+from repro.dist.token_mis import run_token_selection
+from repro.graphs import gnp, grid_graph, path_graph, random_bipartite
+
+
+def _metrics_tuple(m):
+    return (m.rounds, m.pipelined_extra_rounds, m.messages, m.total_bits,
+            m.max_message_bits, tuple(sorted(m.protocol_rounds.items())))
+
+
+def _network(g, policy, seed, shards):
+    """A reference (csr) or sharded network, same graph and seed."""
+    if shards is None:
+        return Network(g, policy=policy, seed=seed, engine="csr")
+    return Network(g, policy=policy, seed=seed, engine="sharded",
+                   shards=shards)
+
+
+class Collect:
+    def __init__(self, kinds=None):
+        if kinds is not None:
+            self.interest = kinds
+        self.events = []
+
+    def on_event(self, event):
+        self.events.append(event)
+
+
+# --- partitioner properties ---------------------------------------------
+
+PART_CASES = [
+    pytest.param(n, p, k, seed, id=f"n{n}-p{p}-k{k}-s{seed}")
+    for n, p in ((40, 0.15), (90, 0.06), (17, 0.3))
+    for k in (1, 2, 3, 4)
+    for seed in (0, 7)
+]
+
+
+class TestPartitioner:
+    @pytest.mark.parametrize("n,p,k,seed", PART_CASES)
+    def test_every_node_in_exactly_one_shard(self, n, p, k, seed):
+        g = gnp(n, p, rng=seed)
+        part = partition_graph(g, k, seed=seed)
+        seen = [v for shard in part.shards for v in shard]
+        assert sorted(seen) == list(range(g.num_nodes))
+        assert all(part.owner[v] == s
+                   for s, shard in enumerate(part.shards) for v in shard)
+
+    @pytest.mark.parametrize("n,p,k,seed", PART_CASES)
+    def test_balance_bound(self, n, p, k, seed):
+        g = gnp(n, p, rng=seed)
+        part = partition_graph(g, k, seed=seed)
+        n_real, k_real = g.num_nodes, part.k
+        equal_fill = -(-n_real // k_real)
+        assert max(part.sizes) <= equal_fill  # the equal-fill guarantee
+        assert part.imbalance == max(part.sizes) * k_real / n_real
+
+    @pytest.mark.parametrize("n,p,k,seed", PART_CASES)
+    def test_cut_edges_symmetric_count(self, n, p, k, seed):
+        g = gnp(n, p, rng=seed)
+        part = partition_graph(g, k, seed=seed)
+        csr = g.to_csr()
+        crossing = set()
+        for i in range(len(csr.order)):
+            for e in range(csr.indptr[i], csr.indptr[i + 1]):
+                j = csr.indices[e]
+                if part.owner[i] != part.owner[j]:
+                    crossing.add((min(i, j), max(i, j)))
+        assert part.cut_edges == len(crossing)
+        if k == 1:
+            assert part.cut_edges == 0
+
+    def test_deterministic_for_equal_seeds(self):
+        g = gnp(70, 0.1, rng=4)
+        a = partition_graph(g, 3, seed=12)
+        b = partition_graph(g, 3, seed=12)
+        assert a.owner == b.owner and a.shards == b.shards
+        c = partition_graph(g, 3, seed=13)
+        assert c.owner != a.owner  # different stream, different growth
+
+    def test_bit_identical_across_processes(self, tmp_path):
+        g = gnp(120, 0.08, rng=7)
+        local = partition_graph(g, 3, seed=7)
+        src = pathlib.Path(__file__).resolve().parents[1] / "src"
+        script = (
+            "from repro.graphs import gnp\n"
+            "from repro.congest import partition_graph\n"
+            "part = partition_graph(gnp(120, 0.08, rng=7), 3, seed=7)\n"
+            "print(repr(part.owner))\n"
+            "print(part.cut_edges, part.sizes)\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+            capture_output=True, text=True, check=True)
+        lines = out.stdout.strip().splitlines()
+        assert lines[0] == repr(local.owner)
+        assert lines[1] == f"{local.cut_edges} {local.sizes}"
+
+    def test_more_shards_than_nodes_clamps(self):
+        part = partition_graph(path_graph(3), 8, seed=0)
+        assert part.k == 3 and all(s == 1 for s in part.sizes)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            partition_graph(path_graph(4), 0)
+        with pytest.raises(ValueError):
+            partition_graph(path_graph(4), 2, balance=0.9)
+
+    def test_bfs_growth_keeps_shards_contiguous(self):
+        # BFS growth makes the first shard a contiguous path segment, so
+        # the cut is at most 2 edges (1 when growth starts near an end) —
+        # far below the ~32 expected of a random 50/50 node split
+        for seed in range(6):
+            part = partition_graph(path_graph(64), 2, seed=seed)
+            assert part.cut_edges <= 2
+
+
+# --- halo payload codec --------------------------------------------------
+
+CODEC_CASES = [
+    None, True, False, 0, 1, -1, 7, -123456789, 1 << 200, -(1 << 200),
+    0.0, -2.5, 1e300, "", "halo", "ünïcode", (), (1, 2), [3, "x", None],
+    {"a": 1, "b": (2.5, False)}, {1: {2: [3]}}, set(), {1, 2, 3},
+    frozenset({(1, 2)}), ((((42,)),),), [{"deep": [1, {"er": (None,)}]}],
+]
+
+
+class TestCodec:
+    @pytest.mark.parametrize("payload", CODEC_CASES,
+                             ids=[str(i) for i in range(len(CODEC_CASES))])
+    def test_roundtrip(self, payload):
+        buf = bytearray()
+        encode_payload(buf, payload)
+        decoded, pos = decode_payload(memoryview(bytes(buf)), 0)
+        assert pos == len(buf)
+        assert decoded == payload
+        assert type(decoded) is type(payload)
+
+    def test_dict_order_preserved(self):
+        buf = bytearray()
+        encode_payload(buf, {"z": 1, "a": 2})
+        decoded, _ = decode_payload(memoryview(bytes(buf)), 0)
+        assert list(decoded) == ["z", "a"]
+
+    def test_rejects_non_plain_data(self):
+        with pytest.raises(ShardingError):
+            encode_payload(bytearray(), object())
+
+
+# --- golden workloads (shard count is the only degree of freedom) --------
+
+def _run_israeli(policy, seed, shards=None):
+    g = gnp(48, 0.12, rng=seed)
+    net = _network(g, policy, seed, shards)
+    try:
+        matching = israeli_itai(net)
+        return set(matching.edges()), _metrics_tuple(net.metrics)
+    finally:
+        net.close()
+
+
+def _run_luby(policy, seed, shards=None):
+    g = gnp(56, 0.1, rng=seed)
+    net = _network(g, policy, seed, shards)
+    try:
+        mis = luby_mis(net)
+        return frozenset(mis), _metrics_tuple(net.metrics)
+    finally:
+        net.close()
+
+
+def _counting_instance(seed):
+    half = 22
+    g = random_bipartite(half, half, 0.14, rng=seed)
+    side = {v: (X_SIDE if v < half else Y_SIDE) for v in sorted(g.nodes)}
+    mate = {v: None for v in g.nodes}
+    for u in sorted(g.nodes):  # deterministic greedy seed matching
+        if side[u] != X_SIDE or mate[u] is not None:
+            continue
+        for v in sorted(g.neighbors(u)):
+            if mate[v] is None:
+                mate[u] = v
+                mate[v] = u
+                break
+    return g, side, mate
+
+
+def _freeze_counts(outputs):
+    return tuple(
+        (v, None if s is None else (s.t, tuple(sorted(s.counts.items())),
+                                    s.total, s.early_free_y))
+        for v, s in sorted(outputs.items())
+    )
+
+
+def _run_counting_workload(policy, seed, shards=None, ell=4):
+    g, side, mate = _counting_instance(seed)
+    net = _network(g, policy, seed, shards)
+    try:
+        outputs = run_counting(net, side, mate, ell)
+        return _freeze_counts(outputs), _metrics_tuple(net.metrics)
+    finally:
+        net.close()
+
+
+def _run_token(policy, seed, shards=None, ell=1):
+    # counting feeds token selection on the same network, so this also
+    # exercises run-counter continuity and shared dicts holding CountState
+    # objects across the process boundary
+    g, side, mate = _counting_instance(seed)
+    n_bound = max(2, g.num_nodes) * max(2, g.max_degree) ** ((ell + 1) // 2)
+    net = _network(g, policy, seed, shards)
+    try:
+        states = run_counting(net, side, mate, ell)
+        new_mate, applied = run_token_selection(
+            net, side, mate, ell, states, n_bound ** 4)
+        return (tuple(sorted(new_mate.items())), applied,
+                _metrics_tuple(net.metrics))
+    finally:
+        net.close()
+
+
+WORKLOADS = {
+    "israeli_itai": (_run_israeli, [CONGEST, LOCAL]),
+    "luby_mis": (_run_luby, [CONGEST, LOCAL]),
+    "counting": (_run_counting_workload, [PIPELINE, LOCAL]),
+    "token": (_run_token, [PIPELINE]),
+}
+
+MATRIX = [
+    pytest.param(name, policy, seed, shards,
+                 id=f"{name}-{policy.mode.value}-s{seed}-k{shards}")
+    for name, (_, policies) in WORKLOADS.items()
+    for policy in policies
+    for seed in (0, 3, 11)
+    for shards in (1, 2, 4)
+]
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("name,policy,seed,shards", MATRIX)
+    def test_sharded_matches_single_process(self, name, policy, seed,
+                                            shards):
+        runner = WORKLOADS[name][0]
+        assert runner(policy, seed, shards=shards) == runner(policy, seed)
+
+    def test_structural_event_streams_identical(self):
+        streams = {}
+        for shards in (None, 3):
+            collect = Collect(kinds=(RoundStart, RoundEnd))
+            g = gnp(48, 0.12, rng=5)
+            net = Network(g, policy=CONGEST, seed=5, observe=collect,
+                          **({"engine": "csr"} if shards is None else
+                             {"engine": "sharded", "shards": shards}))
+            try:
+                israeli_itai(net)
+            finally:
+                net.close()
+            streams[shards] = [
+                (type(e).__name__, e.protocol, e.round,
+                 getattr(e, "messages", None), getattr(e, "bits", None),
+                 getattr(e, "dropped", None))
+                for e in collect.events
+            ]
+        assert streams[3] == streams[None]
+        assert any(kind == "RoundStart" for kind, *_ in streams[3])
+
+    def test_sequential_runs_share_one_pool(self):
+        # metrics accumulate across protocols on one network, and the
+        # worker pool (plus per-node rng run counter) carries over
+        g = gnp(56, 0.1, rng=2)
+        ref = Network(g, policy=LOCAL, seed=2, engine="csr")
+        mis_a = frozenset(luby_mis(ref))
+        mis_b = frozenset(luby_mis(ref))
+        net = Network(g, policy=LOCAL, seed=2, engine="sharded", shards=2)
+        try:
+            assert frozenset(luby_mis(net)) == mis_a
+            assert frozenset(luby_mis(net)) == mis_b
+            assert len(net._sharded_execs) == 1  # one pool, reused
+            assert _metrics_tuple(net.metrics) == _metrics_tuple(ref.metrics)
+        finally:
+            net.close()
+
+    def test_halo_resize_is_transparent(self, monkeypatch):
+        # a 64-byte initial halo block forces generation bumps on the
+        # first real round; outputs and metrics must not notice
+        golden = _run_israeli(CONGEST, 3)
+        monkeypatch.setattr(sharding, "INITIAL_HALO_BYTES", 64)
+        assert _run_israeli(CONGEST, 3, shards=2) == golden
+
+    def test_shard_account_populated(self):
+        g = grid_graph(8, 8)
+        net = Network(g, policy=LOCAL, seed=1, engine="sharded", shards=2)
+        try:
+            luby_mis(net)
+            part = net._sharded_execs[2].partition
+            assert net.metrics.shard_cut_edges == part.cut_edges > 0
+            assert net.metrics.shard_imbalance == part.imbalance >= 1.0
+            assert net.metrics.shard_halo_bits > 0
+        finally:
+            net.close()
+
+    def test_single_shard_has_no_halo(self):
+        g = gnp(40, 0.15, rng=6)
+        net = Network(g, policy=LOCAL, seed=6, engine="sharded", shards=1)
+        try:
+            luby_mis(net)
+            assert net.metrics.shard_cut_edges == 0
+            assert net.metrics.shard_halo_bits == 0
+        finally:
+            net.close()
+
+
+class TestErrorEquivalence:
+    def test_round_limit_error_identical_and_pool_survives(self):
+        outcomes = {}
+        for shards in (None, 2):
+            g = gnp(40, 0.15, rng=2)
+            net = _network(g, CONGEST, 2, shards)
+            try:
+                with pytest.raises(ProtocolError) as exc:
+                    net.run(LubyMISNode, protocol="luby_mis", max_rounds=3)
+                partial = (str(exc.value), _metrics_tuple(net.metrics))
+                # the pool must survive an aborted run and finish a new one
+                mis = frozenset(luby_mis(net))
+                outcomes[shards] = (partial, mis,
+                                    _metrics_tuple(net.metrics))
+            finally:
+                net.close()
+        assert outcomes[2] == outcomes[None]
+        assert "exceeded 3 rounds" in outcomes[2][0][0]
+
+    def test_bandwidth_exceeded_identical(self):
+        # a 1x-log budget the counting pass must blow — in the same round,
+        # with the same message and the same partial accounting
+        outcomes = {}
+        for shards in (None, 2):
+            g, side, mate = _counting_instance(9)
+            net = _network(g, congest(multiplier=1), 9, shards)
+            try:
+                with pytest.raises(BandwidthExceeded) as exc:
+                    run_counting(net, side, mate, ell=6)
+                outcomes[shards] = (str(exc.value),
+                                    _metrics_tuple(net.metrics))
+            finally:
+                net.close()
+        assert outcomes[2] == outcomes[None]
+
+
+class TestSelection:
+    def _eligible_net(self, **kwargs):
+        return Network(gnp(30, 0.2, rng=0), policy=LOCAL, seed=0, **kwargs)
+
+    def test_explicit_shards_engage(self):
+        net = self._eligible_net(engine="sharded", shards=1)
+        try:
+            assert net._select_sharded(LubyMISNode, {}) is not None
+        finally:
+            net.close()
+
+    def test_shards_argument_implies_opt_in_on_csr(self):
+        net = self._eligible_net(engine="csr", shards=1)
+        try:
+            assert net._select_sharded(LubyMISNode, {}) is not None
+        finally:
+            net.close()
+
+    def test_auto_requires_size_and_cores(self):
+        net = self._eligible_net(engine="csr")
+        try:
+            # 30 nodes is far below the auto threshold
+            assert resolve_shards(net) is None
+            assert net._select_sharded(LubyMISNode, {}) is None
+        finally:
+            net.close()
+
+    def test_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv(sharding.SHARDS_ENV, "0")
+        net = self._eligible_net(engine="sharded", shards=2)
+        try:
+            assert net._select_sharded(LubyMISNode, {}) is None
+        finally:
+            net.close()
+
+    def test_env_forces_shards(self, monkeypatch):
+        monkeypatch.setenv(sharding.SHARDS_ENV, "1")
+        net = self._eligible_net(engine="csr")
+        try:
+            assert net._select_sharded(LubyMISNode, {}) is not None
+        finally:
+            net.close()
+
+    def test_fallback_conditions(self):
+        # every condition that must force single-process execution does
+        class EdgePolicy(BandwidthPolicy):
+            pass
+
+        cases = {
+            "faults": self._eligible_net(engine="sharded", shards=1,
+                                         faults=FaultSpec(loss=0.1)),
+            "policy": Network(gnp(30, 0.2, rng=0), policy=EdgePolicy(),
+                              seed=0, engine="sharded", shards=1),
+            "observer": self._eligible_net(
+                engine="sharded", shards=1,
+                observe=Collect(kinds=(MessageDelivered,))),
+        }
+        try:
+            for label, net in cases.items():
+                assert net._select_sharded(LubyMISNode, {}) is None, label
+            net = self._eligible_net(engine="sharded", shards=1)
+            cases["clean"] = net
+            # unregistered factory (a subclass) and callable shared values
+            class SubLuby(LubyMISNode):
+                pass
+
+            assert net._select_sharded(SubLuby, {}) is None
+            assert net._select_sharded(
+                LubyMISNode, {"observer": lambda e: None}) is None
+            assert net._select_sharded(LubyMISNode, {}) is not None
+        finally:
+            for net in cases.values():
+                net.close()
+
+    def test_sharded_engine_falls_back_to_kernels(self):
+        # an ineligible run on engine="sharded" drops down the ladder
+        # (kernel, then per-node) and stays golden
+        g = gnp(40, 0.15, rng=8)
+        plain = Network(g, policy=CONGEST, seed=8, engine="sharded",
+                        shards=1)
+        try:
+            assert plain._select_kernel(LubyMISNode) is not None
+        finally:
+            plain.close()
+        results = {}
+        for engine in ("csr", "sharded"):
+            net = Network(g, policy=CONGEST, seed=8, engine=engine,
+                          faults=FaultSpec(loss=0.1),
+                          **({} if engine == "csr" else {"shards": 2}))
+            try:
+                assert net._select_sharded(LubyMISNode, {}) is None
+                results[engine] = (frozenset(luby_mis(net)),
+                                   _metrics_tuple(net.metrics))
+            finally:
+                net.close()
+        assert results["sharded"] == results["csr"]
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            Network(path_graph(4), shards=0)
+        with pytest.raises(ValueError):
+            Network(path_graph(4), engine="node", shards=2)
+        with pytest.raises(ValueError):
+            Network(path_graph(4), engine="legacy", shards=2)
+
+    def test_close_is_idempotent_and_network_stays_usable(self):
+        g = gnp(40, 0.15, rng=1)
+        ref = Network(g, policy=LOCAL, seed=1, engine="csr")
+        first = frozenset(luby_mis(ref))
+        second = frozenset(luby_mis(ref))  # run counter advances the rng
+        net = Network(g, policy=LOCAL, seed=1, engine="sharded", shards=2)
+        try:
+            assert frozenset(luby_mis(net)) == first
+            net.close()
+            net.close()
+            # a fresh pool is built on demand, resuming the run counter
+            assert frozenset(luby_mis(net)) == second
+            assert _metrics_tuple(net.metrics) == _metrics_tuple(ref.metrics)
+        finally:
+            net.close()
