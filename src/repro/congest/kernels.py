@@ -202,8 +202,10 @@ class RoundKernel:
     #: read-only, and sends only plain-data payloads (None, bools, ints,
     #: floats, strings and nested tuples/lists/dicts/sets) — the contract
     #: that makes partitioned multi-process execution golden-equivalent.
-    #: Set False on a kernel whose protocol breaks any of these.
-    shardable: bool = True
+    #: The default is False: shard safety is declared per audited kernel,
+    #: never inherited, so a new kernel cannot be forked across processes
+    #: before someone has checked its node program against the contract.
+    shardable: bool = False
 
     def __init__(self, net: Network) -> None:
         self.net = net

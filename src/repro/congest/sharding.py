@@ -87,8 +87,27 @@ DEFAULT_BALANCE = 1.2
 #: Initial per-worker halo block capacity in bytes (doubles on demand).
 INITIAL_HALO_BYTES = 1 << 16
 
-#: Seconds a barrier wait may block before the pool is declared broken.
+#: Default seconds a barrier wait may block before the pool is declared
+#: broken (override with :data:`TIMEOUT_ENV` for workloads whose single
+#: rounds legitimately run longer).
 BARRIER_TIMEOUT = 300.0
+
+#: Environment variable overriding :data:`BARRIER_TIMEOUT`: a positive
+#: float in seconds.  Anything unparsable falls back to the default.
+TIMEOUT_ENV = "REPRO_SHARD_TIMEOUT"
+
+
+def barrier_timeout() -> float:
+    """The effective barrier timeout: :data:`TIMEOUT_ENV` or the default."""
+    raw = os.environ.get(TIMEOUT_ENV, "").strip()
+    if raw:
+        try:
+            value = float(raw)
+        except ValueError:
+            return BARRIER_TIMEOUT
+        if value > 0:
+            return value
+    return BARRIER_TIMEOUT
 
 
 class ShardingError(RuntimeError):
@@ -782,6 +801,8 @@ _EMPTY_INBOX: Dict[int, Any] = {}
 
 def _shard_worker_main(spec: _WorkerSpec, barrier: Any, conn: Any) -> None:
     """Worker process entry point: serve protocol runs until closed."""
+    from threading import BrokenBarrierError
+
     worker = _ShardWorker(spec)
     try:
         while True:
@@ -792,7 +813,11 @@ def _shard_worker_main(spec: _WorkerSpec, barrier: Any, conn: Any) -> None:
             if not cmd or cmd[0] != "run":
                 break
             _, factory, protocol, shared, run_counter = cmd
-            worker.run_protocol(barrier, conn, factory, shared, run_counter)
+            try:
+                worker.run_protocol(barrier, conn, factory, shared,
+                                    run_counter)
+            except BrokenBarrierError:
+                break  # the coordinator tore the pool down mid-run
     finally:
         worker.close()
         conn.close()
@@ -804,7 +829,8 @@ def _shard_worker_main(spec: _WorkerSpec, barrier: Any, conn: Any) -> None:
 
 def _cleanup_pool(processes: List[Any], conns: List[Any],
                   meta: Optional[shared_memory.SharedMemory],
-                  views: List[Any], owner_pid: int) -> None:
+                  views: List[Any], owner_pid: int,
+                  barrier: Optional[Any] = None) -> None:
     """Finalizer-safe pool teardown (must not reference the Network).
 
     ``owner_pid`` guards against inherited finalizers: a process forked
@@ -833,6 +859,13 @@ def _cleanup_pool(processes: List[Any], conns: List[Any],
         try:
             conn.send(("close",))
         except Exception:
+            pass
+    if barrier is not None:
+        try:
+            # release workers parked at a barrier mid-protocol (an aborted
+            # run): they see BrokenBarrierError and exit their serve loop
+            barrier.abort()
+        except Exception:  # pragma: no cover - barrier already broken
             pass
     for proc in processes:
         proc.join(timeout=5.0)
@@ -871,8 +904,10 @@ class ShardedNetwork:
         self.k = max(1, min(shards, n if n else 1))
         self.partition = partition_graph(net.csr, self.k, seed=net.seed,
                                          balance=balance)
+        self.timeout = barrier_timeout()
         self.broken = False
         self._closed = False
+        self._run_state = "idle"
         base = "rs" + uuid.uuid4().hex[:12]
         try:
             ctx = mp.get_context("fork")
@@ -893,7 +928,7 @@ class ShardedNetwork:
                 worker=w, k=self.k, base=base, meta_name=self._meta.name,
                 csr=net.csr, owner=self.partition.owner, policy=net.policy,
                 seed=net.seed, rng_additive=net._rng_additive,
-                halo_bytes=INITIAL_HALO_BYTES, timeout=BARRIER_TIMEOUT)
+                halo_bytes=INITIAL_HALO_BYTES, timeout=self.timeout)
             proc = ctx.Process(target=_shard_worker_main,
                                args=(spec, self._barrier, child_conn),
                                daemon=True, name=f"repro-shard-{w}")
@@ -904,18 +939,20 @@ class ShardedNetwork:
         self._owner_pid = os.getpid()
         self._finalizer = weakref.finalize(
             self, _cleanup_pool, self._procs, self._conns, self._meta,
-            self._views, self._owner_pid)
+            self._views, self._owner_pid, self._barrier)
 
     # -- barrier/stats helpers ------------------------------------------
     def _wait(self) -> None:
         try:
-            self._barrier.wait(BARRIER_TIMEOUT)
-        except Exception as exc:
+            self._barrier.wait(self.timeout)
+        except BaseException as exc:
             self.broken = True
             self.close()
-            raise ShardingError(
-                "sharded worker pool failed (barrier broken); "
-                "the run cannot continue") from exc
+            if isinstance(exc, Exception):
+                raise ShardingError(
+                    "sharded worker pool failed (barrier broken); "
+                    "the run cannot continue") from exc
+            raise  # KeyboardInterrupt and friends keep their type
 
     def _command(self, cmd: int) -> None:
         self._words[_CMD] = cmd
@@ -936,19 +973,59 @@ class ShardedNetwork:
                     best = key
         return best
 
-    def _raise_run_error(self, error: Tuple[int, int, int]) -> None:
-        """Abort the run and re-raise the reconstructed first error."""
+    def _abort_run(self) -> List[Any]:
+        """ABORT handshake: return every worker to its dispatch loop.
+
+        Sends the command, then drains exactly one pipe message per
+        worker (the error report or the plain acknowledgement), leaving
+        the pool reusable for the next run.  A worker that died instead
+        breaks and closes the pool.
+        """
         self._command(_CMD_ABORT)
-        reports: List[Tuple[int, int, str, str]] = []
+        replies: List[Any] = []
         for conn in self._conns:
             try:
-                msg = conn.recv()
+                replies.append(conn.recv())
             except (EOFError, OSError) as exc:
                 self.broken = True
                 self.close()
                 raise ShardingError("shard worker died mid-run") from exc
-            if msg[0] == "err":
-                reports.append((msg[1], msg[2], msg[3], msg[4]))
+        self._run_state = "idle"
+        return replies
+
+    def _recover_after_error(self) -> None:
+        """Leave no run in flight once an exception escapes :meth:`execute`.
+
+        The engine-equivalent abort paths finish their handshake before
+        raising (run state back to "idle"), and barrier failures already
+        break and close the pool.  Anything else — an ``on_round_end``
+        hook or event subscriber raising, a pickling failure during run
+        dispatch, a ``KeyboardInterrupt`` — would otherwise leave the
+        workers parked mid-protocol, and the next run on the cached pool
+        would silently resume the aborted protocol with wrong outputs.
+        Workers parked at the command barrier are released with a clean
+        ABORT handshake (the pool stays reusable); in any other state the
+        pool is broken and closed so the next run builds a fresh one.
+        """
+        state, self._run_state = self._run_state, "idle"
+        if self.broken or self._closed or state == "idle":
+            return
+        if state == "running":
+            try:
+                self._abort_run()
+                return
+            except BaseException:
+                pass  # the handshake itself failed: fall through
+        self.broken = True
+        self.close()
+
+    def _raise_run_error(self, error: Tuple[int, int, int]) -> None:
+        """Abort the run and re-raise the reconstructed first error."""
+        replies = self._abort_run()
+        reports: List[Tuple[int, int, str, str]] = [
+            (msg[1], msg[2], msg[3], msg[4])
+            for msg in replies if msg[0] == "err"
+        ]
         reports.sort(key=lambda r: (r[0], r[1]))
         if not reports:  # pragma: no cover - stats/pipe disagreement
             self.broken = True
@@ -996,15 +1073,31 @@ class ShardedNetwork:
         """Run one protocol across the shard pool, engine-identically."""
         if self.broken or self._closed:
             raise ShardingError("sharded executor is closed")
+        net = self.net
+        metrics = net.metrics
+        metrics.record_shard_run(self.partition.cut_edges,
+                                 self.partition.imbalance)
+        try:
+            return self._execute_dispatched(factory, protocol, shared,
+                                            limit, on_round_end)
+        except BaseException:
+            self._recover_after_error()
+            raise
+
+    def _execute_dispatched(self, factory: Callable, protocol: str,
+                            shared: Dict[str, Any], limit: int,
+                            on_round_end: Optional[Callable[[int, Any],
+                                                            None]],
+                            ) -> Any:
         from .events import ROUND_END, ROUND_START, RoundEnd, RoundStart
         from .network import ProtocolError, RunResult
 
         net = self.net
         metrics = net.metrics
-        metrics.record_shard_run(self.partition.cut_edges,
-                                 self.partition.imbalance)
+        self._run_state = "dispatch"
         for conn in self._conns:
             conn.send(("run", factory, protocol, shared, net._run_counter))
+        self._run_state = "running"
         self._wait()  # B0: workers set up, flags readable
         rows = [self._stats_row(w) for w in range(self.k)]
         bus = net.bus
@@ -1020,9 +1113,7 @@ class ShardedNetwork:
                     and all(r[_S_ALL_PASSIVE] for r in rows)):
                 break  # quiescent: nothing in flight, nobody will speak
             if rounds >= limit:
-                self._command(_CMD_ABORT)
-                for conn in self._conns:
-                    conn.recv()
+                self._abort_run()
                 raise ProtocolError(
                     f"protocol {protocol!r} exceeded {limit} rounds "
                     f"(likely a livelock)")
@@ -1066,6 +1157,7 @@ class ShardedNetwork:
             if on_round_end is not None:
                 on_round_end(rounds, net)
         self._command(_CMD_FINISH)
+        self._run_state = "gather"
         merged: Dict[int, Any] = {}
         for conn in self._conns:
             try:
@@ -1076,6 +1168,7 @@ class ShardedNetwork:
                 raise ShardingError("shard worker died during output "
                                     "gather") from exc
             merged.update(msg[1])
+        self._run_state = "idle"
         outputs = {v: merged[v] for v in net._order}
         return RunResult(outputs=outputs, rounds=rounds,
                          all_finished=not any_unfinished)
@@ -1088,7 +1181,7 @@ class ShardedNetwork:
         self.broken = True
         self._finalizer.detach()
         _cleanup_pool(self._procs, self._conns, self._meta, self._views,
-                      self._owner_pid)
+                      self._owner_pid, self._barrier)
 
 
 # ---------------------------------------------------------------------------
@@ -1116,7 +1209,13 @@ def resolve_shards(net: Any) -> Optional[int]:
     environment count beats the constructor; ``engine="sharded"`` or a
     ``shards=`` argument opts in explicitly; otherwise auto-sharding
     engages for large networks (>= :data:`AUTO_SHARD_MIN_NODES` nodes)
-    on multi-core machines.
+    on multi-core machines — but only when the in-process kernel fast
+    path is disabled (``REPRO_NO_KERNELS``).  Shard workers execute the
+    per-node reference path, which the vectorized kernel outruns on
+    every measured workload (``BENCH_shards.json``: sharded throughput
+    is 0.13–0.43x of ``kernel_rounds_per_sec``), so silently displacing
+    the kernel would be a pessimization; auto-sharding therefore only
+    competes against the per-node baseline it can actually beat.
     """
     forced = env_shards()
     if forced == 0:
@@ -1131,5 +1230,9 @@ def resolve_shards(net: Any) -> Optional[int]:
     cores = os.cpu_count() or 1
     if (net.engine == "csr" and cores >= 2
             and net.graph.num_nodes >= AUTO_SHARD_MIN_NODES):
+        from . import kernels as _kernels
+
+        if _kernels.kernels_enabled():
+            return None  # the in-process kernel fast path is faster
         return min(MAX_AUTO_SHARDS, cores)
     return None

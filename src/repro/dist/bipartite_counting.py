@@ -130,6 +130,8 @@ class CountingKernel(RoundKernel):
     """
 
     passive = True
+    # audited: node-local state, read-only shared, (tag, count) payloads
+    shardable = True
 
     def setup(self, shared: Dict[str, Any]) -> None:
         A = self.arrays

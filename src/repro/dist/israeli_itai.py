@@ -149,6 +149,9 @@ class IsraeliItaiKernel(RoundKernel):
     degrees.
     """
 
+    # audited: node-local state, read-only shared, single-char payloads
+    shardable = True
+
     def setup(self, shared: Dict[str, Any]) -> None:
         A = self.arrays
         np = A.np

@@ -107,6 +107,9 @@ class LubyMISKernel(RoundKernel):
     current-round messages.
     """
 
+    # audited: node-local state, read-only shared, scalar/tag payloads
+    shardable = True
+
     def setup(self, shared: Dict[str, Any]) -> None:
         A = self.arrays
         n = A.n

@@ -160,6 +160,8 @@ class TokenKernel(RoundKernel):
     """
 
     passive = True  # tokens/confirmations drive everything; silence = done
+    # audited: node-local state, read-only shared, plain-tuple payloads
+    shardable = True
 
     def setup(self, shared: Dict[str, Any]) -> None:
         A = self.arrays

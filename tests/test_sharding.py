@@ -12,6 +12,7 @@ across processes.
 import pathlib
 import subprocess
 import sys
+import threading
 
 import pytest
 
@@ -42,7 +43,7 @@ from repro.dist.bipartite_counting import (
 )
 from repro.dist.israeli_itai import IsraeliItaiNode, israeli_itai
 from repro.dist.luby_mis import LubyMISNode, luby_mis
-from repro.dist.token_mis import run_token_selection
+from repro.dist.token_mis import TokenNode, run_token_selection
 from repro.graphs import gnp, grid_graph, path_graph, random_bipartite
 
 
@@ -391,6 +392,121 @@ class TestErrorEquivalence:
         assert outcomes[2] == outcomes[None]
 
 
+class TestPoolRecovery:
+    """A foreign exception mid-run (a hook or subscriber raising, a
+    pickling failure during dispatch, an interrupt) must never leave
+    workers parked mid-protocol: the next run on a cached pool would
+    silently resume the aborted protocol and return wrong outputs."""
+
+    def test_raising_hook_aborts_run_and_next_run_is_golden(self):
+        outcomes = {}
+        for shards in (None, 2):
+            g = gnp(40, 0.15, rng=2)
+            net = _network(g, CONGEST, 2, shards)
+            try:
+                def boom(round_number, network):
+                    raise RuntimeError("hook crashed")
+
+                with pytest.raises(RuntimeError, match="hook crashed"):
+                    net.run(LubyMISNode, protocol="luby_mis",
+                            on_round_end=boom)
+                if shards is not None:
+                    # the ABORT handshake keeps the same pool reusable
+                    assert not net._sharded_execs[2].broken
+                mis = frozenset(luby_mis(net))
+                outcomes[shards] = (mis, _metrics_tuple(net.metrics))
+            finally:
+                net.close()
+        assert outcomes[2] == outcomes[None]
+
+    def test_raising_subscriber_aborts_run_and_next_run_is_golden(self):
+        class AngryOnce:
+            interest = (RoundStart,)
+
+            def __init__(self):
+                self.fired = False
+
+            def on_event(self, event):
+                if not self.fired:
+                    self.fired = True
+                    raise ValueError("subscriber crashed")
+
+        outcomes = {}
+        for shards in (None, 2):
+            g = gnp(40, 0.15, rng=4)
+            net = Network(g, policy=LOCAL, seed=4, observe=AngryOnce(),
+                          **({"engine": "csr"} if shards is None else
+                             {"engine": "sharded", "shards": shards}))
+            try:
+                with pytest.raises(ValueError, match="subscriber crashed"):
+                    net.run(LubyMISNode, protocol="luby_mis")
+                if shards is not None:
+                    assert not net._sharded_execs[2].broken
+                mis = frozenset(luby_mis(net))
+                outcomes[shards] = (mis, _metrics_tuple(net.metrics))
+            finally:
+                net.close()
+        assert outcomes[2] == outcomes[None]
+
+    def test_undispatchable_shared_closes_pool_and_rebuilds(self):
+        # an unpicklable (non-callable) shared value fails inside the run
+        # dispatch, after some workers may already hold the command: the
+        # pool cannot be trusted and must be broken, closed, and replaced
+        g = gnp(40, 0.15, rng=3)
+        ref = Network(g, policy=LOCAL, seed=3, engine="csr")
+        ref.run(LubyMISNode, protocol="luby_mis")  # burn run counter 1
+        golden = frozenset(luby_mis(ref))
+        net = _network(g, LOCAL, 3, 2)
+        try:
+            with pytest.raises(TypeError, match="pickle"):
+                net.run(LubyMISNode, protocol="luby_mis",
+                        shared={"lock": threading.Lock()})
+            assert net._sharded_execs[2].broken
+            assert frozenset(luby_mis(net)) == golden  # fresh pool
+            assert not net._sharded_execs[2].broken
+        finally:
+            net.close()
+
+    def test_keyboard_interrupt_in_wait_breaks_and_closes_pool(self):
+        g = gnp(30, 0.2, rng=0)
+        net = Network(g, policy=LOCAL, seed=0, engine="sharded", shards=2)
+        try:
+            executor = net._select_sharded(LubyMISNode, {})
+            real_barrier = executor._barrier
+
+            class Interrupted:
+                def wait(self, timeout=None):
+                    raise KeyboardInterrupt
+
+                def abort(self):
+                    real_barrier.abort()
+
+            executor._barrier = Interrupted()
+            # the original exception type must survive, but the pool may
+            # not: broken and closed, so the next run rebuilds
+            with pytest.raises(KeyboardInterrupt):
+                executor._wait()
+            assert executor.broken and executor._closed
+        finally:
+            net.close()
+
+    def test_barrier_timeout_env_override(self, monkeypatch):
+        assert sharding.barrier_timeout() == sharding.BARRIER_TIMEOUT
+        monkeypatch.setenv(sharding.TIMEOUT_ENV, "12.5")
+        assert sharding.barrier_timeout() == 12.5
+        monkeypatch.setenv(sharding.TIMEOUT_ENV, "not-a-number")
+        assert sharding.barrier_timeout() == sharding.BARRIER_TIMEOUT
+        monkeypatch.setenv(sharding.TIMEOUT_ENV, "-5")
+        assert sharding.barrier_timeout() == sharding.BARRIER_TIMEOUT
+        monkeypatch.setenv(sharding.TIMEOUT_ENV, "12.5")
+        g = gnp(30, 0.2, rng=0)
+        net = Network(g, policy=LOCAL, seed=0, engine="sharded", shards=1)
+        try:
+            assert net._select_sharded(LubyMISNode, {}).timeout == 12.5
+        finally:
+            net.close()
+
+
 class TestSelection:
     def _eligible_net(self, **kwargs):
         return Network(gnp(30, 0.2, rng=0), policy=LOCAL, seed=0, **kwargs)
@@ -414,6 +530,46 @@ class TestSelection:
         try:
             # 30 nodes is far below the auto threshold
             assert resolve_shards(net) is None
+            assert net._select_sharded(LubyMISNode, {}) is None
+        finally:
+            net.close()
+
+    def test_auto_sharding_defers_to_kernel_fast_path(self, monkeypatch):
+        monkeypatch.setattr(sharding, "AUTO_SHARD_MIN_NODES", 10)
+        monkeypatch.setattr(sharding.os, "cpu_count", lambda: 4)
+        net = self._eligible_net(engine="csr")
+        try:
+            # kernels on: the in-process vectorized path wins (shard
+            # workers execute the per-node reference path, which the
+            # kernel outruns — see BENCH_shards.json)
+            assert resolve_shards(net) is None
+            # kernels off: sharding is the only acceleration left
+            monkeypatch.setenv("REPRO_NO_KERNELS", "1")
+            assert resolve_shards(net) == 4
+        finally:
+            net.close()
+
+    def test_shard_safety_is_declared_not_inferred(self):
+        from repro.congest.kernels import RoundKernel, kernel_for
+
+        # opt-in per audited kernel: the base class never volunteers
+        assert RoundKernel.shardable is False
+
+        class Unaudited(RoundKernel):
+            pass
+
+        assert Unaudited.shardable is False
+        for node_cls in (IsraeliItaiNode, LubyMISNode, CountingNode,
+                         TokenNode):
+            assert kernel_for(node_cls).shardable is True, node_cls
+
+    def test_unaudited_kernel_never_shards(self, monkeypatch):
+        from repro.congest import kernels
+
+        monkeypatch.setattr(kernels.kernel_for(LubyMISNode),
+                            "shardable", False)
+        net = self._eligible_net(engine="sharded", shards=1)
+        try:
             assert net._select_sharded(LubyMISNode, {}) is None
         finally:
             net.close()

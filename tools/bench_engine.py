@@ -404,7 +404,10 @@ def _bench_shards(n: int, shard_counts, reps: int, record=None) -> int:
     shards on k cores parallelize exactly it.  The kernel fast path is
     also measured and reported — it is the stronger single-core
     baseline, and the ratio shows how many cores sharding needs before
-    it beats numpy on one.
+    it beats numpy on one.  That ratio is why auto-sharding defers to an
+    available kernel (``resolve_shards``): sharded never beat
+    ``kernel_rounds_per_sec`` on any measured workload, so displacing
+    the kernel by default would be a pessimization.
     """
     cores = os.cpu_count() or 1
     p = KERNEL_DEG / max(2, n - 1)
