@@ -34,9 +34,16 @@ Quick start::
                  profile=True)
     print(result.trace_path, result.profile)
 
+    # pick how protocols execute with one knob: a tier name or a full plan
+    result = run("mcm", graph, eps=0.25, execution="sharded-kernel")
+    result = run("mcm", graph, eps=0.25,
+                 execution=ExecutionPlan(tier="auto", shards=4))
+
 Every entry point shares the keyword surface ``(graph, *, eps/k, seed,
-policy, max_rounds, observe, trace, profile)`` and returns a
-:class:`MatchingResult` (``tracer=`` still works, deprecated).
+policy, max_rounds, observe, trace, profile, execution)`` and returns a
+:class:`MatchingResult` (``tracer=`` still works, deprecated; so do the
+lower-level ``engine=``/``shards=`` Network keywords, which normalize
+into an :class:`~repro.congest.execution.ExecutionPlan`).
 """
 
 from .core import (
@@ -52,6 +59,7 @@ from .core import (
 )
 from .congest import (
     EventBus,
+    ExecutionPlan,
     FaultSpec,
     JsonlTraceWriter,
     Profiler,
@@ -61,7 +69,7 @@ from .congest import (
 from .graphs import BipartiteGraph, Graph
 from .matching import Matching
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ALGORITHMS",
@@ -74,6 +82,7 @@ __all__ = [
     "maximal_matching",
     "run",
     "EventBus",
+    "ExecutionPlan",
     "FaultSpec",
     "JsonlTraceWriter",
     "Profiler",

@@ -17,11 +17,14 @@ Metrics`, per-node random streams, and structural event stream
 per-node path remains the executable specification; kernels are an
 optimization, never a semantic fork.
 
-Selection rules (``Network._select_kernel``):
+Selection rules (:func:`repro.congest.execution.resolve_execution`, the
+kernel-tier gates):
 
-* the engine must be ``"csr"`` (``engine="node"`` runs batched delivery with
-  per-node dispatch; ``engine="legacy"`` is the dict reference engine);
-* :data:`NO_KERNELS_ENV` (``REPRO_NO_KERNELS=1``) globally disables kernels;
+* the plan's tier must allow a kernel rung (``tier="node"`` runs batched
+  delivery with per-node dispatch; ``tier="legacy"`` is the dict
+  reference engine);
+* the plan must enable kernels and :data:`NO_KERNELS_ENV`
+  (``REPRO_NO_KERNELS=1``) must not disable them;
 * the run's node factory must be *exactly* a registered class — subclasses
   fall back to per-node dispatch, since they may override behavior;
 * no per-message observer may be subscribed (``bus.wants(MESSAGE_DELIVERED)``
@@ -29,6 +32,12 @@ Selection rules (``Network._select_kernel``):
   injection may be active, and the bandwidth policy must be a plain
   :class:`~repro.congest.policies.BandwidthPolicy` (subclasses might price
   per edge, which kernels memoize away).
+
+Kernels also power the **sharded** fast path: a kernel that declares
+``shard_words > 0`` and implements the ``shard_*`` hooks runs *inside*
+shard worker processes (:mod:`repro.congest.sharding`, kernel mode),
+with a :class:`ShardContext` supplying worker-local staging, index
+translation and zero-copy halo record views in place of the Network.
 
 numpy is optional: kernels use it for bulk array passes when importable and
 fall back to tight pure-python array code otherwise (``_np`` is the module
@@ -45,6 +54,7 @@ from __future__ import annotations
 
 import os
 import random
+from array import array
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
 try:  # numpy is an optional accelerator, never a requirement
@@ -122,10 +132,13 @@ class CSRArrays:
     vectorized pruning.  When numpy is importable, ``np`` holds the module
     and ``np_indptr``/``np_tgt``/``np_rev`` the int64 array views; when it
     is not, ``np`` is None and kernels take their pure-python branches.
+
+    Accepts a :class:`Network` or a bare CSR adjacency snapshot (shard
+    workers hold only the latter).
     """
 
-    def __init__(self, net: Network) -> None:
-        csr = net.csr
+    def __init__(self, source: Any) -> None:
+        csr = source.csr if hasattr(source, "csr") else source
         self.order: Tuple[int, ...] = csr.order
         self.index: Dict[int, int] = csr.index
         self.n = len(csr.order)
@@ -159,6 +172,186 @@ def csr_arrays(net: Network) -> CSRArrays:
         cached = CSRArrays(net)
         net._kernel_arrays = cached
     return cached
+
+
+# ---------------------------------------------------------------------------
+# shard-worker context: the kernel's world inside a worker process
+# ---------------------------------------------------------------------------
+
+#: Sentinel record word marking "the real value lives in the blob side
+#: channel" (values outside ``(-2**62, 2**62)`` cannot ride an int64 word
+#: safely, so they are codec-encoded into the segment's blob instead).
+SHARD_BLOB = -(2 ** 62)
+
+
+class ShardBlobReader:
+    """Sequential cursor over one peer segment's overflow blob.
+
+    Records reference blob entries *in order*: resolving a segment's
+    sentinel words front to back with one reader yields each oversized
+    value exactly once.
+    """
+
+    __slots__ = ("view", "pos")
+
+    def __init__(self, view: Any) -> None:
+        self.view = view
+        self.pos = 0
+
+    def take(self) -> Any:
+        from .sharding import decode_payload
+
+        obj, self.pos = decode_payload(self.view, self.pos)
+        return obj
+
+
+class ShardContext:
+    """Worker-side services for a kernel's sharded fast path.
+
+    Built once per worker (static translation tables persist across
+    runs) and handed to :meth:`RoundKernel.shard_build` in place of the
+    :class:`Network`.  A kernel running in shard mode sees the full CSR
+    snapshot (``arrays`` covers all n nodes) but only *advances* the
+    nodes this worker owns; cross-shard effects travel as fixed-width
+    int64 records staged via :meth:`stage_value`/``staged_words`` and
+    arrive as zero-copy views in :attr:`incoming`.
+
+    Per-round state: ``staged_words[d]``/``staged_blobs[d]`` accumulate
+    the records for destination shard ``d`` during ``shard_publish``;
+    ``incoming`` holds ``(peer, words, blob)`` triples during
+    ``shard_apply`` (``words`` is an int64 numpy view directly over the
+    peer's shared-memory block, or a ``memoryview`` cast in fallback
+    mode); ``messages``/``bits``/``max_bits`` accumulate the traffic
+    this worker priced (folded into the coordinator's Metrics).
+    """
+
+    def __init__(self, arrays: "CSRArrays", worker: int, shards: int,
+                 owner: Tuple[int, ...], owned: Tuple[int, ...],
+                 policy: Any, charge_cache: Dict[int, int]) -> None:
+        self.arrays = arrays
+        self.w = worker
+        self.k = shards
+        self.owner = owner
+        self.owned = owned
+        self.n = arrays.n
+        self.policy = policy
+        self.charge_cache = charge_cache
+        #: per-run node-id -> random.Random factory (set by the worker
+        #: before each run; replicates ``Network.node_rng`` bit-exactly)
+        self.node_rng: Optional[Callable[[int], random.Random]] = None
+        #: record width of the active kernel (set by the worker)
+        self.record_width = 1
+        if arrays.np is not None:
+            self.np_owner = arrays.np.array(owner, dtype=arrays.np.int64)
+            self.np_owned_mask = self.np_owner == worker
+        else:
+            self.np_owner = None
+            self.np_owned_mask = None
+        self._peers: Optional[Dict[int, Tuple[int, ...]]] = None
+        self._cut_in: Optional[Dict[int, List[int]]] = None
+        self._slots: Optional[Dict[int, Dict[int, int]]] = None
+        # per-round staging and traffic accumulators
+        self.staged_words: List[Any] = [array("q") for _ in range(shards)]
+        self.staged_blobs: List[bytearray] = [
+            bytearray() for _ in range(shards)]
+        self.incoming: List[Tuple[int, Any, Any]] = []
+        self.messages = 0
+        self.bits = 0
+        self.max_bits = 0
+
+    # -- per-round lifecycle (driven by the worker loop) -----------------
+    def begin_round(self) -> None:
+        self.clear_staged()
+        self.incoming = []
+        self.messages = 0
+        self.bits = 0
+        self.max_bits = 0
+
+    def clear_staged(self) -> None:
+        for words in self.staged_words:
+            del words[:]
+        for blob in self.staged_blobs:
+            del blob[:]
+
+    def add_traffic(self, messages: int, total_bits: int,
+                    max_message_bits: int) -> None:
+        """Shard-mode sink behind :meth:`RoundKernel.record_traffic`."""
+        self.messages += messages
+        self.bits += total_bits
+        if max_message_bits > self.max_bits:
+            self.max_bits = max_message_bits
+
+    # -- record staging --------------------------------------------------
+    def stage_value(self, dest: int, value: Any) -> int:
+        """The record word carrying ``value`` to shard ``dest``.
+
+        Plain ints in the int64-safe range ride the word directly;
+        anything else is codec-encoded into the destination's blob and
+        represented by the :data:`SHARD_BLOB` sentinel (the receiver
+        resolves sentinels in order via :meth:`blob_reader`)."""
+        if type(value) is int and SHARD_BLOB < value < -SHARD_BLOB:
+            return value
+        from .sharding import encode_payload
+
+        encode_payload(self.staged_blobs[dest], value)
+        return SHARD_BLOB
+
+    def blob_reader(self, blob: Any) -> ShardBlobReader:
+        return ShardBlobReader(blob)
+
+    def resolve(self, word: int, reader: ShardBlobReader) -> Any:
+        """The value behind one record word (see :meth:`stage_value`)."""
+        return reader.take() if word == SHARD_BLOB else word
+
+    # -- static translation tables (lazy, cached across runs) ------------
+    def peers_of(self) -> Dict[int, Tuple[int, ...]]:
+        """Owned node index -> ascending peer shards it has cut edges to
+        (nodes with no cut edges are absent — use ``.get(i, ())``)."""
+        peers = self._peers
+        if peers is None:
+            arrays, owner, w = self.arrays, self.owner, self.w
+            tgt = arrays.tgt
+            peers = {}
+            for i in self.owned:
+                seen = 0
+                for e in arrays.row(i):
+                    seen |= 1 << owner[tgt[e]]
+                seen &= ~(1 << w)
+                if seen:
+                    peers[i] = tuple(d for d in range(self.k)
+                                     if (seen >> d) & 1)
+            self._peers = peers
+        return peers
+
+    def cut_slots_in(self) -> Dict[int, List[int]]:
+        """Remote node index -> ascending owned slots targeting it (the
+        owned side of every cut edge, grouped by the remote endpoint)."""
+        cut = self._cut_in
+        if cut is None:
+            arrays, owner, w = self.arrays, self.owner, self.w
+            tgt = arrays.tgt
+            cut = {}
+            for i in self.owned:
+                for e in arrays.row(i):
+                    j = tgt[e]
+                    if owner[j] != w:
+                        cut.setdefault(j, []).append(e)
+            self._cut_in = cut
+        return cut
+
+    def slot_of(self) -> Dict[int, Dict[int, int]]:
+        """Owned node id -> {neighbor id: global slot} — the shard-local
+        replica of ``Network._slot_of`` (owned rows only)."""
+        table = self._slots
+        if table is None:
+            arrays = self.arrays
+            order, tgt = arrays.order, arrays.tgt
+            table = {}
+            for i in self.owned:
+                table[order[i]] = {order[tgt[e]]: e
+                                   for e in arrays.row(i)}
+            self._slots = table
+        return table
 
 
 # ---------------------------------------------------------------------------
@@ -206,11 +399,46 @@ class RoundKernel:
     #: never inherited, so a new kernel cannot be forked across processes
     #: before someone has checked its node program against the contract.
     shardable: bool = False
+    #: int64 words per halo record on the sharded-kernel fast path; 0
+    #: means the kernel has no shard hooks and sharded runs fall back to
+    #: per-node workers even when ``shardable`` is True.
+    shard_words: int = 0
 
     def __init__(self, net: Network) -> None:
         self.net = net
         self.arrays = csr_arrays(net)
         self._rngs: List[Optional[random.Random]] = [None] * self.arrays.n
+        #: the :class:`ShardContext` when running inside a shard worker
+        #: (kernel mode), else None
+        self.shard: Optional[ShardContext] = None
+        #: global order position of the node being processed — shard
+        #: workers report it for first-error attribution (min phase/pos)
+        self.shard_pos = 0
+        self._node_rng = net.node_rng
+        self._policy = net.policy
+        self._charge_cache = net._charge_cache
+        self._traffic_sink = net.metrics.record_message_batch
+
+    @classmethod
+    def shard_build(cls, ctx: ShardContext) -> "RoundKernel":
+        """Instantiate this kernel inside a shard worker (no Network).
+
+        Binds the base services — :meth:`rng`, :meth:`charge`,
+        :meth:`record_traffic` — to the worker-side :class:`ShardContext`
+        so the subclass's ``shard_*`` hooks program against the same
+        surface the in-process path provides.
+        """
+        self = cls.__new__(cls)
+        self.net = None
+        self.arrays = ctx.arrays
+        self._rngs = [None] * ctx.arrays.n
+        self.shard = ctx
+        self.shard_pos = 0
+        self._node_rng = ctx.node_rng
+        self._policy = ctx.policy
+        self._charge_cache = ctx.charge_cache
+        self._traffic_sink = ctx.add_traffic
+        return self
 
     # -- services for subclasses ----------------------------------------
     def accepts(self) -> bool:
@@ -226,7 +454,7 @@ class RoundKernel:
         """
         r = self._rngs[i]
         if r is None:
-            r = self.net.node_rng(self.arrays.order[i])
+            r = self._node_rng(self.arrays.order[i])
             self._rngs[i] = r
         return r
 
@@ -237,18 +465,22 @@ class RoundKernel:
         ``policy.charge`` is consulted exactly as often (and raises
         ``BandwidthExceeded`` in the same round it would there).
         """
-        cache = self.net._charge_cache
+        cache = self._charge_cache
         charge = cache.get(bits, -1)
         if charge < 0:
-            charge = self.net.policy.charge(bits, self.arrays.n,
-                                            sender, receiver)
+            charge = self._policy.charge(bits, self.arrays.n,
+                                         sender, receiver)
             cache[bits] = charge
         return charge
 
     def record_traffic(self, messages: int, total_bits: int,
                        max_bits: int) -> None:
-        """Account one round's delivered traffic (after pricing it)."""
-        self.net.metrics.record_message_batch(messages, total_bits, max_bits)
+        """Account one round's delivered traffic (after pricing it).
+
+        In-process this folds straight into the network's Metrics; in a
+        shard worker it accumulates on the :class:`ShardContext`, and the
+        coordinator folds the workers' sums after the stats barrier."""
+        self._traffic_sink(messages, total_bits, max_bits)
 
     # -- subclass hooks ---------------------------------------------------
     def setup(self, shared: Dict[str, Any]) -> None:
@@ -264,6 +496,43 @@ class RoundKernel:
         raise NotImplementedError
 
     def outputs(self) -> Dict[int, Any]:
+        raise NotImplementedError
+
+    # -- sharded fast path hooks (kernel mode of repro.congest.sharding) --
+    # A kernel opts in by setting ``shard_words`` and implementing these
+    # four against ``self.shard`` (:class:`ShardContext`).  The audited
+    # contract: identical outputs, rounds, Metrics, rng streams and error
+    # positions to the in-process path at any shard count.
+
+    def shard_setup(self, shared: Dict[str, Any]) -> None:
+        """Replicated setup inside a shard worker.
+
+        Runs the full :meth:`setup` state construction over *all* n
+        nodes — per-node rng streams are independent, so every worker
+        derives the identical global start state — then restricts
+        forward progress (rng draws, staged traffic) to owned nodes.
+        """
+        raise NotImplementedError
+
+    def shard_publish(self, round_number: int) -> int:
+        """Price and account the round's owned outgoing traffic
+        (:meth:`record_traffic` exactly once, like :meth:`step`'s
+        delivery half), apply local arrivals or stage them, and emit
+        cross-shard records into ``self.shard.staged_words``.  Returns
+        the pipelining charge.  Must keep :attr:`shard_pos` on the
+        global order position of the sender being processed — a raised
+        error is attributed there (delivery phase)."""
+        raise NotImplementedError
+
+    def shard_apply(self, round_number: int) -> None:
+        """Absorb ``self.shard.incoming`` records plus this shard's own
+        staged arrivals, then compute owned transitions.  Must keep
+        :attr:`shard_pos` current for compute-phase error attribution."""
+        raise NotImplementedError
+
+    def shard_outputs(self) -> Dict[int, Any]:
+        """Final output registers for *owned* nodes, keyed by global id
+        (the coordinator merges the workers' maps)."""
         raise NotImplementedError
 
     # -- the replayed engine loop ----------------------------------------

@@ -48,6 +48,9 @@ class Metrics:
     # single-process runs on the legacy accounts.
     shard_cut_edges: int = field(default=0, compare=False)
     shard_halo_bits: int = field(default=0, compare=False)
+    #: fixed-width halo records exchanged by kernel-mode shard workers
+    #: (zero for per-node shard runs, which ship codec-encoded messages)
+    shard_halo_records: int = field(default=0, compare=False)
     #: max shard size * shards / n of the latest partition (1.0 = perfect)
     shard_imbalance: float = field(default=0.0, compare=False)
     # CSR adjacency cache reuse on the underlying Graph (also compare=False:
@@ -128,6 +131,7 @@ class Metrics:
             self.subnetwork_rounds[k] = self.subnetwork_rounds.get(k, 0) + v
         self.shard_cut_edges = max(self.shard_cut_edges, other.shard_cut_edges)
         self.shard_halo_bits += other.shard_halo_bits
+        self.shard_halo_records += other.shard_halo_records
         self.shard_imbalance = max(self.shard_imbalance, other.shard_imbalance)
         self.csr_cache_hits += other.csr_cache_hits
         self.csr_cache_misses += other.csr_cache_misses
@@ -137,9 +141,13 @@ class Metrics:
         self.shard_cut_edges = cut_edges
         self.shard_imbalance = imbalance
 
-    def record_halo_bits(self, bits: int) -> None:
-        """Account halo (cut-edge) traffic exchanged between shards."""
+    def record_halo_bits(self, bits: int, records: int = 0) -> None:
+        """Account halo (cut-edge) traffic exchanged between shards.
+
+        ``records`` counts the fixed-width int64 records kernel-mode
+        workers published (zero in per-node mode)."""
         self.shard_halo_bits += bits
+        self.shard_halo_records += records
 
     def record_csr_cache(self, hits: int, misses: int) -> None:
         """Fold Graph CSR-cache reuse counters into this account."""
@@ -193,6 +201,7 @@ class Metrics:
             subnetwork_rounds=dict(self.subnetwork_rounds),
             shard_cut_edges=self.shard_cut_edges,
             shard_halo_bits=self.shard_halo_bits,
+            shard_halo_records=self.shard_halo_records,
             shard_imbalance=self.shard_imbalance,
             csr_cache_hits=self.csr_cache_hits,
             csr_cache_misses=self.csr_cache_misses,
@@ -225,6 +234,8 @@ class Metrics:
             },
             shard_cut_edges=self.shard_cut_edges,
             shard_halo_bits=self.shard_halo_bits - before.shard_halo_bits,
+            shard_halo_records=(self.shard_halo_records
+                                - before.shard_halo_records),
             shard_imbalance=self.shard_imbalance,
             csr_cache_hits=self.csr_cache_hits - before.csr_cache_hits,
             csr_cache_misses=self.csr_cache_misses - before.csr_cache_misses,

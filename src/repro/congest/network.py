@@ -49,6 +49,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..graphs.graph import Graph
+from .execution import ExecutionDecision, ExecutionPlan, resolve_execution
 from .events import (
     MESSAGE_DELIVERED,
     ROUND_END,
@@ -138,15 +139,21 @@ class RunResult:
 class Network:
     """A simulated synchronous network over a :class:`Graph`.
 
-    ``engine`` selects the delivery implementation: ``"csr"`` (the batched
-    default, with the vectorized kernel fast path of
-    :mod:`repro.congest.kernels` when a protocol registers one),
-    ``"node"`` (batched delivery, kernels disabled — every run uses
-    per-node dispatch), or ``"legacy"`` (the reference dict engine).  By
-    default it follows :func:`default_engine`, i.e. ``"csr"`` unless
-    ``REPRO_LEGACY_ENGINE`` is set.
-    ``max_rounds`` sets the default round limit for every :meth:`run` on
-    this network (individual calls may still override it).
+    ``execution`` selects how protocols run: an
+    :class:`~repro.congest.execution.ExecutionPlan` (or a tier name
+    shorthand like ``"node"``) naming the highest performance tier the
+    network may use — ``sharded-kernel``, ``kernel``, ``sharded``,
+    ``node`` or ``legacy``; the default plan (``tier="auto"``) engages
+    vectorized kernels whenever a protocol registers one and shard
+    workers on top when requested or when the auto rules fire.  Use
+    :meth:`explain_execution` to see how a plan resolves for a protocol.
+
+    The historical ``engine=`` (``"csr"``/``"node"``/``"legacy"``/
+    ``"sharded"``) and ``shards=`` keywords remain as deprecation shims;
+    they normalize into a plan via :meth:`ExecutionPlan.from_legacy`
+    with identical observable behavior.  ``max_rounds`` sets the default
+    round limit for every :meth:`run` on this network (individual calls
+    may still override it).
 
     ``observe`` attaches observability: an :class:`EventBus`, a single
     observer, or a list of observers (each subscribed with its own
@@ -162,27 +169,39 @@ class Network:
                  max_rounds: Optional[int] = None,
                  observe: Any = None,
                  faults: Optional[FaultSpec] = None,
-                 shards: Optional[int] = None) -> None:
+                 shards: Optional[int] = None,
+                 execution: Any = None) -> None:
         self.graph = graph
         self.policy = policy
         self.seed = seed
         self.metrics = Metrics()
         self.default_max_rounds = max_rounds
         self._run_counter = 0
-        if engine is None:
-            engine = default_engine()
-        if engine not in ("csr", "legacy", "node", "sharded"):
-            raise ValueError(f"unknown engine {engine!r}; "
-                             f"use 'csr', 'legacy', 'node' or 'sharded'")
-        if shards is not None and shards < 1:
-            raise ValueError("shards must be >= 1")
-        if shards is not None and engine in ("legacy", "node"):
-            raise ValueError(f"shards= requires the 'csr' or 'sharded' "
-                             f"engine, not {engine!r}")
-        self.engine = engine
-        #: explicit shard request (``shards=`` or ``engine="sharded"``);
+        if execution is not None:
+            if engine is not None or shards is not None:
+                raise ValueError(
+                    "pass either execution= or the legacy engine=/shards= "
+                    "keywords, not both")
+            if isinstance(execution, str):
+                plan = ExecutionPlan(tier=execution)
+            elif isinstance(execution, ExecutionPlan):
+                plan = execution
+            else:
+                raise TypeError(
+                    f"execution= wants an ExecutionPlan or a tier name, "
+                    f"got {type(execution).__name__}")
+        else:
+            plan = ExecutionPlan.from_legacy(
+                engine if engine is not None else default_engine(), shards)
+        #: the frozen :class:`~repro.congest.execution.ExecutionPlan`
+        #: every :meth:`run` resolves against
+        self.execution_plan = plan
+        #: legacy engine vocabulary derived from the plan (delivery
+        #: branch + Subnetwork inheritance still read it)
+        self.engine = plan.engine_name()
+        #: explicit shard request from the plan (or the ``shards=`` shim);
         #: resolution and eligibility live in :mod:`repro.congest.sharding`
-        self.requested_shards = shards
+        self.requested_shards = plan.shards
         self._sharded_execs: Dict[int, Any] = {}
 
         # per-node random streams: splitmix64 spawn_seed chain by default,
@@ -327,16 +346,19 @@ class Network:
         self._round_inboxes = {}
         self._live_boxes = []
 
-        sharded = self._select_sharded(factory, shared)
-        if sharded is not None:
-            result = sharded.execute(factory, protocol, shared, limit,
-                                     on_round_end)
+        decision = resolve_execution(self, factory, shared)
+        if decision.tier in ("sharded", "sharded-kernel"):
+            executor = self._sharded_executor(decision.shards)
+            kernel_cls = (decision.kernel_cls
+                          if decision.tier == "sharded-kernel" else None)
+            result = executor.execute(factory, protocol, shared, limit,
+                                      on_round_end, kernel_cls=kernel_cls)
             result.metrics = self.metrics.delta_since(before)
             return self._attach_profile(result)
 
-        kernel = self._select_kernel(factory)
-        if kernel is not None:
-            result = kernel.execute(protocol, shared, limit, on_round_end)
+        if decision.tier == "kernel":
+            result = decision.kernel.execute(protocol, shared, limit,
+                                             on_round_end)
             result.metrics = self.metrics.delta_since(before)
             return self._attach_profile(result)
 
@@ -433,78 +455,50 @@ class Network:
                 result.profile = profiler.report()
         return result
 
+    def explain_execution(self, factory: Optional[NodeFactory] = None,
+                          shared: Optional[Dict[str, Any]] = None,
+                          ) -> ExecutionDecision:
+        """How this network's plan resolves for a run of ``factory``.
+
+        Returns an :class:`~repro.congest.execution.ExecutionDecision`
+        whose ``tier``/``shards`` are the rung :meth:`run` would use and
+        whose ``reasons`` chain explains, per considered tier, why it was
+        or wasn't selected (``decision.explain()`` formats it).  Dry:
+        no worker pool is built and no protocol state is touched.
+        """
+        return resolve_execution(self, factory, dict(shared or {}),
+                                 collect=True)
+
     def _select_kernel(self, factory: NodeFactory) -> Optional[Any]:
         """The :class:`~repro.congest.kernels.RoundKernel` instance to run
         ``factory`` with, or None for per-node dispatch.
 
-        The fast path engages only when every gate passes: the batched CSR
-        engine is active (``engine="node"`` keeps batched delivery but
-        forces per-node dispatch), kernels are not disabled via
-        ``REPRO_NO_KERNELS``, ``factory`` is exactly a registered node
-        class, no fault injection is configured, the policy is a plain
-        :class:`~repro.congest.policies.BandwidthPolicy`, no subscriber
-        wants the per-message event stream, and the kernel itself accepts
-        the run.
+        Compatibility shim over :func:`~repro.congest.execution.
+        resolve_execution` restricted to the single-process rungs; the
+        gate-by-gate logic lives there now.
         """
-        if self.engine not in ("csr", "sharded"):
-            return None
-        from . import kernels as _kernels
-
-        if not _kernels.kernels_enabled():
-            return None
-        kernel_cls = _kernels.kernel_for(factory)
-        if kernel_cls is None:
-            return None
-        if self._fault_rng is not None:
-            return None  # per-message drops need real per-node inboxes
-        if type(self.policy) is not BandwidthPolicy:
-            return None  # policy subclasses may price per edge
-        bus = self.bus
-        if bus is not None and bus.wants(MESSAGE_DELIVERED):
-            return None  # per-message observers need the slow path
-        kernel = kernel_cls(self)
-        return kernel if kernel.accepts() else None
+        decision = resolve_execution(self, factory, None, skip_sharding=True)
+        return decision.kernel if decision.tier == "kernel" else None
 
     def _select_sharded(self, factory: NodeFactory,
                         shared: Dict[str, Any]) -> Optional[Any]:
         """The :class:`~repro.congest.sharding.ShardedNetwork` executor to
         run ``factory`` with, or None for single-process execution.
 
-        Sharding sits at the top of the selection ladder (node dispatch ->
-        kernel -> sharded): it engages only when shards are requested or
-        the auto rules fire (see :func:`repro.congest.sharding.
-        resolve_shards`) AND the run is shard-eligible — the factory has a
-        registered kernel declaring ``shardable``, no fault injection, a
-        plain bandwidth policy, no per-message observer, no callables in
-        ``shared``, and a non-empty graph.  Ineligible runs fall through
-        to the kernel/per-node path silently, exactly like the kernel
-        ladder itself.
+        Compatibility shim over :func:`~repro.congest.execution.
+        resolve_execution`: returns the (cached) executor when the plan
+        resolves to a sharded tier for this run.
         """
-        if self.engine not in ("csr", "sharded"):
+        decision = resolve_execution(self, factory, shared)
+        if decision.tier not in ("sharded", "sharded-kernel"):
             return None
+        return self._sharded_executor(decision.shards)
+
+    def _sharded_executor(self, k: int) -> Any:
+        """The cached :class:`~repro.congest.sharding.ShardedNetwork` for
+        ``k`` shards, building (or rebuilding a broken) pool on demand."""
         from . import sharding as _sharding
 
-        k = _sharding.resolve_shards(self)
-        if k is None:
-            return None
-        from . import kernels as _kernels
-
-        kernel_cls = _kernels.kernel_for(factory)
-        if kernel_cls is None or not getattr(kernel_cls, "shardable", False):
-            return None
-        if self._fault_rng is not None:
-            return None  # per-message drops need one inbox universe
-        if type(self.policy) is not BandwidthPolicy:
-            return None  # subclasses may price per edge
-        bus = self.bus
-        if bus is not None and bus.wants(MESSAGE_DELIVERED):
-            return None  # per-message observers need the slow path
-        if any(callable(v) for v in shared.values()):
-            return None  # closures cannot cross process boundaries
-        n = self.graph.num_nodes
-        if n == 0:
-            return None
-        k = min(k, n)
         executor = self._sharded_execs.get(k)
         if executor is None or executor.broken:
             executor = _sharding.ShardedNetwork(self, k)
@@ -519,6 +513,12 @@ class Network:
         execs, self._sharded_execs = self._sharded_execs, {}
         for executor in execs.values():
             executor.close()
+
+    def __enter__(self) -> "Network":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def subnetwork(self, graph: Graph, **kwargs: Any) -> Any:

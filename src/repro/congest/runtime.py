@@ -116,6 +116,7 @@ class Subnetwork:
                  seed: Optional[int] = None,
                  seed_path: Tuple[Union[int, str], ...] = (),
                  engine: Optional[str] = None,
+                 execution: Any = None,
                  fold: str = "emulate",
                  emulation_factor: int = 1,
                  fold_traffic: bool = False,
@@ -140,15 +141,27 @@ class Subnetwork:
         self.fold_traffic = fold_traffic
         self.charge_label = (charge_label if charge_label is not None
                              else f"{label}_emulation")
+        if execution is not None and engine is not None:
+            raise ValueError("pass either execution= or engine=, not both")
+        if execution is not None:
+            exec_kwargs: Dict[str, Any] = {"execution": execution}
+        elif engine is not None:
+            exec_kwargs = {"engine": engine}
+        else:
+            # Inherit the parent's full execution plan (tier, shard count,
+            # kernel gating) — not just its legacy engine name — so a
+            # Network(execution=...) choice propagates into every derived
+            # subnetwork.
+            exec_kwargs = {"execution": parent.execution_plan}
         self.network = Network(
             graph,
             policy=policy if policy is not None else parent.policy,
             seed=seed,
-            engine=engine if engine is not None else parent.engine,
             max_rounds=(max_rounds if max_rounds is not None
                         else parent.default_max_rounds),
             observe=parent.bus,
             faults=parent.faults,
+            **exec_kwargs,
         )
         self._closed = False
         self._observed = parent.wants(PHASE_START)

@@ -23,6 +23,22 @@ for branch), and the coordinator replays ``Network.run``'s loop — the
 same termination, quiescence and round-limit rules, the same metric
 recording points, the same event emission points.
 
+Workers serve one of two modes per dispatched run.  **Per-node mode**
+(the description above) replays the reference path with real node
+instances.  **Kernel mode** engages when the registered
+:class:`~repro.congest.kernels.RoundKernel` declares shard hooks
+(``shard_words > 0``): each worker executes its slice of the vectorized
+fast path over the full CSR snapshot (setup is replicated — per-node rng
+streams are independent, so every worker derives the identical global
+start state, then only advances the nodes it owns), and the halo
+carries fixed-width int64 *records* instead of codec-encoded messages.
+Peers map those records as numpy views built directly on the publisher's
+shared-memory block — zero-copy, no per-round re-pack or binary-codec
+round trip (rare oversized integers overflow into a codec side-channel
+blob per segment).  See :class:`~repro.congest.kernels.ShardContext`
+for the worker-side services and each kernel's ``shard_*`` hooks for
+the per-protocol record layouts.
+
 Coordination protocol (one reusable cyclic barrier, ``k + 1`` parties)::
 
     per run:   dispatch(pipe) -> setup -> B0(sync)
@@ -355,7 +371,8 @@ _S_ANY_OUT = 8
 _S_ALL_PASSIVE = 9
 _S_ANY_UNFINISHED = 10
 _S_HALO_GEN = 11       # current generation of this worker's halo block
-_S_COLS = 12
+_S_HALO_RECORDS = 12   # fixed-width records published (kernel mode only)
+_S_COLS = 13
 
 _PHASE_FACTORY, _PHASE_START, _PHASE_DELIVER, _PHASE_COMPUTE = 0, 1, 2, 3
 
@@ -465,6 +482,10 @@ class _ShardWorker:
             size=self.halo_cap)
         self.peer_halo: List[Optional[Tuple[int, Any]]] = [None] * self.k
         self._stat_base = _CTRL_WORDS + self.w * _S_COLS
+        # kernel-mode caches (built on first kernel dispatch, reused
+        # across runs; rebuilt if the numpy backend flips)
+        self._arrays: Optional[Any] = None
+        self._kernel_ctx: Optional[Any] = None
 
     # -- infrastructure ------------------------------------------------
     def node_rng(self, run_counter: int, node_id: int) -> random.Random:
@@ -567,6 +588,245 @@ class _ShardWorker:
             pairs.sort(key=lambda sp: sp[0])
             inboxes[target] = dict(pairs)
 
+    # -- kernel mode -----------------------------------------------------
+    def _kernel_context(self) -> Any:
+        """The cached :class:`~repro.congest.kernels.ShardContext` for this
+        worker (static translation tables persist across runs; per-run
+        state is reset by ``begin_round``/``shard_build``)."""
+        from . import kernels as _kernels
+
+        arrays = self._arrays
+        if arrays is None or arrays.np is not _kernels._np:
+            arrays = _kernels.CSRArrays(self.spec.csr)
+            self._arrays = arrays
+            self._kernel_ctx = None
+        ctx = self._kernel_ctx
+        if ctx is None:
+            ctx = _kernels.ShardContext(
+                arrays, self.w, self.k, self.owner,
+                tuple(self.my_indices), self.policy, self._charge_cache)
+            self._kernel_ctx = ctx
+        return ctx
+
+    def run_kernel_protocol(self, barrier: Any, conn: Any, kernel_cls: Any,
+                            shared: Dict[str, Any],
+                            run_counter: int) -> None:
+        """Serve one run on the vectorized kernel fast path.
+
+        Mirrors :meth:`run_protocol` barrier-for-barrier so kernel-mode
+        and per-node workers are interchangeable from the coordinator's
+        point of view; only the per-round body differs (array publish /
+        apply instead of per-node deliver / compute).
+        """
+        timeout = self.spec.timeout
+        error: Optional[Tuple[int, int, BaseException]] = None
+        ctx = self._kernel_context()
+        ctx.node_rng = lambda node_id: self.node_rng(run_counter, node_id)
+        ctx.record_width = getattr(kernel_cls, "shard_words", 1) or 1
+        kernel = None
+        try:
+            kernel = kernel_cls.shard_build(ctx)
+            kernel.shard_setup(dict(shared))
+        except BaseException as exc:
+            pos = getattr(kernel, "shard_pos", 0) if kernel else 0
+            error = (_PHASE_START, pos, exc)
+        self._write_kernel_stats(kernel, ctx, error, 0, 0, 0)
+        barrier.wait(timeout)  # B0: setup done, flags readable
+        views: List[Any] = []
+        rounds = 0
+        try:
+            while True:
+                barrier.wait(timeout)  # B1: command word readable
+                cmd = self.words[_CMD]
+                if cmd == _CMD_FINISH:
+                    conn.send(("ok", kernel.shard_outputs()))
+                    return
+                if cmd == _CMD_ABORT:
+                    if error is not None:
+                        phase, pos, exc = error
+                        conn.send(("err", phase, pos,
+                                   type(exc).__name__, str(exc)))
+                    else:
+                        conn.send(("aborted",))
+                    return
+                # one round: publish -> exchange -> apply
+                ctx.begin_round()
+                extra = 0
+                if error is None:
+                    try:
+                        extra = kernel.shard_publish(rounds + 1)
+                    except BaseException as exc:
+                        error = (_PHASE_DELIVER, kernel.shard_pos, exc)
+                        ctx.clear_staged()
+                halo_bits, halo_records = self._publish_kernel_halo(ctx)
+                barrier.wait(timeout)  # B2: every halo block published
+                if error is None:
+                    try:
+                        self._load_incoming(ctx, views)
+                        kernel.shard_apply(rounds + 1)
+                    except BaseException as exc:
+                        error = (_PHASE_COMPUTE, kernel.shard_pos, exc)
+                rounds += 1
+                ctx.incoming = []
+                self._release_views(views)
+                self._write_kernel_stats(kernel, ctx, error, extra,
+                                         halo_bits, halo_records)
+                barrier.wait(timeout)  # B3: stats row readable
+        finally:
+            ctx.incoming = []
+            ctx.node_rng = None
+            self._release_views(views)
+
+    def _write_kernel_stats(self, kernel: Any, ctx: Any, error: Any,
+                            extra: int, halo_bits: int,
+                            halo_records: int) -> None:
+        if error is not None:
+            self.stat(_S_STATUS, 1)
+            self.stat(_S_ERR_PHASE, error[0])
+            self.stat(_S_ERR_POS, error[1])
+        else:
+            self.stat(_S_STATUS, 0)
+        self.stat(_S_MESSAGES, ctx.messages)
+        self.stat(_S_BITS, ctx.bits)
+        self.stat(_S_MAX_BITS, ctx.max_bits)
+        self.stat(_S_EXTRA, extra)
+        self.stat(_S_HALO_BITS, halo_bits)
+        self.stat(_S_HALO_RECORDS, halo_records)
+        if error is not None or kernel is None:
+            # the run is over either way; flags only steer termination
+            self.stat(_S_ANY_OUT, 0)
+            self.stat(_S_ALL_PASSIVE, 1)
+            self.stat(_S_ANY_UNFINISHED, 1)
+        else:
+            self.stat(_S_ANY_OUT, 1 if kernel.pending() else 0)
+            self.stat(_S_ALL_PASSIVE, 1 if kernel.passive else 0)
+            self.stat(_S_ANY_UNFINISHED, 1 if kernel.unfinished() else 0)
+
+    def _publish_kernel_halo(self, ctx: Any) -> Tuple[int, int]:
+        """Write staged kernel records into my halo block; return
+        ``(halo_bits, record_count)``.
+
+        Per-destination segment layout (8-aligned)::
+
+            [n_words:q][words: n_words * q][blob_len:q][blob][pad]
+
+        ``words`` is the destination's flat record stream (fixed width
+        ``ctx.record_width`` per record); ``blob`` carries codec-encoded
+        overflow values referenced by sentinel words.  Peers map the
+        words zero-copy (:meth:`_load_incoming`).
+        """
+        k = self.k
+        header = 8 * (k + 1)
+        staged_words = ctx.staged_words
+        staged_blobs = ctx.staged_blobs
+        seg_sizes = [0] * k
+        total = 0
+        for d in range(k):
+            if d == self.w:
+                continue
+            words = staged_words[d]
+            blob = staged_blobs[d]
+            if not words and not blob:
+                continue
+            size = (16 + 8 * len(words) + len(blob) + 7) & ~7
+            seg_sizes[d] = size
+            total += size
+        need = header + total
+        if need > self.halo_cap:
+            new_cap = max(self.halo_cap * 2, need)
+            self.halo_gen += 1
+            fresh = shared_memory.SharedMemory(
+                name=_halo_name(self.spec.base, self.w, self.halo_gen),
+                create=True, size=new_cap)
+            self.halo.unlink()
+            self.halo.close()
+            self.halo = fresh
+            self.halo_cap = new_cap
+        buf = self.halo.buf
+        offsets = memoryview(buf)[:header].cast("q")
+        pos = 0
+        offsets[0] = 0
+        records = 0
+        width = ctx.record_width
+        for d in range(k):
+            size = seg_sizes[d]
+            if size:
+                words = staged_words[d]
+                blob = staged_blobs[d]
+                base = header + pos
+                buf[base:base + 8] = _pack_q(len(words))
+                raw = words.tobytes()
+                buf[base + 8:base + 8 + len(raw)] = raw
+                tail = base + 8 + len(raw)
+                buf[tail:tail + 8] = _pack_q(len(blob))
+                if blob:
+                    buf[tail + 8:tail + 8 + len(blob)] = blob
+                records += len(words) // width
+                pos += size
+            offsets[d + 1] = pos
+        offsets.release()
+        self.stat(_S_HALO_GEN, self.halo_gen)
+        return 8 * total, records
+
+    def _load_incoming(self, ctx: Any, views: List[Any]) -> None:
+        """Attach peers' published segments as zero-copy views.
+
+        Word records become int64 numpy views built directly on the
+        publisher's shared-memory buffer (a plain ``memoryview.cast``
+        in fallback mode); the blob is handed over as a memoryview.
+        Nothing is copied or decoded until the kernel touches it.  All
+        views are registered in ``views`` and released after apply —
+        before any peer could resize (and unlink) its generation.
+        """
+        from . import kernels as _kernels
+
+        header = 8 * (self.k + 1)
+        incoming = ctx.incoming
+        for p in range(self.k):
+            if p == self.w:
+                continue
+            gen = self.words[_CTRL_WORDS + p * _S_COLS + _S_HALO_GEN]
+            cached = self.peer_halo[p]
+            if cached is None or cached[0] != gen:
+                if cached is not None:
+                    cached[1].close()
+                shm = _attach_shm(_halo_name(self.spec.base, p, gen))
+                self.peer_halo[p] = (gen, shm)
+            else:
+                shm = cached[1]
+            buf = shm.buf
+            offsets = memoryview(buf)[:header].cast("q")
+            lo, hi = offsets[self.w], offsets[self.w + 1]
+            offsets.release()
+            if lo == hi:
+                continue
+            seg = memoryview(buf)[header + lo:header + hi]
+            views.append(seg)
+            (n_words,) = _unpack_q(seg, 0)
+            word_view = seg[8:8 + 8 * n_words]
+            views.append(word_view)
+            if _kernels._np is not None:
+                words = _kernels._np.frombuffer(word_view,
+                                                dtype=_kernels._np.int64)
+            else:
+                words = word_view.cast("q")
+                views.append(words)
+            (blob_len,) = _unpack_q(seg, 8 + 8 * n_words)
+            blob = seg[16 + 8 * n_words:16 + 8 * n_words + blob_len]
+            views.append(blob)
+            incoming.append((p, words, blob))
+
+    @staticmethod
+    def _release_views(views: List[Any]) -> None:
+        """Release round views (numpy arrays referencing them must be
+        dropped first — ``ctx.incoming`` is cleared by the caller)."""
+        for view in reversed(views):
+            try:
+                view.release()
+            except (AttributeError, BufferError):  # pragma: no cover
+                pass
+        views.clear()
+
     # -- one protocol run ----------------------------------------------
     def run_protocol(self, barrier: Any, conn: Any, factory: Callable,
                      shared: Dict[str, Any], run_counter: int) -> None:
@@ -661,6 +921,7 @@ class _ShardWorker:
         self.stat(_S_MAX_BITS, max_bits)
         self.stat(_S_EXTRA, extra)
         self.stat(_S_HALO_BITS, halo_bits)
+        self.stat(_S_HALO_RECORDS, 0)
         self.stat(_S_ANY_OUT, 1 if outboxes else 0)
         self.stat(_S_ALL_PASSIVE,
                   1 if all(algorithms[v].passive for v in unfinished) else 0)
@@ -785,9 +1046,14 @@ class _ShardWorker:
     def close(self) -> None:
         self.words.release()
         self.meta.close()
+        self._kernel_ctx = None
+        self._arrays = None
         for cached in self.peer_halo:
             if cached is not None:
-                cached[1].close()
+                try:
+                    cached[1].close()
+                except BufferError:  # pragma: no cover - leaked view
+                    pass
         try:
             self.halo.unlink()
         except FileNotFoundError:  # pragma: no cover
@@ -812,10 +1078,14 @@ def _shard_worker_main(spec: _WorkerSpec, barrier: Any, conn: Any) -> None:
                 break
             if not cmd or cmd[0] != "run":
                 break
-            _, factory, protocol, shared, run_counter = cmd
+            _, factory, protocol, shared, run_counter, kernel_cls = cmd
             try:
-                worker.run_protocol(barrier, conn, factory, shared,
-                                    run_counter)
+                if kernel_cls is not None:
+                    worker.run_kernel_protocol(barrier, conn, kernel_cls,
+                                               shared, run_counter)
+                else:
+                    worker.run_protocol(barrier, conn, factory, shared,
+                                        run_counter)
             except BrokenBarrierError:
                 break  # the coordinator tore the pool down mid-run
     finally:
@@ -1069,8 +1339,13 @@ class ShardedNetwork:
     def execute(self, factory: Callable, protocol: str,
                 shared: Dict[str, Any], limit: int,
                 on_round_end: Optional[Callable[[int, Any], None]],
-                ) -> Any:
-        """Run one protocol across the shard pool, engine-identically."""
+                kernel_cls: Any = None) -> Any:
+        """Run one protocol across the shard pool, engine-identically.
+
+        ``kernel_cls`` switches the workers to the vectorized kernel
+        fast path (:meth:`_ShardWorker.run_kernel_protocol`); None runs
+        the per-node reference mode.  One pool serves both modes.
+        """
         if self.broken or self._closed:
             raise ShardingError("sharded executor is closed")
         net = self.net
@@ -1079,7 +1354,7 @@ class ShardedNetwork:
                                  self.partition.imbalance)
         try:
             return self._execute_dispatched(factory, protocol, shared,
-                                            limit, on_round_end)
+                                            limit, on_round_end, kernel_cls)
         except BaseException:
             self._recover_after_error()
             raise
@@ -1088,7 +1363,7 @@ class ShardedNetwork:
                             shared: Dict[str, Any], limit: int,
                             on_round_end: Optional[Callable[[int, Any],
                                                             None]],
-                            ) -> Any:
+                            kernel_cls: Any = None) -> Any:
         from .events import ROUND_END, ROUND_START, RoundEnd, RoundStart
         from .network import ProtocolError, RunResult
 
@@ -1096,7 +1371,8 @@ class ShardedNetwork:
         metrics = net.metrics
         self._run_state = "dispatch"
         for conn in self._conns:
-            conn.send(("run", factory, protocol, shared, net._run_counter))
+            conn.send(("run", factory, protocol, shared, net._run_counter,
+                       kernel_cls))
         self._run_state = "running"
         self._wait()  # B0: workers set up, flags readable
         rows = [self._stats_row(w) for w in range(self.k)]
@@ -1139,14 +1415,20 @@ class ShardedNetwork:
                 sum(r[_S_MESSAGES] for r in rows),
                 sum(r[_S_BITS] for r in rows),
                 max(r[_S_MAX_BITS] for r in rows))
-            metrics.record_halo_bits(sum(r[_S_HALO_BITS] for r in rows))
+            metrics.record_halo_bits(sum(r[_S_HALO_BITS] for r in rows),
+                                     sum(r[_S_HALO_RECORDS] for r in rows))
+            if error is not None and kernel_cls is not None:
+                # kernel-mode compute error: the in-process kernel raises
+                # out of step() after the traffic fold but before the
+                # round is counted — record traffic only
+                self._raise_run_error(error)
             rounds += 1
             metrics.record_round(protocol,
                                  max(r[_S_EXTRA] for r in rows))
             if error is not None:
-                # compute-phase error: traffic and the round are already
-                # recorded (the engine raises after record_round, before
-                # RoundEnd and the hook)
+                # per-node compute-phase error: traffic and the round are
+                # already recorded (the engine raises after record_round,
+                # before RoundEnd and the hook)
                 self._raise_run_error(error)
             if want_round_end:
                 bus.emit(RoundEnd(
@@ -1205,34 +1487,40 @@ def env_shards() -> Optional[int]:
 def resolve_shards(net: Any) -> Optional[int]:
     """How many shards a run on ``net`` should use, or None for none.
 
-    The ladder: the environment kill switch beats everything; a forced
-    environment count beats the constructor; ``engine="sharded"`` or a
-    ``shards=`` argument opts in explicitly; otherwise auto-sharding
-    engages for large networks (>= :data:`AUTO_SHARD_MIN_NODES` nodes)
-    on multi-core machines — but only when the in-process kernel fast
-    path is disabled (``REPRO_NO_KERNELS``).  Shard workers execute the
-    per-node reference path, which the vectorized kernel outruns on
-    every measured workload (``BENCH_shards.json``: sharded throughput
-    is 0.13–0.43x of ``kernel_rounds_per_sec``), so silently displacing
-    the kernel would be a pessimization; auto-sharding therefore only
-    competes against the per-node baseline it can actually beat.
+    The ladder: the environment kill switch (``REPRO_SHARDS=0``, when the
+    plan honors the environment) beats everything; a forced environment
+    count beats the plan; ``shards=0`` in the plan (or the legacy kwarg)
+    disables sharding just like the environment kill switch; ``shards=k``
+    forces ``k``; a shard-flavored tier (``sharded-kernel``/``sharded``,
+    including the ``engine="sharded"`` shim) opts in with the default
+    count; otherwise auto-sharding engages for large networks
+    (>= :data:`AUTO_SHARD_MIN_NODES` nodes) on multi-core machines.
+
+    Since shard workers run the vectorized kernel fast path themselves
+    (kernel mode), auto-sharding no longer defers to the in-process
+    kernel when kernels are enabled — the tiers compose instead of
+    competing.
     """
-    forced = env_shards()
-    if forced == 0:
+    plan = getattr(net, "execution_plan", None)
+    if plan is None or plan.env_overrides:
+        forced = env_shards()
+        if forced == 0:
+            return None
+        if forced is not None:
+            return forced
+    requested = (plan.shards if plan is not None
+                 else getattr(net, "requested_shards", None))
+    if requested == 0:
         return None
-    if forced is not None:
-        return forced
-    requested = getattr(net, "requested_shards", None)
-    if net.engine == "sharded" or requested is not None:
-        if requested is not None:
-            return max(1, requested)
+    if requested is not None:
+        return max(1, requested)
+    tier = plan.tier if plan is not None else "auto"
+    if tier in ("sharded", "sharded-kernel") or net.engine == "sharded":
         return max(1, min(MAX_AUTO_SHARDS, os.cpu_count() or 1))
+    if tier != "auto":
+        return None
     cores = os.cpu_count() or 1
     if (net.engine == "csr" and cores >= 2
             and net.graph.num_nodes >= AUTO_SHARD_MIN_NODES):
-        from . import kernels as _kernels
-
-        if _kernels.kernels_enabled():
-            return None  # the in-process kernel fast path is faster
         return min(MAX_AUTO_SHARDS, cores)
     return None

@@ -138,9 +138,11 @@ class _Observability:
 def _build_network(graph: Graph, policy: BandwidthPolicy, seed: int,
                    tracer: Optional[Tracer],
                    max_rounds: Optional[int],
-                   observe: Any = None) -> Network:
+                   observe: Any = None,
+                   execution: Any = None) -> Network:
     return Network(graph, policy=policy, seed=seed, tracer=tracer,
-                   max_rounds=max_rounds, observe=observe)
+                   max_rounds=max_rounds, observe=observe,
+                   execution=execution)
 
 
 def eps_to_k(eps: float) -> int:
@@ -158,7 +160,8 @@ def approx_mcm(graph: Graph, *args, eps: float = 0.25,
                max_rounds: Optional[int] = None,
                observe: Any = None,
                trace: Any = None,
-               profile: Any = None) -> MatchingResult:
+               profile: Any = None,
+               execution: Any = None) -> MatchingResult:
     """(1 - eps)-approximate maximum-cardinality matching.
 
     ``model="congest"`` uses Theorem 3.10 on bipartite inputs and
@@ -178,7 +181,7 @@ def approx_mcm(graph: Graph, *args, eps: float = 0.25,
     obs = _Observability(observe, trace, profile)
     if model == "local":
         net = _build_network(graph, policy or LOCAL, seed, tracer, max_rounds,
-                             obs.observe)
+                             obs.observe, execution)
         res = generic_mcm(graph, k=k, seed=seed, network=net)
         matching, metrics, detail, name = (
             res.matching, res.metrics, res, "generic_mcm(local)"
@@ -186,14 +189,14 @@ def approx_mcm(graph: Graph, *args, eps: float = 0.25,
     elif model == "congest":
         if _is_bipartite(graph):
             net = _build_network(graph, policy or PIPELINE, seed, tracer,
-                                 max_rounds, obs.observe)
+                                 max_rounds, obs.observe, execution)
             bres = bipartite_mcm(graph, k=k, seed=seed, network=net)
             matching, metrics, detail, name = (
                 bres.matching, bres.metrics, bres, "bipartite_mcm"
             )
         else:
             net = _build_network(graph, policy or PIPELINE, seed, tracer,
-                                 max_rounds, obs.observe)
+                                 max_rounds, obs.observe, execution)
             gres = general_mcm(graph, k=k, seed=seed, stopping="exact",
                                network=net)
             matching, metrics, detail, name = (
@@ -217,7 +220,8 @@ def approx_mwm(graph: Graph, *args, eps: float = 0.1, seed: int = 0,
                max_rounds: Optional[int] = None,
                observe: Any = None,
                trace: Any = None,
-               profile: Any = None) -> MatchingResult:
+               profile: Any = None,
+               execution: Any = None) -> MatchingResult:
     """Approximate maximum-weight matching.
 
     ``model="congest"``: Algorithm 5, a (1/2 - eps)-MWM (Theorem 4.5).
@@ -238,7 +242,7 @@ def approx_mwm(graph: Graph, *args, eps: float = 0.1, seed: int = 0,
     obs = _Observability(observe, trace, profile)
     if model == "congest":
         net = _build_network(graph, policy or CONGEST, seed, tracer,
-                             max_rounds, obs.observe)
+                             max_rounds, obs.observe, execution)
         res = approximate_mwm(graph, eps=eps, seed=seed, black_box=black_box,
                               network=net)
         matching, metrics, detail, name = (
@@ -246,7 +250,7 @@ def approx_mwm(graph: Graph, *args, eps: float = 0.1, seed: int = 0,
         )
     elif model == "local":
         net = _build_network(graph, policy or LOCAL, seed, tracer, max_rounds,
-                             obs.observe)
+                             obs.observe, execution)
         hres = hv_mwm(graph, eps=eps, seed=seed, network=net)
         matching, metrics, detail, name = (
             hres.matching, hres.metrics, hres, "hv_mwm(local)"
@@ -255,7 +259,7 @@ def approx_mwm(graph: Graph, *args, eps: float = 0.1, seed: int = 0,
         from ..dist.auction import auction_mwm
 
         anet = _build_network(graph, policy or CONGEST, seed, tracer,
-                              max_rounds, obs.observe)
+                              max_rounds, obs.observe, execution)
         amatching, anet = auction_mwm(graph, eps=eps, seed=seed, network=anet)
         matching, metrics, detail, name = (
             amatching, anet.metrics, None, "auction"
@@ -280,14 +284,15 @@ def maximal_matching(graph: Graph, *args, seed: int = 0,
                      max_rounds: Optional[int] = None,
                      observe: Any = None,
                      trace: Any = None,
-                     profile: Any = None) -> MatchingResult:
+                     profile: Any = None,
+                     execution: Any = None) -> MatchingResult:
     """The Israeli-Itai baseline: a maximal (hence 1/2-approximate) matching."""
     if args:
         seed, policy = _positional_shim(
             "maximal_matching", args, ("seed", "policy"), (seed, policy))
     obs = _Observability(observe, trace, profile)
     net = _build_network(graph, policy or CONGEST, seed, tracer, max_rounds,
-                         obs.observe)
+                         obs.observe, execution)
     matching = israeli_itai(net)
     optimum = max_cardinality(graph).size
     cert = certify(graph, matching, optimum_size=optimum)

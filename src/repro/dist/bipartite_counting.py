@@ -228,9 +228,13 @@ class CountingKernel(RoundKernel):
                     arrivals[t] = box
                 box[sid] = value
         self.record_traffic(messages, bits_sum, max_bits)
+        self._absorb(arrivals, round_number)
+        return extra
 
+    def _absorb(self, arrivals: Dict[int, Dict[int, int]], r: int) -> None:
+        """Apply one round's accepted arrivals to the unreached frontier."""
+        finished = self.finished
         ell = self.ell
-        r = round_number
         out = self.out
         side = self.side
         mate = self.mate
@@ -256,7 +260,6 @@ class CountingKernel(RoundKernel):
                 new_pending.append((i, None, total))
         self.live = new_live
         self.pending_msgs = new_pending
-        return extra
 
     # -- protocol surface ------------------------------------------------
     def unfinished(self) -> bool:
@@ -269,6 +272,101 @@ class CountingKernel(RoundKernel):
         order = self.arrays.order
         out = self.out
         return {order[i]: out[i] for i in range(self.arrays.n)}
+
+    # -- sharded fast path -------------------------------------------------
+    # Counts ride (sender, target, value) records to the target's owner;
+    # the receive filter (finished / accept-set) runs entirely on the
+    # receiving worker, whose state for its own rows is authoritative.
+    # There is no randomness anywhere, so setup replication is trivial.
+    shard_words = 3
+
+    def shard_setup(self, shared: Dict[str, Any]) -> None:
+        self.setup(shared)
+        ctx = self.shard
+        owner, w = ctx.owner, ctx.w
+        self.live = [i for i in self.live if owner[i] == w]
+        self.pending_msgs = [p for p in self.pending_msgs
+                             if owner[p[0]] == w]
+        self._local_arrivals: List[Tuple[int, int, int]] = []
+
+    def shard_publish(self, round_number: int) -> int:
+        ctx = self.shard
+        A = self.arrays
+        order = A.order
+        index = A.index
+        slot_of = ctx.slot_of()
+        owner, w = ctx.owner, ctx.w
+        words = ctx.staged_words
+        local = self._local_arrivals
+        extra = 0
+        messages = 0
+        bits_sum = 0
+        max_bits = 0
+        for i, targets, value in self.pending_msgs:  # ascending owned sender
+            self.shard_pos = i
+            sid = order[i]
+            if targets is None:  # matched Y forwarding along its mate edge
+                mid = self.mate[i]
+                if mid not in slot_of[sid]:
+                    raise ProtocolError(
+                        f"node {sid} tried to message non-neighbor {mid}"
+                    )
+                targets = (index[mid],)
+            bits = int_bits(value)
+            charge = self.charge(bits, sid, order[targets[0]])
+            if charge > extra:
+                extra = charge
+            cnt = len(targets)
+            messages += cnt
+            bits_sum += bits * cnt
+            if bits > max_bits:
+                max_bits = bits
+            for t in targets:
+                d = owner[t]
+                if d == w:
+                    local.append((i, t, value))
+                else:
+                    sw = words[d]
+                    sw.append(i)
+                    sw.append(t)
+                    sw.append(ctx.stage_value(d, value))
+        self.record_traffic(messages, bits_sum, max_bits)
+        self.pending_msgs = []
+        return extra
+
+    def shard_apply(self, round_number: int) -> None:
+        ctx = self.shard
+        order = self.arrays.order
+        triples = self._local_arrivals
+        self._local_arrivals = []
+        for _peer, wordsv, blob in ctx.incoming:
+            reader = ctx.blob_reader(blob)
+            for off in range(0, len(wordsv), 3):
+                triples.append((int(wordsv[off]), int(wordsv[off + 1]),
+                                ctx.resolve(int(wordsv[off + 2]), reader)))
+        # ascending global sender: each arrival box fills in the same
+        # insertion order the in-process scan produces
+        triples.sort(key=lambda rec: (rec[0], rec[1]))
+        finished = self.finished
+        accept = self.accept
+        arrivals: Dict[int, Dict[int, int]] = {}
+        for s, t, value in triples:
+            if finished[t]:
+                continue
+            sid = order[s]
+            if sid not in accept[t]:
+                continue
+            box = arrivals.get(t)
+            if box is None:
+                box = {}
+                arrivals[t] = box
+            box[sid] = value
+        self._absorb(arrivals, round_number)
+
+    def shard_outputs(self) -> Dict[int, Any]:
+        order = self.arrays.order
+        out = self.out
+        return {order[i]: out[i] for i in self.shard.owned}
 
 
 def run_counting(network: Network, side: Dict[int, Optional[int]],

@@ -151,6 +151,12 @@ class IsraeliItaiKernel(RoundKernel):
 
     # audited: node-local state, read-only shared, single-char payloads
     shardable = True
+    #: sharded fast path: (a, b) index pairs — proposals (proposer,
+    #: target) routed to the target's shard, acceptances (accepter,
+    #: proposer) broadcast so every worker keeps mate/mask/free-degree
+    #: globally consistent (announce and prune need no records at all:
+    #: their information content is derivable from the replicated state)
+    shard_words = 2
 
     def setup(self, shared: Dict[str, Any]) -> None:
         A = self.arrays
@@ -369,6 +375,193 @@ class IsraeliItaiKernel(RoundKernel):
         order = self.arrays.order
         mate = self.mate
         return {order[i]: {"mate": mate[i]} for i in range(self.arrays.n)}
+
+    # -- sharded fast path -------------------------------------------------
+    # Every worker replicates the full global state (mate/mask/free-degree
+    # carry no randomness, so identical bookkeeping is cheaper than
+    # exchanging it); only rng draws are owner-restricted, which keeps each
+    # node's stream bit-identical to the in-process kernel.  Proposals are
+    # routed to the target's owner, acceptances broadcast; announce and
+    # prune rounds need no records at all.
+
+    def shard_setup(self, shared: Dict[str, Any]) -> None:
+        self.setup(shared)  # no rng in setup: replication is exact
+
+    def _shard_advance(self) -> None:
+        """:meth:`_advance` with owner-restricted coin flips.
+
+        Halting bookkeeping runs over the full live list (it reads only
+        replicated state), but the coin flip and target choice touch a
+        node's rng stream, so they run only at its owner; the resulting
+        proposal list is this worker's owned slice of the global one.
+        """
+        ctx = self.shard
+        owner, w = ctx.owner, ctx.w
+        mate = self.mate
+        free_deg = self.free_deg
+        finished = self.finished
+        proposed = self.proposed
+        new_live: List[int] = []
+        proposals: List[Tuple[int, int]] = []
+        for i in self.live:
+            if mate[i] is not None or not free_deg[i]:
+                finished[i] = True
+                continue
+            new_live.append(i)
+            if owner[i] != w:
+                continue  # remote stream: its owner draws
+            self.shard_pos = i
+            r = self.rng(i)
+            if r.random() < 0.5:
+                ti = r.choice(self._free_targets(i))
+                proposed[i] = True
+                proposals.append((i, ti))
+            else:
+                proposed[i] = False
+        self.live = new_live
+        self.proposals = proposals
+
+    def shard_publish(self, round_number: int) -> int:
+        ctx = self.shard
+        A = self.arrays
+        order = A.order
+        owner, w = ctx.owner, ctx.w
+        phase = self.phase
+
+        if phase == "announce":
+            count = 0
+            first = -1
+            for i in self.live:
+                if owner[i] == w:
+                    if first < 0:
+                        first = i
+                    count += len(self.elig[i])
+            if count:
+                self.shard_pos = first
+                return self._price12(count, order[first],
+                                     order[A.tgt[self.elig[first][0]]])
+            return self._price12(0, 0, 0)
+
+        if phase == "accept":
+            proposals = self.proposals  # owned proposers only
+            if proposals:
+                p0, t0 = proposals[0]
+                self.shard_pos = p0
+                extra = self._price12(len(proposals), order[p0], order[t0])
+            else:
+                extra = self._price12(0, 0, 0)
+            words = ctx.staged_words
+            for p, t in proposals:
+                d = owner[t]
+                if d != w:
+                    sw = words[d]
+                    sw.append(p)
+                    sw.append(t)
+            return extra
+
+        if phase == "notify":
+            accepts = self.accepts  # owned accepters only
+            if accepts:
+                t0, p0 = accepts[0]
+                self.shard_pos = t0
+                extra = self._price12(len(accepts), order[t0], order[p0])
+                words = ctx.staged_words
+                for d in range(ctx.k):  # broadcast: everyone tracks mates
+                    if d == w:
+                        continue
+                    sw = words[d]
+                    for t, p in accepts:
+                        sw.append(t)
+                        sw.append(p)
+                return extra
+            return self._price12(0, 0, 0)
+
+        # phase == "prune"
+        count = 0
+        first = -1
+        for v in self.newly:
+            if owner[v] == w:
+                if first < 0:
+                    first = v
+                count += self.elig_count[v]
+        if count:
+            self.shard_pos = first
+            return self._price12(count, order[first],
+                                 order[A.tgt[self.elig[first][0]]])
+        return self._price12(0, 0, 0)
+
+    def shard_apply(self, round_number: int) -> None:
+        ctx = self.shard
+        A = self.arrays
+        order = A.order
+        phase = self.phase
+
+        if phase == "announce":
+            self._shard_advance()
+            self.phase = "accept"
+            return
+
+        if phase == "accept":
+            owner, w = ctx.owner, ctx.w
+            pairs = [(p, t) for p, t in self.proposals if owner[t] == w]
+            for _peer, words, _blob in ctx.incoming:
+                for off in range(0, len(words), 2):
+                    pairs.append((int(words[off]), int(words[off + 1])))
+            pairs.sort()  # ascending proposer: candidate lists stay sorted
+            by_target: Dict[int, List[int]] = {}
+            for p, t in pairs:
+                by_target.setdefault(t, []).append(p)
+            accepts: List[Tuple[int, int]] = []
+            mate = self.mate
+            for t in sorted(by_target):  # owned targets by construction
+                if self.proposed[t]:
+                    continue
+                self.shard_pos = t
+                p = self.rng(t).choice(by_target[t])
+                mate[t] = order[p]
+                accepts.append((t, p))
+            self.accepts = accepts
+            self.proposals = []
+            self.phase = "notify"
+            return
+
+        if phase == "notify":
+            pairs = list(self.accepts)
+            for _peer, words, _blob in ctx.incoming:
+                for off in range(0, len(words), 2):
+                    pairs.append((int(words[off]), int(words[off + 1])))
+            mate = self.mate
+            newly: List[int] = []
+            for t, p in pairs:
+                mate[t] = order[p]  # no-op for this worker's own accepts
+                mate[p] = order[t]
+                newly.append(t)
+                newly.append(p)
+            newly.sort()
+            self.newly = newly
+            self.accepts = []
+            self.phase = "prune"
+            return
+
+        # phase == "prune"
+        newly = self.newly
+        if newly:
+            mask = self.mask
+            rev = A.rev
+            tgt = A.tgt
+            free_deg = self.free_deg
+            for v in newly:
+                for e in self.elig[v]:
+                    mask[rev[e]] = False
+                    free_deg[tgt[e]] -= 1
+        self.newly = []
+        self._shard_advance()
+        self.phase = "accept"
+
+    def shard_outputs(self) -> Dict[int, Any]:
+        order = self.arrays.order
+        mate = self.mate
+        return {order[i]: {"mate": mate[i]} for i in self.shard.owned}
 
 
 def israeli_itai(network: Network,

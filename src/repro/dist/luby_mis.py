@@ -28,6 +28,11 @@ from ..congest.runtime import as_network
 _JOIN = "J"
 _DOMINATED = "D"
 
+# sharded-kernel halo record kinds (first word of each 3-word record)
+_REC_DRAW = 0  # (DRAW, drawer index, value word) -> stamp draw/drawn_at
+_REC_D = 1     # (D, slot, -)                    -> clear the reverse slot
+_REC_WIN = 2   # (WIN, winner index, -)          -> stamp winner_at
+
 
 class LubyMISNode(NodeAlgorithm):
     """Node program for Luby's algorithm; output is ``True`` iff in the MIS."""
@@ -109,6 +114,8 @@ class LubyMISKernel(RoundKernel):
 
     # audited: node-local state, read-only shared, scalar/tag payloads
     shardable = True
+    #: sharded fast path: (kind, a, b) records — see the ``_REC_*`` kinds
+    shard_words = 3
 
     def setup(self, shared: Dict[str, Any]) -> None:
         A = self.arrays
@@ -196,7 +203,7 @@ class LubyMISKernel(RoundKernel):
         A = self.arrays
         order = A.order
         tgt = A.tgt
-        cache = self.net._charge_cache
+        cache = self._charge_cache
         extra = 0
         messages = 0
         bits_sum = 0
@@ -212,6 +219,7 @@ class LubyMISKernel(RoundKernel):
                     di += 1
                     c = cache.get(12, -1)
                     if c < 0:
+                        self.shard_pos = s
                         c = self.charge(12, order[s], order[tgt[e0]])
                     if c > extra:
                         extra = c
@@ -223,6 +231,7 @@ class LubyMISKernel(RoundKernel):
                 bits = b + b + 2
                 c = cache.get(bits, -1)
                 if c < 0:
+                    self.shard_pos = i
                     c = self.charge(bits, order[i],
                                     order[tgt[self._first_active_slot(i)]])
                 if c > extra:
@@ -236,6 +245,7 @@ class LubyMISKernel(RoundKernel):
                 di += 1
                 c = cache.get(12, -1)
                 if c < 0:
+                    self.shard_pos = s
                     c = self.charge(12, order[s], order[tgt[e0]])
                 if c > extra:
                     extra = c
@@ -249,6 +259,7 @@ class LubyMISKernel(RoundKernel):
                     continue
                 c = cache.get(12, -1)
                 if c < 0:
+                    self.shard_pos = i
                     c = self.charge(12, order[i],
                                     order[tgt[self._first_active_slot(i)]])
                 if c > extra:
@@ -276,8 +287,12 @@ class LubyMISKernel(RoundKernel):
 
     def _step_draws(self, rnd: int) -> int:
         """Odd rounds: prune straggler Ds, find winners, stage their Js."""
-        A = self.arrays
         extra = self._price_round(rnd)
+        self._apply_draws(rnd)
+        return extra
+
+    def _apply_draws(self, rnd: int) -> None:
+        A = self.arrays
         np = self.np
         mask = self.mask
         # straggler domination notices prune first, exactly as the node
@@ -343,12 +358,19 @@ class LubyMISKernel(RoundKernel):
         self.live = new_live
         self.pending_draws = []
         self.pending_Js = pending_Js
-        return extra
+        if self.shard is not None:
+            # winners announce across the cut next round (the receiver-side
+            # slot may still be live even when the winner's own side is not)
+            self._win_records = [i for i, _ in pending_Js]
 
     def _step_resolve(self, rnd: int) -> int:
         """Even rounds: deliver Js; dominated halt and stage Ds; redraw."""
-        A = self.arrays
         extra = self._price_round(rnd)
+        self._apply_resolve(rnd)
+        return extra
+
+    def _apply_resolve(self, rnd: int) -> None:
+        A = self.arrays
         np = self.np
         mask = self.mask
         tgt = A.tgt
@@ -447,7 +469,37 @@ class LubyMISKernel(RoundKernel):
         self.pending_draws = pending_draws
         self.pending_D_price = pending_D_price
         self.pending_D_slots = pending_D_slots
-        return extra
+        if self.shard is not None:
+            self._collect_shard_resolve()
+
+    def _collect_shard_resolve(self) -> None:
+        """Queue this resolve round's cross-shard effects for publishing.
+
+        Redrawn values travel to every peer of the drawer; D prunes whose
+        reverse slot lives in a remote row go to that row's owner (local
+        ones stay in ``pending_D_slots`` for the next odd round's scatter).
+        """
+        ctx = self.shard
+        A = self.arrays
+        dsl = self.pending_D_slots
+        if dsl is None:
+            self._d_remote = []
+        elif self.np is not None:
+            towner = ctx.np_owner[A.np_tgt[dsl]]
+            local = dsl[towner == ctx.w]
+            self._d_remote = dsl[towner != ctx.w].tolist()
+            self.pending_D_slots = local if len(local) else None
+        else:
+            owner, w = ctx.owner, ctx.w
+            tgt = A.tgt
+            local: List[int] = []
+            remote: List[int] = []
+            for e in dsl:
+                (local if owner[tgt[e]] == w else remote).append(e)
+            self._d_remote = remote
+            self.pending_D_slots = local if local else None
+        draw = self.draw
+        self._draw_records = [(i, draw[i]) for i, _ in self.pending_draws]
 
     # -- protocol surface ------------------------------------------------
     def unfinished(self) -> bool:
@@ -461,6 +513,92 @@ class LubyMISKernel(RoundKernel):
         order = self.arrays.order
         out = self.out
         return {order[i]: out[i] for i in range(self.arrays.n)}
+
+    # -- sharded fast path -------------------------------------------------
+    # Setup replicates every node's initial draw (independent per-node rng
+    # streams make that bit-exact), then each worker advances only its
+    # owned rows; masks and stamps on remote-adjacent nodes are kept
+    # current by DRAW/D/WIN records published along the cut.
+
+    def shard_setup(self, shared: Dict[str, Any]) -> None:
+        self.setup(shared)
+        ctx = self.shard
+        owner, w = ctx.owner, ctx.w
+        self.live = [i for i in self.live if owner[i] == w]
+        self.pending_draws = [(i, c) for i, c in self.pending_draws
+                              if owner[i] == w]
+        # record queues staged by the previous apply (round 1 owes none:
+        # the setup draws were replicated everywhere)
+        self._draw_records: List[Tuple[int, int]] = []
+        self._d_remote: List[int] = []
+        self._win_records: List[int] = []
+
+    def shard_publish(self, round_number: int) -> int:
+        ctx = self.shard
+        extra = self._price_round(round_number)
+        words = ctx.staged_words
+        peers = ctx.peers_of()
+        if round_number % 2 == 1:
+            for i, v in self._draw_records:
+                for d in peers.get(i, ()):
+                    sw = words[d]
+                    sw.append(_REC_DRAW)
+                    sw.append(i)
+                    sw.append(ctx.stage_value(d, v))
+            owner = ctx.owner
+            tgt = self.arrays.tgt
+            for e in self._d_remote:
+                sw = words[owner[tgt[e]]]
+                sw.append(_REC_D)
+                sw.append(e)
+                sw.append(0)
+            self._draw_records = []
+            self._d_remote = []
+        else:
+            for i in self._win_records:
+                for d in peers.get(i, ()):
+                    sw = words[d]
+                    sw.append(_REC_WIN)
+                    sw.append(i)
+                    sw.append(0)
+            self._win_records = []
+        return extra
+
+    def shard_apply(self, round_number: int) -> None:
+        ctx = self.shard
+        A = self.arrays
+        if round_number % 2 == 1:
+            # incoming prunes and draw stamps land before winner detection,
+            # mirroring the in-process prune-then-scan order
+            np = self.np
+            mask = self.mask
+            rev = A.rev
+            draw = self.draw
+            drawn_at = self.drawn_at
+            for _peer, wordsv, blob in ctx.incoming:
+                reader = ctx.blob_reader(blob)
+                for off in range(0, len(wordsv), 3):
+                    if wordsv[off] == _REC_DRAW:
+                        u = int(wordsv[off + 1])
+                        v = ctx.resolve(int(wordsv[off + 2]), reader)
+                        draw[u] = v
+                        drawn_at[u] = round_number
+                        if np is not None:
+                            self.np_draw[u] = v
+                    else:  # _REC_D
+                        mask[rev[int(wordsv[off + 1])]] = False
+            self._apply_draws(round_number)
+        else:
+            winner_at = self.winner_at
+            for _peer, wordsv, _blob in ctx.incoming:
+                for off in range(0, len(wordsv), 3):
+                    winner_at[int(wordsv[off + 1])] = round_number
+            self._apply_resolve(round_number)
+
+    def shard_outputs(self) -> Dict[int, Any]:
+        order = self.arrays.order
+        out = self.out
+        return {order[i]: out[i] for i in self.shard.owned}
 
 
 def luby_mis(network: Network, max_rounds: Optional[int] = None,

@@ -1,0 +1,520 @@
+"""The unified ``execution=`` plan API.
+
+Covers the :class:`~repro.congest.execution.ExecutionPlan` object itself,
+the ``Network(execution=...)`` keyword, the golden-pinned legacy shims
+(``engine=``/``shards=``/``REPRO_*``), ``Network.explain_execution()``'s
+reason chains for every tier, plan inheritance into subnetworks,
+kernel-fallback golden equivalence under sharding, and the zero-copy
+halo-view mechanics the sharded-kernel tier is built on.
+"""
+
+import dataclasses
+import os
+import struct
+import types
+from array import array
+from multiprocessing import shared_memory
+
+import pytest
+
+import repro
+from repro.congest import (
+    CONGEST,
+    LOCAL,
+    ExecutionPlan,
+    LEGACY_ENGINE_ENV,
+    NO_KERNELS_ENV,
+    Network,
+    SHARDS_ENV,
+    TIERS,
+    resolve_shards,
+)
+from repro.congest import kernels as kernels_mod
+from repro.congest import sharding
+from repro.dist.israeli_itai import israeli_itai
+from repro.dist.luby_mis import LubyMISNode, luby_mis
+from repro.graphs import gnp, path_graph
+
+
+def _metrics_tuple(m):
+    return (m.rounds, m.pipelined_extra_rounds, m.messages, m.total_bits,
+            m.max_message_bits, tuple(sorted(m.protocol_rounds.items())))
+
+
+def _run_israeli(seed, **net_kwargs):
+    g = gnp(44, 0.12, rng=seed)
+    net = Network(g, policy=CONGEST, seed=seed, **net_kwargs)
+    try:
+        matching = israeli_itai(net)
+        return set(matching.edges()), _metrics_tuple(net.metrics)
+    finally:
+        net.close()
+
+
+# --- the plan object ------------------------------------------------------
+
+class TestExecutionPlan:
+    def test_defaults(self):
+        plan = ExecutionPlan()
+        assert plan.tier == "auto"
+        assert plan.shards is None
+        assert plan.kernels is True
+        assert plan.env_overrides is True
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ExecutionPlan().tier = "node"
+
+    def test_tier_vocabulary(self):
+        assert TIERS == ("sharded-kernel", "kernel", "sharded", "node",
+                         "legacy")
+        for tier in TIERS:
+            assert ExecutionPlan(tier=tier).tier == tier
+        with pytest.raises(ValueError):
+            ExecutionPlan(tier="warp")
+
+    def test_contradictory_plans_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionPlan(shards=-1)
+        for tier in ("kernel", "node", "legacy"):
+            with pytest.raises(ValueError):
+                ExecutionPlan(tier=tier, shards=2)
+        for tier in ("kernel", "sharded-kernel"):
+            with pytest.raises(ValueError):
+                ExecutionPlan(tier=tier, kernels=False)
+
+    @pytest.mark.parametrize("engine,shards,expect", [
+        ("csr", None, ExecutionPlan()),
+        ("csr", 2, ExecutionPlan(shards=2)),
+        ("csr", 0, ExecutionPlan(shards=0)),
+        ("sharded", None, ExecutionPlan(tier="sharded-kernel")),
+        ("sharded", 3, ExecutionPlan(tier="sharded-kernel", shards=3)),
+        ("node", None, ExecutionPlan(tier="node")),
+        ("legacy", None, ExecutionPlan(tier="legacy")),
+    ])
+    def test_from_legacy_mapping(self, engine, shards, expect):
+        assert ExecutionPlan.from_legacy(engine, shards) == expect
+
+    def test_from_legacy_rejects_bad_combos(self):
+        with pytest.raises(ValueError):
+            ExecutionPlan.from_legacy("turbo", None)
+        for engine in ("node", "legacy"):
+            with pytest.raises(ValueError):
+                ExecutionPlan.from_legacy(engine, 2)
+
+    @pytest.mark.parametrize("tier,engine", [
+        ("auto", "csr"), ("sharded-kernel", "sharded"),
+        ("kernel", "csr"), ("sharded", "sharded"),
+        ("node", "node"), ("legacy", "legacy"),
+    ])
+    def test_engine_name_round_trip(self, tier, engine):
+        shards = 2 if engine == "sharded" else None
+        assert ExecutionPlan(tier=tier, shards=shards).engine_name() == engine
+
+
+# --- the Network keyword --------------------------------------------------
+
+class TestNetworkKeyword:
+    def _net(self, **kwargs):
+        return Network(gnp(30, 0.2, rng=0), policy=LOCAL, seed=0, **kwargs)
+
+    def test_tier_name_shorthand(self):
+        net = self._net(execution="node")
+        assert net.execution_plan == ExecutionPlan(tier="node")
+        assert net.engine == "node"
+
+    def test_full_plan(self):
+        plan = ExecutionPlan(tier="sharded-kernel", shards=2)
+        net = self._net(execution=plan)
+        assert net.execution_plan is plan
+        assert net.engine == "sharded"
+        assert net.requested_shards == 2
+
+    def test_mutually_exclusive_with_legacy_kwargs(self):
+        with pytest.raises(ValueError):
+            self._net(execution="node", engine="csr")
+        with pytest.raises(ValueError):
+            self._net(execution="node", shards=2)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            self._net(execution=42)
+        with pytest.raises(ValueError):
+            self._net(execution="warp")
+
+    def test_legacy_kwargs_normalize_into_a_plan(self):
+        net = self._net(engine="sharded", shards=3)
+        assert net.execution_plan == ExecutionPlan(tier="sharded-kernel",
+                                                   shards=3)
+        assert net.engine == "sharded"
+        assert net.requested_shards == 3
+
+    def test_legacy_env_default(self, monkeypatch):
+        monkeypatch.setenv(LEGACY_ENGINE_ENV, "1")
+        net = self._net()
+        assert net.execution_plan == ExecutionPlan(tier="legacy")
+        assert net.engine == "legacy"
+
+    def test_run_facade_accepts_execution(self):
+        from repro.graphs import random_bipartite
+
+        g = random_bipartite(8, 8, 0.4, rng=0)
+        result = repro.run("mcm", g, eps=0.25, seed=0, execution="kernel")
+        assert result.size >= 1
+
+
+# --- explain_execution ----------------------------------------------------
+
+class TestExplainExecution:
+    def _net(self, **kwargs):
+        return Network(gnp(30, 0.2, rng=0), policy=LOCAL, seed=0, **kwargs)
+
+    def _explain(self, factory=LubyMISNode, **kwargs):
+        return self._net(**kwargs).explain_execution(factory)
+
+    def test_never_resolves_to_auto(self):
+        for kwargs in ({}, {"execution": "node"}, {"execution": "legacy"},
+                       {"execution": ExecutionPlan(shards=2)}):
+            assert self._explain(**kwargs).tier in TIERS
+
+    def test_pinned_node(self):
+        decision = self._explain(execution="node")
+        assert decision.tier == "node"
+        assert any("pinned by the plan" in r for r in decision.reasons)
+
+    def test_pinned_legacy(self):
+        decision = self._explain(execution="legacy")
+        assert decision.tier == "legacy"
+        assert any("pinned by the plan" in r for r in decision.reasons)
+
+    def test_kernel_tier(self):
+        decision = self._explain(execution="kernel")
+        assert decision.tier == "kernel"
+        assert decision.shards is None
+        assert any("LubyMISKernel" in r and "selected" in r
+                   for r in decision.reasons)
+
+    def test_sharded_kernel_tier(self):
+        decision = self._explain(
+            execution=ExecutionPlan(tier="sharded-kernel", shards=2))
+        assert decision.tier == "sharded-kernel"
+        assert decision.shards == 2
+        assert any("2 shard" in r for r in decision.reasons)
+
+    def test_sharded_per_node_tier(self):
+        decision = self._explain(
+            execution=ExecutionPlan(tier="sharded", shards=2))
+        assert decision.tier == "sharded"
+        assert decision.shards == 2
+        assert any("per-node dispatch" in r for r in decision.reasons)
+
+    def test_auto_on_a_small_host_graph(self):
+        # 30 nodes is below the auto-shard threshold: the sharded rungs
+        # are skipped with a reason and the in-process kernel wins
+        decision = self._explain()
+        assert decision.tier == "kernel"
+        assert any(r.startswith("tier 'sharded-kernel': skipped")
+                   for r in decision.reasons)
+
+    def test_no_factory_reason(self):
+        decision = self._net().explain_execution()
+        assert decision.tier == "node"
+        assert any("no node factory" in r for r in decision.reasons)
+
+    def test_unregistered_factory_reason(self):
+        def no_kernel_factory(ctx):  # pragma: no cover - never run
+            raise AssertionError
+
+        decision = self._net().explain_execution(no_kernel_factory)
+        assert decision.tier == "node"
+        assert any("no RoundKernel is registered" in r
+                   for r in decision.reasons)
+
+    def test_shards_zero_kill_switch_reason(self):
+        decision = self._explain(execution=ExecutionPlan(shards=0))
+        assert decision.tier == "kernel"
+        assert any("kill switch" in r or "no shard count resolved" in r
+                   for r in decision.reasons)
+
+    def test_plan_without_kernels(self):
+        decision = self._explain(execution=ExecutionPlan(kernels=False))
+        assert decision.tier == "node"
+        assert any("kernels=False" in r for r in decision.reasons)
+
+    def test_env_kill_switch_honored_by_default(self, monkeypatch):
+        monkeypatch.setenv(NO_KERNELS_ENV, "1")
+        decision = self._explain()
+        assert decision.tier == "node"
+        assert any(NO_KERNELS_ENV in r for r in decision.reasons)
+
+    def test_env_overrides_false_ignores_the_env(self, monkeypatch):
+        monkeypatch.setenv(NO_KERNELS_ENV, "1")
+        decision = self._explain(
+            execution=ExecutionPlan(env_overrides=False))
+        assert decision.tier == "kernel"
+
+    def test_explain_formats_the_chain(self):
+        decision = self._explain(
+            execution=ExecutionPlan(tier="sharded-kernel", shards=2))
+        text = decision.explain()
+        assert text.startswith("resolved tier: sharded-kernel (2 shard(s))")
+        assert "\n  - " in text
+
+    def test_explain_is_dry(self):
+        # no worker pool may be built by an explain call
+        net = self._net(execution=ExecutionPlan(tier="sharded-kernel",
+                                                shards=2))
+        net.explain_execution(LubyMISNode)
+        assert net._sharded_execs == {}
+
+
+# --- legacy shims resolve identically (golden) ----------------------------
+
+SHIM_COMBOS = [
+    pytest.param({"engine": "csr"}, {"execution": ExecutionPlan()},
+                 id="csr"),
+    pytest.param({"engine": "csr", "shards": 2},
+                 {"execution": ExecutionPlan(shards=2)}, id="csr-shards2"),
+    pytest.param({"engine": "csr", "shards": 0},
+                 {"execution": ExecutionPlan(shards=0)}, id="csr-shards0"),
+    pytest.param({"engine": "sharded"},
+                 {"execution": ExecutionPlan(tier="sharded-kernel")},
+                 id="sharded"),
+    pytest.param({"engine": "sharded", "shards": 3},
+                 {"execution": ExecutionPlan(tier="sharded-kernel",
+                                             shards=3)}, id="sharded-3"),
+    pytest.param({"engine": "node"}, {"execution": "node"}, id="node"),
+    pytest.param({"engine": "legacy"}, {"execution": "legacy"},
+                 id="legacy"),
+]
+
+
+class TestShimGoldens:
+    @pytest.mark.parametrize("legacy,plan", SHIM_COMBOS)
+    def test_resolution_identical(self, legacy, plan):
+        g = gnp(30, 0.2, rng=0)
+        old = Network(g, policy=LOCAL, seed=0, **legacy)
+        new = Network(g, policy=LOCAL, seed=0, **plan)
+        d_old = old.explain_execution(LubyMISNode)
+        d_new = new.explain_execution(LubyMISNode)
+        assert (d_old.tier, d_old.shards) == (d_new.tier, d_new.shards)
+        assert old.execution_plan == new.execution_plan
+        assert old.engine == new.engine
+
+    def test_env_shards_forces_both_paths(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "2")
+        g = gnp(30, 0.2, rng=0)
+        for kwargs in ({"engine": "csr"}, {"execution": ExecutionPlan()}):
+            net = Network(g, policy=LOCAL, seed=0, **kwargs)
+            assert resolve_shards(net) == 2
+        monkeypatch.setenv(SHARDS_ENV, "0")
+        net = Network(g, policy=LOCAL, seed=0,
+                      execution=ExecutionPlan(tier="sharded-kernel",
+                                              shards=4))
+        assert resolve_shards(net) is None
+
+    def test_env_overrides_false_shields_the_plan(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "0")
+        net = Network(gnp(30, 0.2, rng=0), policy=LOCAL, seed=0,
+                      execution=ExecutionPlan(tier="sharded-kernel",
+                                              shards=4, env_overrides=False))
+        assert resolve_shards(net) == 4
+
+    def test_behavior_identical_under_sharding(self):
+        golden = _run_israeli(7, engine="csr")
+        assert _run_israeli(7, engine="sharded", shards=2) == golden
+        assert _run_israeli(
+            7, execution=ExecutionPlan(tier="sharded-kernel",
+                                       shards=2)) == golden
+
+
+# --- subnetworks inherit the plan -----------------------------------------
+
+class TestSubnetworkPlan:
+    def _parent(self, **kwargs):
+        return Network(gnp(20, 0.2, rng=1), policy=LOCAL, seed=1, **kwargs)
+
+    def test_child_inherits_the_full_plan(self):
+        plan = ExecutionPlan(tier="sharded-kernel", shards=2)
+        parent = self._parent(execution=plan)
+        sub = parent.subnetwork(path_graph(4), label="probe")
+        assert sub.network.execution_plan is plan
+        assert sub.network.engine == "sharded"
+        assert sub.network.requested_shards == 2
+
+    def test_engine_override_still_works(self):
+        parent = self._parent(execution="node")
+        sub = parent.subnetwork(path_graph(4), label="probe", engine="csr")
+        assert sub.network.execution_plan == ExecutionPlan()
+        assert sub.network.engine == "csr"
+
+    def test_execution_override(self):
+        parent = self._parent()
+        sub = parent.subnetwork(path_graph(4), label="probe",
+                                execution="legacy")
+        assert sub.network.execution_plan == ExecutionPlan(tier="legacy")
+
+    def test_override_conflict_rejected(self):
+        parent = self._parent()
+        with pytest.raises(ValueError):
+            parent.subnetwork(path_graph(4), label="probe",
+                              engine="csr", execution="node")
+
+
+# --- kernel fallbacks stay golden under sharding --------------------------
+
+class TestFallbackGoldens:
+    @pytest.mark.parametrize("shards", [1, 2])
+    def test_no_kernels_env_sharded_matches(self, shards, monkeypatch):
+        golden = _run_israeli(3, engine="csr")
+        monkeypatch.setenv(NO_KERNELS_ENV, "1")
+        # same per-node semantics with and without kernels, sharded or not
+        assert _run_israeli(3, engine="csr") == golden
+        sharded = _run_israeli(3, engine="sharded", shards=shards)
+        assert sharded == golden
+
+    def test_no_kernels_resolves_to_per_node_sharding(self, monkeypatch):
+        monkeypatch.setenv(NO_KERNELS_ENV, "1")
+        net = Network(gnp(30, 0.2, rng=0), policy=LOCAL, seed=0,
+                      execution=ExecutionPlan(shards=2))
+        decision = net.explain_execution(LubyMISNode)
+        assert decision.tier == "sharded"
+
+    @pytest.mark.parametrize("shards", [1, 2])
+    def test_numpy_free_sharded_matches(self, shards, monkeypatch):
+        golden = _run_israeli(5, engine="csr")
+        # workers are forked after the patch, so they inherit the pure
+        # python array paths exactly like a host without numpy
+        monkeypatch.setattr(kernels_mod, "_np", None)
+        assert _run_israeli(5, engine="csr") == golden
+        assert _run_israeli(5, engine="sharded", shards=shards) == golden
+
+
+# --- zero-copy halo views -------------------------------------------------
+
+def _publish_halo(base, worker, gen, k, dest, words, blob):
+    """Write one halo block in the worker publish format (test fixture)."""
+    header = 8 * (k + 1)
+    seg = 8 + 8 * len(words) + 8 + len(blob)
+    shm = shared_memory.SharedMemory(
+        create=True, size=header + seg,
+        name=sharding._halo_name(base, worker, gen))
+    buf = shm.buf
+    offsets = memoryview(buf)[:header].cast("q")
+    pos = 0
+    offsets[0] = 0
+    for d in range(k):
+        if d == dest:
+            base_off = header + pos
+            buf[base_off:base_off + 8] = struct.pack("q", len(words))
+            raw = array("q", words).tobytes()
+            buf[base_off + 8:base_off + 8 + len(raw)] = raw
+            tail = base_off + 8 + len(raw)
+            buf[tail:tail + 8] = struct.pack("q", len(blob))
+            if blob:
+                buf[tail + 8:tail + 8 + len(blob)] = blob
+            pos += seg
+        offsets[d + 1] = pos
+    offsets.release()
+    return shm
+
+
+class TestZeroCopyHaloViews:
+    def _reader(self, base, k, w, gen_of):
+        """A minimal stand-in for the worker fields _load_incoming reads."""
+        words = [0] * (sharding._CTRL_WORDS + k * sharding._S_COLS)
+        for p, gen in gen_of.items():
+            words[sharding._CTRL_WORDS + p * sharding._S_COLS
+                  + sharding._S_HALO_GEN] = gen
+        return types.SimpleNamespace(
+            k=k, w=w, words=words, peer_halo=[None] * k,
+            spec=types.SimpleNamespace(base=base))
+
+    def _load(self, reader, views):
+        ctx = types.SimpleNamespace(incoming=[])
+        sharding._ShardWorker._load_incoming(reader, ctx, views)
+        return ctx.incoming
+
+    def _drop(self, reader, incoming, views):
+        incoming.clear()
+        sharding._ShardWorker._release_views(views)
+        for cached in reader.peer_halo:
+            if cached is not None:
+                cached[1].close()
+
+    def test_mutations_are_visible_through_the_view(self):
+        np = kernels_mod._np
+        if np is None:  # pragma: no cover - numpy-free host
+            pytest.skip("numpy not available")
+        base = f"zc{os.getpid()}a"
+        shm = _publish_halo(base, 0, 5, k=2, dest=1,
+                            words=[7, 8, 9], blob=b"xyz")
+        reader = self._reader(base, k=2, w=1, gen_of={0: 5})
+        views = []
+        try:
+            incoming = self._load(reader, views)
+            [(peer, wordsv, blob)] = incoming
+            assert peer == 0
+            assert isinstance(wordsv, np.ndarray)
+            assert not wordsv.flags.owndata  # a view, not a copy
+            assert wordsv.tolist() == [7, 8, 9]
+            assert bytes(blob) == b"xyz"
+            # mutate the publisher's buffer: the view must see it with no
+            # re-read — that is the zero-copy contract the kernel relies on
+            header = 8 * 3
+            shm.buf[header + 8:header + 16] = struct.pack("q", 42)
+            assert wordsv[0] == 42
+            del wordsv, blob
+            self._drop(reader, incoming, views)
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_fallback_views_are_zero_copy_too(self, monkeypatch):
+        monkeypatch.setattr(kernels_mod, "_np", None)
+        base = f"zc{os.getpid()}b"
+        shm = _publish_halo(base, 0, 1, k=2, dest=1, words=[11], blob=b"")
+        reader = self._reader(base, k=2, w=1, gen_of={0: 1})
+        views = []
+        try:
+            incoming = self._load(reader, views)
+            [(peer, wordsv, blob)] = incoming
+            assert list(wordsv) == [11]
+            header = 8 * 3
+            shm.buf[header + 8:header + 16] = struct.pack("q", 13)
+            assert wordsv[0] == 13
+            del wordsv, blob
+            self._drop(reader, incoming, views)
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_generation_bump_reattaches(self):
+        base = f"zc{os.getpid()}c"
+        old = _publish_halo(base, 0, 1, k=2, dest=1, words=[1], blob=b"")
+        reader = self._reader(base, k=2, w=1, gen_of={0: 1})
+        views = []
+        try:
+            incoming = self._load(reader, views)
+            assert list(incoming[0][1]) == [1]
+            self._drop(reader, incoming, views)
+            gen0, cached0 = reader.peer_halo[0]
+            assert gen0 == 1
+            reader.peer_halo[0] = (gen0, cached0)
+
+            # the publisher resizes: new generation, new block name
+            new = _publish_halo(base, 0, 2, k=2, dest=1, words=[2, 3],
+                                blob=b"")
+            reader.words[sharding._CTRL_WORDS + sharding._S_HALO_GEN] = 2
+            try:
+                views = []
+                incoming = self._load(reader, views)
+                assert reader.peer_halo[0][0] == 2  # re-attached lazily
+                assert list(incoming[0][1]) == [2, 3]
+                self._drop(reader, incoming, views)
+            finally:
+                new.close()
+                new.unlink()
+        finally:
+            old.close()
+            old.unlink()

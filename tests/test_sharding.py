@@ -534,16 +534,15 @@ class TestSelection:
         finally:
             net.close()
 
-    def test_auto_sharding_defers_to_kernel_fast_path(self, monkeypatch):
+    def test_auto_sharding_composes_with_kernels(self, monkeypatch):
         monkeypatch.setattr(sharding, "AUTO_SHARD_MIN_NODES", 10)
         monkeypatch.setattr(sharding.os, "cpu_count", lambda: 4)
         net = self._eligible_net(engine="csr")
         try:
-            # kernels on: the in-process vectorized path wins (shard
-            # workers execute the per-node reference path, which the
-            # kernel outruns — see BENCH_shards.json)
-            assert resolve_shards(net) is None
-            # kernels off: sharding is the only acceleration left
+            # shard workers now run the kernel fast path themselves, so
+            # auto-sharding no longer defers to it: an eligible network
+            # gets a shard count whether kernels are on or off
+            assert resolve_shards(net) == 4
             monkeypatch.setenv("REPRO_NO_KERNELS", "1")
             assert resolve_shards(net) == 4
         finally:
@@ -646,11 +645,19 @@ class TestSelection:
 
     def test_constructor_validation(self):
         with pytest.raises(ValueError):
-            Network(path_graph(4), shards=0)
-        with pytest.raises(ValueError):
             Network(path_graph(4), engine="node", shards=2)
         with pytest.raises(ValueError):
             Network(path_graph(4), engine="legacy", shards=2)
+
+    def test_shards_zero_is_a_kill_switch(self):
+        # shards=0 pins single-process execution (the programmatic twin of
+        # REPRO_SHARDS=0) instead of raising
+        net = self._eligible_net(engine="csr", shards=0)
+        try:
+            assert resolve_shards(net) is None
+            assert net._select_sharded(LubyMISNode, {}) is None
+        finally:
+            net.close()
 
     def test_close_is_idempotent_and_network_stays_usable(self):
         g = gnp(40, 0.15, rng=1)
