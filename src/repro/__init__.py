@@ -13,6 +13,8 @@ PODC 2007 line of work it extends.  The package provides:
 * sequential exact/approximate baselines (:mod:`repro.matching`);
 * an input-queued switch simulator for the paper's motivating
   application (:mod:`repro.switchsim`);
+* a streaming matching service maintaining the paper's invariant under
+  batched edge/node updates (:mod:`repro.stream`);
 * a local-computation-algorithm matching oracle (:mod:`repro.lca`);
 * the experiment harness regenerating every claim (:mod:`repro.experiments`).
 
@@ -39,6 +41,16 @@ Quick start::
     result = run("mcm", graph, eps=0.25,
                  execution=ExecutionPlan(tier="auto", shards=4))
 
+    # dynamic graphs: stream updates through the same facade...
+    result = run("stream", graph, updates=[("insert", 0, 105),
+                                           ("delete", 3, 101)], eps=0.25)
+    # ...or hold a long-lived service and commit batches interactively
+    from repro import MatchingService
+    with MatchingService(graph, eps=0.25) as svc:
+        svc.insert_edge(0, 105).delete_edge(3, 101)
+        svc.commit()
+        print(svc.snapshot().size, svc.verify_invariant())
+
 Every entry point shares the keyword surface ``(graph, *, eps/k, seed,
 policy, max_rounds, observe, trace, profile, execution)`` and returns a
 :class:`MatchingResult` (``tracer=`` still works, deprecated; so do the
@@ -56,6 +68,7 @@ from .core import (
     exact_mwm,
     maximal_matching,
     run,
+    stream_matching,
 )
 from .congest import (
     EventBus,
@@ -68,8 +81,9 @@ from .congest import (
 )
 from .graphs import BipartiteGraph, Graph
 from .matching import Matching
+from .stream import EdgeUpdate, MatchingService, StreamResult
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "ALGORITHMS",
@@ -81,6 +95,10 @@ __all__ = [
     "exact_mwm",
     "maximal_matching",
     "run",
+    "stream_matching",
+    "EdgeUpdate",
+    "MatchingService",
+    "StreamResult",
     "EventBus",
     "ExecutionPlan",
     "FaultSpec",

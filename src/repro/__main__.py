@@ -14,14 +14,20 @@ Usage::
     python -m repro trace --load run.jsonl
     python -m repro trace --diff a.jsonl b.jsonl
     python -m repro profile gnp:60:0.1 --algorithm mcm
+    python -m repro stream --ports 16 --cycles 500 --batch 32
+    python -m repro stream --replay updates.jsonl --graph gnp:40:0.1
+    python -m repro stream --cycles 200 --save updates.jsonl --profile
 
 ``match`` reads an edge-list file (see :mod:`repro.graphs.io`), runs the
 appropriate paper algorithm, and prints the verified result.  ``trace``
 and ``profile`` run an algorithm under the structured event bus
 (:mod:`repro.congest.events`): ``trace`` streams/renders the JSONL event
 timeline, ``profile`` prints the per-protocol/per-phase cost table.
-Graphs are given as an edge-list path or a generator spec —
-``bipartite:NLxNR:P`` or ``gnp:N:P``.
+``stream`` drives the dynamic :class:`~repro.stream.service.MatchingService`
+over a switch-churn workload (or a recorded JSONL update stream via
+``--replay``) and reports throughput, commit latency percentiles, and
+approximation-ratio spot checks.  Graphs are given as an edge-list path
+or a generator spec — ``bipartite:NLxNR:P`` or ``gnp:N:P``.
 """
 
 from __future__ import annotations
@@ -204,6 +210,54 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .stream.replay import replay_events, replay_switch
+    from .stream.service import MatchingService
+    from .stream.workload import load_updates, save_updates
+
+    if args.replay:
+        graph = (_load_graph(args.graph, args.seed)
+                 if args.graph is not None else None)
+    else:
+        if args.graph is not None:
+            print("--graph only applies to --replay (the switch workload "
+                  "builds its own VOQ graph)", file=sys.stderr)
+            return 2
+        graph = None
+    service = MatchingService(graph, k=args.k, eps=args.eps, seed=args.seed,
+                              execution=args.execution, trace=args.trace,
+                              profile=args.profile)
+    if args.replay:
+        report = replay_events(load_updates(args.replay), service=service,
+                               batch=args.batch,
+                               spot_checks=args.spot_checks)
+        print(f"replayed {args.replay}:")
+    else:
+        record = [] if args.save else None
+        report = replay_switch(ports=args.ports, cycles=args.cycles,
+                               pattern=args.pattern, load=args.load,
+                               seed=args.seed, batch=args.batch,
+                               spot_checks=args.spot_checks, record=record,
+                               service=service)
+        print(f"switch workload ({args.pattern}, {args.ports} ports, "
+              f"{args.cycles} cycles, load {args.load}):")
+        if args.save:
+            count = save_updates(args.save, record)
+            print(f"recorded {count} update(s) to {args.save}")
+    print(report.table())
+    result = service.result()
+    service.close()
+    if args.profile:
+        print()
+        print(result.profile.table())
+    if args.trace:
+        print(f"trace written to {result.trace_path}")
+    if any(not c["invariant"] for c in report.spot_checks):
+        print("invariant VIOLATED at a spot check", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -282,6 +336,45 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--eps", type=float, default=0.25)
     prof.add_argument("--seed", type=int, default=0)
     prof.set_defaults(func=_cmd_profile)
+
+    stream = sub.add_parser(
+        "stream",
+        help="drive the dynamic matching service over an update stream")
+    stream.add_argument("--replay", metavar="PATH",
+                        help="replay a recorded JSONL update stream instead "
+                             "of generating switch traffic")
+    stream.add_argument("--graph", metavar="SPEC",
+                        help="initial graph for --replay (edge-list path, "
+                             "bipartite:NLxNR:P, or gnp:N:P; default empty)")
+    stream.add_argument("--ports", type=int, default=16,
+                        help="switch ports (default 16)")
+    stream.add_argument("--cycles", type=int, default=1000,
+                        help="switch cycles to simulate (default 1000)")
+    stream.add_argument("--pattern", default="uniform",
+                        help="traffic pattern: uniform, diagonal, hotspot, "
+                             "bursty (default uniform)")
+    stream.add_argument("--load", type=float, default=0.7,
+                        help="offered load per input port (default 0.7)")
+    stream.add_argument("--batch", type=int, default=64,
+                        help="updates per committed batch (default 64)")
+    stream.add_argument("--k", type=int, default=None,
+                        help="invariant depth: no augmenting path <= 2k-1")
+    stream.add_argument("--eps", type=float, default=None,
+                        help="approximation slack (alternative to --k)")
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--execution", default=None, metavar="TIER",
+                        help="execution plan tier for recompute escalations "
+                             "(auto, kernel, sharded, ...)")
+    stream.add_argument("--spot-checks", type=int, default=4, metavar="N",
+                        help="verify invariant + ratio N times (default 4; "
+                             "0 disables)")
+    stream.add_argument("--save", metavar="PATH",
+                        help="record the generated update stream as JSONL")
+    stream.add_argument("--trace", metavar="PATH",
+                        help="stream batch/repair events to a JSONL trace")
+    stream.add_argument("--profile", action="store_true",
+                        help="print the per-batch profiler table")
+    stream.set_defaults(func=_cmd_stream)
     return parser
 
 

@@ -15,7 +15,9 @@ stream that makes runs inspectable without slowing them down:
   :class:`MessageDelivered` from the transport layer, and
   :class:`PhaseStart`/:class:`PhaseEnd`, :class:`Augmentation`,
   :class:`TokenCollision`, :class:`MISDecision`, :class:`CheckerVerdict`
-  from the algorithm drivers, so algorithmic structure and transport cost
+  from the algorithm drivers, and :class:`BatchStart`/:class:`BatchEnd`/
+  :class:`Repair` from the streaming matching service
+  (:mod:`repro.stream`), so algorithmic structure and transport cost
   appear on one timeline.
 * :class:`JsonlTraceWriter` / :func:`load_trace` — stream events to disk
   as JSON lines and reload them as the same event sequence, for offline
@@ -68,6 +70,9 @@ AUGMENTATION = "augmentation"
 TOKEN_COLLISION = "token_collision"
 MIS_DECISION = "mis_decision"
 CHECKER_VERDICT = "checker_verdict"
+BATCH_START = "batch_start"
+BATCH_END = "batch_end"
+REPAIR = "repair"
 
 
 class Event:
@@ -194,11 +199,68 @@ class CheckerVerdict(Event):
     complaints: int = 0
 
 
+@dataclass
+class BatchStart(Event):
+    """A streaming service is about to apply update batch ``epoch``.
+
+    ``updates`` is the raw update count of the batch (before coalescing);
+    the matching :class:`BatchEnd` reports what the batch actually did.
+    """
+
+    kind = "batch_start"
+
+    service: str
+    epoch: int
+    updates: int
+
+
+@dataclass
+class BatchEnd(Event):
+    """The matching :class:`BatchStart`'s batch committed.
+
+    ``seeds`` is the number of repair-worklist seed nodes left after
+    coalescing (net topology changes plus broken matched edges);
+    ``augmentations`` how many augmenting paths the repair applied;
+    ``size`` the matching size afterwards.  Timings stay out of the event
+    stream on purpose — traces must be bit-identical run to run.
+    """
+
+    kind = "batch_end"
+
+    service: str
+    epoch: int
+    updates: int
+    seeds: int = 0
+    augmentations: int = 0
+    size: int = 0
+
+
+@dataclass
+class Repair(Event):
+    """One invariant-repair pass of a streaming service batch.
+
+    ``mode`` is ``"local"`` (worklist repair seeded at the touched nodes),
+    ``"recompute"`` (the repair region was large enough to escalate to a
+    from-scratch distributed run on the execution ladder), or ``"init"``
+    (the service establishing the invariant on its initial graph).
+    """
+
+    kind = "repair"
+
+    service: str
+    epoch: int
+    mode: str
+    seeds: int
+    augmentations: int
+    nodes_explored: int
+
+
 EVENT_CLASSES: Dict[str, Type[Event]] = {
     cls.kind: cls
     for cls in (
         RoundStart, RoundEnd, MessageDelivered, PhaseStart, PhaseEnd,
         Augmentation, TokenCollision, MISDecision, CheckerVerdict,
+        BatchStart, BatchEnd, Repair,
     )
 }
 
@@ -536,6 +598,17 @@ def _render_one(event: Event) -> str:
     if isinstance(event, CheckerVerdict):
         verdict = "ok" if event.ok else f"{event.complaints} complaint(s)"
         return f"checker {event.checker}: {verdict}"
+    if isinstance(event, BatchStart):
+        return (f"[{event.service} e{event.epoch:>4}] batch start: "
+                f"{event.updates} update(s)")
+    if isinstance(event, BatchEnd):
+        return (f"[{event.service} e{event.epoch:>4}] batch end: "
+                f"{event.seeds} seed(s), {event.augmentations} "
+                f"augmentation(s) -> size {event.size}")
+    if isinstance(event, Repair):
+        return (f"[{event.service} e{event.epoch:>4}] repair ({event.mode}): "
+                f"{event.seeds} seed(s), {event.augmentations} "
+                f"augmentation(s), {event.nodes_explored} node(s) explored")
     return repr(event)
 
 

@@ -18,9 +18,17 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from .events import PHASE_END, PHASE_START, ROUND_END, ROUND_START, Event
+from .events import (
+    PHASE_END,
+    PHASE_START,
+    ROUND_END,
+    ROUND_START,
+    Event,
+    EventBus,
+    JsonlTraceWriter,
+)
 
 
 @dataclass
@@ -178,3 +186,72 @@ class Profiler:
 
     def table(self) -> str:
         return self.report().table()
+
+
+class ObservabilityScope:
+    """Resolves the ``observe``/``trace``/``profile`` keywords of one run.
+
+    Every entry point of the unified API — the static drivers in
+    :mod:`repro.core.api` and the streaming
+    :class:`~repro.stream.service.MatchingService` alike — shares the
+    observability trio.  This helper builds (or augments) the observer set
+    handed to ``Network(observe=...)`` / the service's bus, and remembers
+    what it created so results can be stamped and owned writers closed:
+
+    * ``trace`` — a path (a :class:`JsonlTraceWriter` is opened and owned)
+      or an existing writer (borrowed: flushed, never closed);
+    * ``profile`` — truthy opens a fresh :class:`Profiler`, or pass one in;
+    * ``observe`` — an :class:`EventBus` (extras subscribe onto it), a
+      single observer, or a list of observers.
+
+    :meth:`stamp` writes ``profile``/``trace_path`` onto a result without
+    tearing anything down (a long-lived service stamps many results);
+    :meth:`finish` stamps and then :meth:`close`\\ s (the one-shot entry
+    points' pattern).
+    """
+
+    def __init__(self, observe: Any, trace: Any, profile: Any) -> None:
+        self.writer: Optional[JsonlTraceWriter] = None
+        self._owns_writer = False
+        if trace is not None:
+            if isinstance(trace, JsonlTraceWriter):
+                self.writer = trace
+            else:
+                self.writer = JsonlTraceWriter(trace)
+                self._owns_writer = True
+        self.profiler: Optional[Profiler] = None
+        if profile:
+            self.profiler = (profile if isinstance(profile, Profiler)
+                             else Profiler())
+        extras = [o for o in (self.writer, self.profiler) if o is not None]
+        if isinstance(observe, EventBus):
+            for extra in extras:
+                observe.subscribe(extra)
+            self.observe: Any = observe
+        else:
+            observers: list = []
+            if observe is not None:
+                observers.extend(observe if isinstance(observe, (list, tuple))
+                                 else [observe])
+            observers.extend(extras)
+            self.observe = observers or None
+
+    def stamp(self, result: Any) -> Any:
+        """Write ``trace_path``/``profile`` onto ``result`` (no teardown)."""
+        if self.writer is not None:
+            result.trace_path = self.writer.path
+            self.writer.flush()
+        if self.profiler is not None:
+            result.profile = self.profiler.report()
+        return result
+
+    def close(self) -> None:
+        """Close a trace writer this scope opened (borrowed writers stay)."""
+        if self.writer is not None and self._owns_writer:
+            self.writer.close()
+
+    def finish(self, result: Any) -> Any:
+        """Stamp ``result`` and release what the scope owns."""
+        self.stamp(result)
+        self.close()
+        return result

@@ -9,6 +9,7 @@ from .api import (
     exact_mwm,
     maximal_matching,
     run,
+    stream_matching,
 )
 from .results import MatchingResult
 
@@ -21,5 +22,6 @@ __all__ = [
     "exact_mwm",
     "maximal_matching",
     "run",
+    "stream_matching",
     "MatchingResult",
 ]

@@ -16,6 +16,9 @@ round/message/bit account of the distributed run:
   Remark.
 * :func:`maximal_matching` — the Israeli-Itai baseline.
 * :func:`exact_mcm` / :func:`exact_mwm` — sequential exact references.
+* :func:`stream_matching` — dynamic graphs: replay a stream of edge/node
+  updates through a :class:`~repro.stream.service.MatchingService` that
+  maintains the paper's invariant under batched repair.
 * :func:`run` — the single facade: ``repro.run("mcm", graph, eps=0.25)``.
 
 Observability: ``observe=`` attaches an event bus or observers to the run's
@@ -50,7 +53,7 @@ from typing import Any, Callable, Optional, Tuple, Union
 from ..congest.events import EventBus, JsonlTraceWriter
 from ..congest.network import Network
 from ..congest.policies import CONGEST, LOCAL, PIPELINE, BandwidthPolicy
-from ..congest.profiling import Profiler
+from ..congest.profiling import ObservabilityScope, Profiler
 from ..congest.tracing import Tracer
 from ..graphs.graph import BipartiteGraph, Graph
 from ..matching.core import Matching
@@ -90,49 +93,10 @@ def _positional_shim(func: str, args: tuple, names: Tuple[str, ...],
     return tuple(merged)
 
 
-class _Observability:
-    """Resolves the ``observe``/``trace``/``profile`` keywords of one call.
-
-    Builds (or augments) the observer set handed to ``Network(observe=...)``
-    and remembers what it created, so :meth:`finish` can close a writer it
-    opened and stamp ``profile``/``trace_path`` onto the result.
-    """
-
-    def __init__(self, observe, trace, profile) -> None:
-        self.writer: Optional[JsonlTraceWriter] = None
-        self._owns_writer = False
-        if trace is not None:
-            if isinstance(trace, JsonlTraceWriter):
-                self.writer = trace
-            else:
-                self.writer = JsonlTraceWriter(trace)
-                self._owns_writer = True
-        self.profiler: Optional[Profiler] = None
-        if profile:
-            self.profiler = profile if isinstance(profile, Profiler) else Profiler()
-        extras = [o for o in (self.writer, self.profiler) if o is not None]
-        if isinstance(observe, EventBus):
-            for extra in extras:
-                observe.subscribe(extra)
-            self.observe: Any = observe
-        else:
-            observers: list = []
-            if observe is not None:
-                observers.extend(observe if isinstance(observe, (list, tuple))
-                                 else [observe])
-            observers.extend(extras)
-            self.observe = observers or None
-
-    def finish(self, result: MatchingResult) -> MatchingResult:
-        if self.writer is not None:
-            result.trace_path = self.writer.path
-            if self._owns_writer:
-                self.writer.close()
-            else:
-                self.writer.flush()
-        if self.profiler is not None:
-            result.profile = self.profiler.report()
-        return result
+#: Shared resolver of the ``observe``/``trace``/``profile`` trio.  Lives in
+#: :mod:`repro.congest.profiling` so the streaming service can use it too;
+#: the historical private name stays as an alias.
+_Observability = ObservabilityScope
 
 
 def _build_network(graph: Graph, policy: BandwidthPolicy, seed: int,
@@ -324,6 +288,51 @@ def _local_mcm(graph: Graph, **kwargs) -> MatchingResult:
     return approx_mcm(graph, **kwargs)
 
 
+def stream_matching(graph: Optional[Graph] = None, *,
+                    updates: Any = (),
+                    batch: Optional[int] = 64,
+                    eps: Optional[float] = None,
+                    k: Optional[int] = None,
+                    seed: int = 0,
+                    execution: Any = None,
+                    observe: Any = None,
+                    trace: Any = None,
+                    profile: Any = None,
+                    max_rounds: Optional[int] = None,
+                    certify_result: bool = True,
+                    **service_kwargs: Any):
+    """Dynamic maintenance: stream ``updates`` through a matching service.
+
+    The streaming member of the unified API: same keyword surface as the
+    static entry points (``eps``/``k``, ``seed``, ``execution``, and the
+    observability trio), but the input is a *stream* of edge updates —
+    an iterable of :class:`~repro.stream.workload.EdgeUpdate` (or
+    ``("insert", u, v[, w])``-style tuples), or a path to a JSONL trace
+    from :func:`~repro.stream.workload.save_updates`.  Updates are applied
+    in batches of ``batch`` (``None`` = one batch), each batch repairing
+    the invariant "no augmenting path <= 2k-1", so the returned
+    :class:`~repro.stream.service.StreamResult` carries a matching that is
+    a (1 - 1/(k+1))-approximation of the *final* graph (certified, like
+    every other entry point).  For interactive / long-lived streams, use
+    :class:`~repro.stream.service.MatchingService` directly.
+    """
+    from pathlib import Path as _Path
+
+    from ..stream.service import MatchingService
+    from ..stream.workload import load_updates
+
+    service = MatchingService(
+        graph, eps=eps, k=k, seed=seed, execution=execution,
+        observe=observe, trace=trace, profile=profile, batch=batch,
+        max_rounds=max_rounds, **service_kwargs)
+    if isinstance(updates, (str, _Path)):
+        updates = load_updates(updates)
+    service.apply(updates)
+    result = service.result(certify_result=certify_result)
+    service.close()
+    return result
+
+
 #: Name -> entry point registry backing :func:`run`.  Aliases cover the
 #: shorthand most call sites use ("mcm", "mwm", "maximal") and the
 #: paper-facing driver names ("bipartite_mcm", "general_mcm", "generic_mcm",
@@ -342,6 +351,8 @@ ALGORITHMS = {
     "israeli_itai": maximal_matching,
     "exact_mcm": exact_mcm,
     "exact_mwm": exact_mwm,
+    "stream": stream_matching,
+    "matching_service": stream_matching,
 }
 
 
@@ -351,7 +362,8 @@ def run(algorithm: Union[str, Callable[..., MatchingResult]], graph: Graph,
 
     ``algorithm`` is a registry name (``"mcm"``, ``"approx_mcm"``,
     ``"mwm"``, ``"approx_mwm"``, ``"maximal"``, ``"exact_mcm"``,
-    ``"exact_mwm"``, ...) or any callable with the ``fn(graph, **kwargs)``
+    ``"exact_mwm"``, ``"stream"``, ...) or any callable with the
+    ``fn(graph, **kwargs)``
     shape.  All remaining keywords are forwarded unchanged, so
     ``repro.run("mcm", g, eps=0.25, seed=3, trace="run.jsonl")`` is exactly
     ``approx_mcm(g, eps=0.25, seed=3, trace="run.jsonl")``.

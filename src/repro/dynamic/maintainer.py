@@ -1,36 +1,33 @@
-"""Dynamic maintenance of a (1 - 1/(k+1))-approximate matching.
+"""Dynamic maintenance of a (1 - 1/(k+1))-approximate matching (shim).
 
-A natural follow-up to the paper (and the bridge to its LCA discussion):
-keep the invariant "no augmenting path of length <= 2k-1" — the exact
-property the static algorithms establish — under edge and node updates,
-with *local* repair work only.
+.. deprecated:: 1.7
+   :class:`DynamicMatcher` is now a thin compatibility shim over
+   :class:`repro.stream.service.MatchingService` — the streaming service
+   that batches updates, coalesces them, and escalates huge repairs onto
+   the execution-plan ladder.  The shim drives the service in its
+   ``repair="legacy"`` mode with one single-update batch per call, which
+   reproduces the historical per-update behavior *bit for bit*: the same
+   graphs, the same matchings, the same ``UpdateStats`` history (pinned by
+   golden tests).  New code should construct a ``MatchingService`` (or use
+   ``repro.run("stream", ...)``) directly.
 
-Locality argument (why repair can stay near the update): if M satisfies the
-invariant and an update changes the graph at edge (u, v), then any new
-augmenting path of length <= 2k-1 must pass through u or v — a path
-avoiding both would have been augmenting before the update.  Augmenting
-along a path P can only create new short augmenting paths that intersect P
-(a disjoint path would have been augmenting already, since augmentation
-never frees a node).  So a worklist seeded at the update site and extended
-by the nodes of each applied path restores the invariant; each augmentation
-grows the matching, so repair terminates.
-
-Per-update work is O(Delta^{2k-1}) enumeration around the seeds — constant
-for bounded degree and k, independent of n (the same locality the paper's
-LCA descendants exploit).  The maintainer reports probes and augmentations
-per update so experiments can check that locality.
+The maintained property is the paper's invariant — no augmenting path of
+length <= 2k-1 — so by Lemma 3.3 the matching is a (1 - 1/(k+1))-
+approximation after every update.  Locality (why repair stays near the
+update): a new short augmenting path must pass through a touched node, and
+augmenting along a path P only creates short paths intersecting P, so a
+worklist seeded at the update site restores the invariant.  See the
+service's module docstring for the batched generalization.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Deque, Iterable, List, Optional, Set, Tuple
+from typing import List
 
-from collections import deque
-
-from ..graphs.graph import Edge, Graph, GraphError, edge_key
+from ..graphs.graph import Graph, GraphError
 from ..matching.core import Matching
-from ..matching.paths import enumerate_augmenting_paths
 
 
 @dataclass
@@ -48,21 +45,39 @@ class DynamicMatcher:
 
     By Lemma 3.3 the matching is a (1 - 1/(k+1))-approximation at every
     point in time.  Updates: :meth:`insert_edge`, :meth:`delete_edge`,
-    :meth:`insert_node`, :meth:`delete_node`.
+    :meth:`insert_node`, :meth:`delete_node` — each one is applied and
+    repaired immediately (a one-update batch of the streaming service).
+
+    Deprecated: use :class:`repro.stream.MatchingService`, which batches
+    and coalesces updates instead of repairing per event.
     """
 
     k: int = 2
     graph: Graph = field(default_factory=Graph)
     matching: Matching = field(default_factory=Matching)
     history: List[UpdateStats] = field(default_factory=list)
+    seed: int = 0
 
     def __post_init__(self) -> None:
+        from ..stream.service import MatchingService
+
+        warnings.warn(
+            "DynamicMatcher is deprecated; use "
+            "repro.stream.MatchingService (or repro.run('stream', ...)), "
+            "which batches and coalesces updates",
+            DeprecationWarning, stacklevel=3)
         if self.k < 1:
             raise ValueError("k must be at least 1")
-        self.graph = self.graph.copy()
-        self.matching = self.matching.copy()
-        # establish the invariant on whatever graph we were given
-        self._repair(set(self.graph.nodes), operation="init")
+        self._service = MatchingService(
+            self.graph, matching=self.matching, k=self.k, seed=self.seed,
+            repair="legacy", name="dynamic_matcher")
+        # the service owns private copies; alias them (legacy surface)
+        self.graph = self._service.graph
+        self.matching = self._service.matching
+        init = self._service.history[0]
+        self.history.append(UpdateStats(
+            operation="init", augmentations=init.augmentations,
+            nodes_explored=init.nodes_explored))
 
     # ------------------------------------------------------------------
     @property
@@ -75,82 +90,36 @@ class DynamicMatcher:
 
     # -- updates -----------------------------------------------------------
     def insert_edge(self, u: int, v: int, weight: float = 1.0) -> UpdateStats:
-        self.graph.add_edge(u, v, weight)
-        return self._repair({u, v}, operation="insert_edge")
+        self._service.insert_edge(u, v, weight)
+        return self._commit("insert_edge")
 
     def delete_edge(self, u: int, v: int) -> UpdateStats:
-        self.graph.remove_edge(u, v)
-        if self.matching.contains_edge(u, v):
-            self.matching.remove(u, v)
-        return self._repair({u, v}, operation="delete_edge")
+        self._service.delete_edge(u, v)
+        return self._commit("delete_edge")
 
     def insert_node(self, v: int) -> UpdateStats:
-        self.graph.add_node(v)
-        return self._record("insert_node", 0, 0)
+        self._service.insert_node(v)
+        return self._commit("insert_node")
 
     def delete_node(self, v: int) -> UpdateStats:
         if not self.graph.has_node(v):
             raise GraphError(f"node {v} not in graph")
-        seeds = set(self.graph.neighbors(v))
-        mate = self.matching.mate(v)
-        if mate is not None:
-            self.matching.remove(v, mate)
-        self.graph.remove_node(v)
-        return self._repair(seeds, operation="delete_node")
+        self._service.delete_node(v)
+        return self._commit("delete_node")
 
-    # -- repair --------------------------------------------------------------
-    def _repair(self, seeds: Set[int], operation: str) -> UpdateStats:
-        """Restore the invariant by augmenting near the seeds (worklist)."""
-        queue: Deque[int] = deque(sorted(s for s in seeds
-                                         if self.graph.has_node(s)))
-        queued: Set[int] = set(queue)
-        augmentations = 0
-        explored = 0
-        while queue:
-            seed = queue.popleft()
-            queued.discard(seed)
-            if not self.graph.has_node(seed):
-                continue
-            applied = True
-            while applied:
-                applied = False
-                ball = self.graph.ball(seed, self.max_path_length)
-                explored += len(ball)
-                local = self.graph.subgraph(ball)
-                for path in enumerate_augmenting_paths(
-                        local, self.matching, self.max_path_length):
-                    if seed not in path:
-                        continue
-                    if not self.matching.is_augmenting_path(path):
-                        continue
-                    self.matching.augment(path)
-                    augmentations += 1
-                    applied = True
-                    for node in path:
-                        if node not in queued:
-                            queue.append(node)
-                            queued.add(node)
-                    break  # re-enumerate: the matching changed
-        return self._record(operation, augmentations, explored)
-
-    def _record(self, operation: str, augmentations: int,
-                explored: int) -> UpdateStats:
-        stats = UpdateStats(operation=operation, augmentations=augmentations,
-                            nodes_explored=explored)
+    def _commit(self, operation: str) -> UpdateStats:
+        batch = self._service.commit(operation=operation)
+        stats = UpdateStats(operation=operation,
+                            augmentations=batch.augmentations,
+                            nodes_explored=batch.nodes_explored)
         self.history.append(stats)
         return stats
 
     # -- inspection ------------------------------------------------------------
     def verify_invariant(self) -> bool:
         """Exhaustively check that no short augmenting path survives."""
-        from ..matching.paths import shortest_augmenting_path_length
-
-        return shortest_augmenting_path_length(
-            self.graph, self.matching, max_len=self.max_path_length) is None
+        return self._service.verify_invariant()
 
     def current_ratio(self) -> float:
         """Measured ratio against the exact optimum (test/diagnostic aid)."""
-        from ..matching.sequential.blossom import max_cardinality
-
-        optimum = max_cardinality(self.graph).size
-        return self.matching.size / optimum if optimum else 1.0
+        return self._service.current_ratio()

@@ -109,6 +109,22 @@ class Graph:
             self._adj[u][v] = weight
             self._adj[v][u] = weight
 
+    def set_weight(self, u: int, v: int, weight: float) -> None:
+        """Overwrite the weight of an existing edge (may also decrease it).
+
+        Unlike :meth:`add_edge` — which keeps the heavier of two parallel
+        edges — this sets the weight exactly; the streaming update path
+        (queue lengths shrinking as cells drain) needs true decreases.
+        """
+        if weight <= 0:
+            raise GraphError(f"edge weight must be positive, got {weight}")
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u}, {v}) not in graph")
+        if self._adj[u][v] != weight:
+            self._version += 1
+            self._adj[u][v] = weight
+            self._adj[v][u] = weight
+
     def remove_edge(self, u: int, v: int) -> None:
         if not self.has_edge(u, v):
             raise GraphError(f"edge ({u}, {v}) not in graph")

@@ -1,0 +1,156 @@
+"""Update-event streams: the input vocabulary of the matching service.
+
+A streaming workload is a sequence of :class:`EdgeUpdate` records — edge
+insertions, deletions and weight changes, plus node arrivals/departures —
+exactly the update surface :class:`~repro.stream.service.MatchingService`
+accepts.  This module defines the record type, its JSONL persistence
+(``repro stream --save/--replay`` and the bench harness use it), and a
+synthetic churn generator for tests and quick demos; the switch-scheduling
+workload of the paper's Figure 1 lives in :mod:`repro.switchsim.updates`.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Union
+
+from ..graphs.graph import Graph
+
+#: The update operations a service accepts, in the JSONL ``op`` vocabulary.
+OPS = ("insert", "delete", "weight", "insert_node", "delete_node")
+
+
+@dataclass(frozen=True)
+class EdgeUpdate:
+    """One update event of a dynamic-graph stream.
+
+    ``op`` is one of :data:`OPS`.  Edge operations carry both endpoints;
+    the node operations (``insert_node``/``delete_node``) carry the node
+    in ``u`` and leave ``v`` as ``None``.  ``weight`` matters for
+    ``insert`` (the new edge's weight; on an existing edge the heavier
+    weight wins, mirroring :meth:`repro.graphs.graph.Graph.add_edge`) and
+    ``weight`` (an exact overwrite via
+    :meth:`~repro.graphs.graph.Graph.set_weight`).
+    """
+
+    op: str
+    u: int
+    v: Optional[int] = None
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise ValueError(f"unknown update op {self.op!r}; one of: "
+                             + ", ".join(OPS))
+        if self.op in ("insert_node", "delete_node"):
+            if self.v is not None:
+                raise ValueError(f"{self.op} takes a single node, got v={self.v}")
+        elif self.v is None:
+            raise ValueError(f"{self.op} needs both endpoints")
+
+
+UpdateLike = Union[EdgeUpdate, tuple]
+
+
+def as_update(update: UpdateLike) -> EdgeUpdate:
+    """Coerce ``("insert", u, v[, w])``-style tuples into :class:`EdgeUpdate`."""
+    if isinstance(update, EdgeUpdate):
+        return update
+    op, *rest = update
+    if op in ("insert_node", "delete_node"):
+        (u,) = rest
+        return EdgeUpdate(op, u)
+    if len(rest) == 2:
+        u, v = rest
+        return EdgeUpdate(op, u, v)
+    u, v, w = rest
+    return EdgeUpdate(op, u, v, w)
+
+
+# ---------------------------------------------------------------------------
+# JSONL persistence (one update per line; replayable via `repro stream`)
+# ---------------------------------------------------------------------------
+
+
+def save_updates(path: Union[str, Path],
+                 updates: Iterable[UpdateLike]) -> int:
+    """Write a stream of updates to ``path`` as JSON lines; returns count."""
+    count = 0
+    with Path(path).open("w") as fh:
+        for update in updates:
+            u = as_update(update)
+            record = {"op": u.op, "u": u.u}
+            if u.v is not None:
+                record["v"] = u.v
+            if u.op in ("insert", "weight"):
+                record["w"] = u.weight
+            fh.write(json.dumps(record, separators=(",", ":")))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def load_updates(path: Union[str, Path]) -> Iterator[EdgeUpdate]:
+    """Stream the updates of a JSONL trace file back as :class:`EdgeUpdate`."""
+    with Path(path).open() as fh:
+        for line_number, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                yield EdgeUpdate(record["op"], record["u"],
+                                 record.get("v"), record.get("w", 1.0))
+            except (ValueError, KeyError) as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: bad update record: {exc}"
+                ) from exc
+
+
+# ---------------------------------------------------------------------------
+# Synthetic churn (tests, demos; the switch workload lives in switchsim)
+# ---------------------------------------------------------------------------
+
+
+def random_churn(graph: Graph, updates: int, seed: int = 0,
+                 insert_fraction: float = 0.5,
+                 weight_fraction: float = 0.0,
+                 max_weight: int = 8) -> List[EdgeUpdate]:
+    """A random insert/delete(/weight) stream over ``graph``'s node set.
+
+    Tracks edge presence as it generates, so every delete hits a live edge
+    and every insert a missing one — the stream is valid against ``graph``
+    from any starting point that matches its initial edge set.  The mix is
+    ``insert_fraction`` inserts vs deletes among topology updates, with an
+    optional ``weight_fraction`` of exact weight overwrites on live edges.
+    """
+    if graph.num_nodes < 2:
+        raise ValueError("random_churn needs at least 2 nodes")
+    rng = random.Random(seed)
+    nodes = list(graph.nodes)
+    present = set(graph.edge_set())
+    out: List[EdgeUpdate] = []
+    while len(out) < updates:
+        if present and rng.random() < weight_fraction:
+            u, v = sorted(present)[rng.randrange(len(present))]
+            out.append(EdgeUpdate("weight", u, v,
+                                  float(1 + rng.randrange(max_weight))))
+            continue
+        u, v = rng.sample(nodes, 2)
+        if u > v:
+            u, v = v, u
+        if (u, v) in present:
+            if rng.random() < insert_fraction:
+                continue  # wanted an insert; resample
+            present.discard((u, v))
+            out.append(EdgeUpdate("delete", u, v))
+        else:
+            if rng.random() >= insert_fraction:
+                continue  # wanted a delete; resample
+            present.add((u, v))
+            out.append(EdgeUpdate("insert", u, v,
+                                  float(1 + rng.randrange(max_weight))))
+    return out

@@ -18,8 +18,12 @@ from .traffic import (
     Hotspot,
     TrafficPattern,
 )
+from .updates import PATTERNS, SwitchUpdateStream, make_pattern
 
 __all__ = [
+    "PATTERNS",
+    "SwitchUpdateStream",
+    "make_pattern",
     "VOQSwitch",
     "DistributedMCMScheduler",
     "DistributedMWMScheduler",

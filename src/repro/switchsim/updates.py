@@ -1,0 +1,133 @@
+"""Switch VOQ churn as an update stream for the streaming matching service.
+
+The paper's Figure 1 application — scheduling an input-queued switch — is
+naturally *dynamic*: per cycle a few cells arrive and a few depart, so the
+VOQ demand graph (inputs ``0..P-1``, outputs ``P..2P-1``, one edge per
+non-empty virtual output queue, weighted by queue length) changes by a
+handful of edges while the rest persists.  :class:`SwitchUpdateStream`
+turns that churn into :class:`~repro.stream.workload.EdgeUpdate` events:
+
+* a cell arriving at an empty VOQ **inserts** the edge (weight 1);
+* a cell arriving at a backlogged VOQ only **re-weights** it;
+* a departure from a VOQ of length 1 **deletes** the edge, otherwise
+  re-weights it.
+
+At sensible loads most updates are weight-only — exactly the traffic the
+batched service coalesces to zero repair work — which is what makes the
+streaming scheduler cheap relative to a from-scratch matching per cycle.
+
+The stream is *closed-loop*: departures are drawn from whatever matching
+the caller's scheduler produced for the previous cycle (pass the service's
+epoch snapshot), so backlog evolution reacts to scheduling quality just
+like :func:`repro.switchsim.simulator.simulate` does.  For open-loop
+replays (benchmarks, regression traces) record the emitted events with
+:func:`~repro.stream.workload.save_updates` and feed them back verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from ..matching.core import Matching
+from ..stream.workload import EdgeUpdate
+from .traffic import (
+    BernoulliDiagonal,
+    BernoulliUniform,
+    BurstyOnOff,
+    Hotspot,
+    TrafficPattern,
+)
+
+#: CLI-facing registry of traffic pattern names.
+PATTERNS = {
+    "uniform": BernoulliUniform,
+    "diagonal": BernoulliDiagonal,
+    "hotspot": Hotspot,
+    "bursty": BurstyOnOff,
+}
+
+
+def make_pattern(name: str, ports: int, load: float,
+                 seed: int = 0) -> TrafficPattern:
+    """Build a :class:`TrafficPattern` from its registry name."""
+    cls = PATTERNS.get(name)
+    if cls is None:
+        known = ", ".join(sorted(PATTERNS))
+        raise ValueError(f"unknown traffic pattern {name!r}; one of: {known}")
+    return cls(ports, load, seed=seed)
+
+
+class SwitchUpdateStream:
+    """VOQ occupancy tracker emitting demand-graph updates per cycle.
+
+    Inputs are nodes ``0..ports-1`` and outputs ``ports..2*ports-1`` (the
+    same bipartite embedding the static schedulers use).  Call
+    :meth:`arrivals` once per cycle, then :meth:`departures` with the
+    matching the scheduler served that cycle; both return the update
+    events to feed into a :class:`~repro.stream.service.MatchingService`.
+    """
+
+    def __init__(self, ports: int, pattern: str = "uniform",
+                 load: float = 0.7, seed: int = 0) -> None:
+        self.ports = ports
+        self.pattern = (pattern if isinstance(pattern, TrafficPattern)
+                        else make_pattern(pattern, ports, load, seed))
+        self.queues: Dict[Tuple[int, int], int] = {}
+        self.cells_arrived = 0
+        self.cells_departed = 0
+
+    def output_node(self, j: int) -> int:
+        return self.ports + j
+
+    def arrivals(self, cycle: int) -> List[EdgeUpdate]:
+        """Apply one cycle of traffic; returns the induced updates."""
+        out: List[EdgeUpdate] = []
+        for i, j in self.pattern.arrivals(cycle):
+            q = self.queues.get((i, j), 0) + 1
+            self.queues[(i, j)] = q
+            self.cells_arrived += 1
+            if q == 1:
+                out.append(EdgeUpdate("insert", i, self.output_node(j), 1.0))
+            else:
+                out.append(EdgeUpdate("weight", i, self.output_node(j),
+                                      float(q)))
+        return out
+
+    def departures(self, matching: Matching) -> List[EdgeUpdate]:
+        """Serve one cell per matched VOQ; returns the induced updates."""
+        out: List[EdgeUpdate] = []
+        for u, v in matching.edges():
+            i, j = (u, v - self.ports) if u < self.ports else (v, u - self.ports)
+            q = self.queues.get((i, j), 0)
+            if q <= 0:
+                continue  # stale snapshot edge: queue already drained
+            q -= 1
+            self.cells_departed += 1
+            if q == 0:
+                del self.queues[(i, j)]
+                out.append(EdgeUpdate("delete", i, self.output_node(j)))
+            else:
+                self.queues[(i, j)] = q
+                out.append(EdgeUpdate("weight", i, self.output_node(j),
+                                      float(q)))
+        return out
+
+    @property
+    def backlog(self) -> int:
+        """Total cells currently queued across all VOQs."""
+        return sum(self.queues.values())
+
+    def events(self, cycles: int,
+               matching_for_cycle=None) -> Iterator[EdgeUpdate]:
+        """Generate the full event stream for ``cycles`` cycles.
+
+        ``matching_for_cycle(cycle)`` supplies the served matching per
+        cycle (closed loop); ``None`` runs arrivals only (open loop, the
+        queues only ever grow — useful for insert/weight-heavy streams).
+        """
+        for cycle in range(cycles):
+            yield from self.arrivals(cycle)
+            if matching_for_cycle is not None:
+                served = matching_for_cycle(cycle)
+                if served is not None:
+                    yield from self.departures(served)
