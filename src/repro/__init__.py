@@ -6,6 +6,10 @@ PODC 2007 line of work it extends.  The package provides:
 
 * a synchronous CONGEST/LOCAL network simulator with bit-level message
   accounting (:mod:`repro.congest`);
+* a second computation model on the shared runtime seam
+  (:mod:`repro.models`): simulated MPC with a hard sublinear
+  ``S = ceil(n**alpha)``-word memory cap per machine and a maximal
+  matching driver (:mod:`repro.mpc`);
 * the paper's algorithms — generic (1-eps)-MCM, bipartite CONGEST
   (1-1/k)-MCM, the general-graph reduction, and the weighted
   (1/2-eps)-MWM — plus the Israeli-Itai and Luby building blocks
@@ -51,6 +55,11 @@ Quick start::
         svc.commit()
         print(svc.snapshot().size, svc.verify_invariant())
 
+    # the MPC model: maximal matching under a hard per-machine memory cap
+    result = run("mpc_maximal", graph, alpha=0.6, seed=0)
+    print(result.rounds,  # supersteps
+          result.network_metrics.memory_peak_words)
+
 Every entry point shares the keyword surface ``(graph, *, eps/k, seed,
 policy, max_rounds, observe, trace, profile, execution)`` and returns a
 :class:`MatchingResult` (``tracer=`` still works, deprecated; so do the
@@ -67,6 +76,7 @@ from .core import (
     exact_mcm,
     exact_mwm,
     maximal_matching,
+    mpc_maximal_matching,
     run,
     stream_matching,
 )
@@ -83,7 +93,7 @@ from .graphs import BipartiteGraph, Graph
 from .matching import Matching
 from .stream import EdgeUpdate, MatchingService, StreamResult
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "ALGORITHMS",
@@ -94,6 +104,7 @@ __all__ = [
     "exact_mcm",
     "exact_mwm",
     "maximal_matching",
+    "mpc_maximal_matching",
     "run",
     "stream_matching",
     "EdgeUpdate",

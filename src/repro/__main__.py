@@ -157,14 +157,58 @@ def _cmd_match(args: argparse.Namespace) -> int:
 
 def _algorithm_kwargs(args: argparse.Namespace) -> dict:
     kwargs = {"seed": args.seed}
-    if args.algorithm not in ("maximal", "maximal_matching", "israeli_itai",
-                              "exact_mcm", "exact_mwm"):
+    if args.algorithm in ("mpc", "mpc_maximal"):
+        # the MPC entry point's knob is the memory exponent, not eps
+        kwargs["alpha"] = getattr(args, "alpha", 0.5)
+    elif args.algorithm not in ("maximal", "maximal_matching",
+                                "israeli_itai", "exact_mcm", "exact_mwm"):
         kwargs["eps"] = args.eps
     return kwargs
 
 
+def _cmd_mpc(args: argparse.Namespace) -> int:
+    from .core.api import mpc_maximal_matching
+    from .mpc import MemoryExceeded
+
+    graph = _load_graph(args.graph, args.seed)
+    if args.explain:
+        from .mpc import MPCCluster
+
+        cluster = MPCCluster(graph, alpha=args.alpha, seed=args.seed,
+                             execution=args.execution)
+        print(cluster.explain_execution().explain())
+        return 0
+    try:
+        result = mpc_maximal_matching(
+            graph, alpha=args.alpha, seed=args.seed, trace=args.trace,
+            profile=args.profile, execution=args.execution)
+    except MemoryExceeded as exc:
+        print(f"memory guard tripped: {exc}", file=sys.stderr)
+        return 1
+    cert = result.certificate
+    metrics = result.metrics
+    print(f"algorithm : {result.algorithm}")
+    print(f"size      : {result.size} (valid={cert.valid}, "
+          f"maximal={cert.maximal})")
+    if cert.cardinality_ratio is not None:
+        print(f"ratio     : {cert.cardinality_ratio:.4f} (vs exact optimum)")
+    print(f"supersteps: {metrics.rounds}")
+    print(f"machines  : {metrics.memory_machines} x "
+          f"{metrics.memory_limit_words} words "
+          f"(S = ceil(n^{args.alpha:g}))")
+    print(f"peak mem  : {metrics.memory_peak_words} words "
+          f"({metrics.memory_peak_words / metrics.memory_limit_words:.0%} "
+          f"of the cap)")
+    if args.profile:
+        print()
+        print(result.profile.table())
+    if args.trace:
+        print(f"trace written to {result.trace_path}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from .congest.events import (
+    from .observe.events import (
         JsonlTraceWriter, diff_traces, load_trace, render_timeline,
     )
 
@@ -311,6 +355,8 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--algorithm", default="mcm",
                        help=f"registry name (default mcm; one of: {algo_names})")
     trace.add_argument("--eps", type=float, default=0.25)
+    trace.add_argument("--alpha", type=float, default=0.5,
+                       help="MPC memory exponent (mpc algorithms only)")
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument("--out", metavar="PATH",
                        help="trace file to write (default trace.jsonl)")
@@ -334,8 +380,30 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--algorithm", default="mcm",
                       help=f"registry name (default mcm; one of: {algo_names})")
     prof.add_argument("--eps", type=float, default=0.25)
+    prof.add_argument("--alpha", type=float, default=0.5,
+                      help="MPC memory exponent (mpc algorithms only)")
     prof.add_argument("--seed", type=int, default=0)
     prof.set_defaults(func=_cmd_profile)
+
+    mpc = sub.add_parser(
+        "mpc", help="maximal matching under the simulated MPC model")
+    mpc.add_argument("graph",
+                     help="edge-list path, bipartite:NLxNR:P, or gnp:N:P")
+    mpc.add_argument("--alpha", type=float, default=0.5,
+                     help="memory exponent: S = ceil(n^alpha) words per "
+                          "machine (default 0.5)")
+    mpc.add_argument("--seed", type=int, default=0)
+    mpc.add_argument("--execution", default=None, metavar="TIER",
+                     help="execution plan tier (MPC accepts auto or node; "
+                          "kernel/sharded tiers are CONGEST-only)")
+    mpc.add_argument("--trace", metavar="PATH",
+                     help="stream superstep/phase events to a JSONL trace")
+    mpc.add_argument("--profile", action="store_true",
+                     help="print the per-phase profiler table")
+    mpc.add_argument("--explain", action="store_true",
+                     help="print how the plan resolves on the MPC model "
+                          "and exit")
+    mpc.set_defaults(func=_cmd_mpc)
 
     stream = sub.add_parser(
         "stream",

@@ -330,7 +330,7 @@ class SynchronizedNetwork:
 
     def __init__(self, graph: Graph, delay_model: Optional[DelayModel] = None,
                  seed: int = 0) -> None:
-        from .metrics import Metrics
+        from ..runtime.metrics import Metrics
 
         self.graph = graph
         self.seed = seed

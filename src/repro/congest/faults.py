@@ -19,13 +19,13 @@ pattern, same ``loss``/``dropped`` attributes.
 
 from __future__ import annotations
 
-import warnings
 from typing import Optional
 
+from .._compat import warn_deprecated
 from ..graphs.graph import Graph
 from .network import FaultSpec, Network
 from .policies import CONGEST, BandwidthPolicy
-from .tracing import Tracer
+from ..observe.tracing import Tracer
 
 __all__ = ["FaultSpec", "LossyNetwork"]
 
@@ -42,10 +42,7 @@ class LossyNetwork(Network):
                  policy: BandwidthPolicy = CONGEST, seed: int = 0,
                  tracer: Optional[Tracer] = None,
                  engine: Optional[str] = None) -> None:
-        warnings.warn(
-            "LossyNetwork is deprecated; use "
-            "Network(..., faults=FaultSpec(loss=...)) instead",
-            DeprecationWarning, stacklevel=2)
+        warn_deprecated("lossy_network", stacklevel=2)
         super().__init__(graph, policy=policy, seed=seed, tracer=tracer,
                          engine=engine, faults=FaultSpec(loss=loss))
 

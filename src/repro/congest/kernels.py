@@ -62,7 +62,7 @@ try:  # numpy is an optional accelerator, never a requirement
 except Exception:  # pragma: no cover - exercised via monkeypatch in tests
     _np = None
 
-from .events import ROUND_END, ROUND_START, RoundEnd, RoundStart
+from ..observe.events import ROUND_END, ROUND_START, RoundEnd, RoundStart
 from .network import Network, ProtocolError, RunResult
 
 #: Environment variable disabling kernel selection entirely

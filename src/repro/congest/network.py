@@ -44,13 +44,13 @@ from __future__ import annotations
 
 import os
 import random
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from .._compat import warn_deprecated
 from ..graphs.graph import Graph
-from .execution import ExecutionDecision, ExecutionPlan, resolve_execution
-from .events import (
+from ..models.execution import ExecutionDecision, ExecutionPlan, resolve_execution
+from ..observe.events import (
     MESSAGE_DELIVERED,
     ROUND_END,
     ROUND_START,
@@ -62,8 +62,8 @@ from .events import (
     ambient_bus,
 )
 from .message import payload_bits, payload_bits_fast
-from .metrics import Metrics
-from .tracing import Tracer
+from ..runtime.metrics import Metrics
+from ..observe.tracing import Tracer
 from .node import BROADCAST, NodeAlgorithm, NodeContext
 from .policies import CONGEST, BandwidthPolicy
 
@@ -175,6 +175,10 @@ class Network:
         self.policy = policy
         self.seed = seed
         self.metrics = Metrics()
+        #: the :class:`~repro.models.base.ComputationModel` this executor
+        #: implements (named in ``explain_execution`` reason chains)
+        from ..models.base import CONGEST_MODEL
+        self.model = CONGEST_MODEL
         self.default_max_rounds = max_rounds
         self._run_counter = 0
         if execution is not None:
@@ -235,10 +239,7 @@ class Network:
             self.bus = ambient_bus()
         self.tracer = tracer
         if tracer is not None:
-            warnings.warn(
-                "Network(tracer=...) is deprecated; pass observe=[tracer] "
-                "(the Tracer is an event-bus subscriber now)",
-                DeprecationWarning, stacklevel=2)
+            warn_deprecated("network_tracer", stacklevel=2)
             if self.bus is None or self.bus is ambient_bus():
                 self.bus = EventBus()
             self.bus.subscribe(tracer)
@@ -448,7 +449,7 @@ class Network:
         """Snapshot a subscribed Profiler's report onto ``result``."""
         bus = self.bus
         if bus is not None:
-            from .profiling import Profiler
+            from ..observe.profiling import Profiler
 
             profiler = bus.find(Profiler)
             if profiler is not None:
@@ -466,8 +467,8 @@ class Network:
         or wasn't selected (``decision.explain()`` formats it).  Dry:
         no worker pool is built and no protocol state is touched.
         """
-        return resolve_execution(self, factory, dict(shared or {}),
-                                 collect=True)
+        return self.model.resolve(self, factory, dict(shared or {}),
+                                  collect=True)
 
     def _select_kernel(self, factory: NodeFactory) -> Optional[Any]:
         """The :class:`~repro.congest.kernels.RoundKernel` instance to run
@@ -529,7 +530,7 @@ class Network:
         stream, and folds its cost back into this network's metrics on
         exit — see :mod:`repro.congest.runtime` for the fold modes.
         """
-        from .runtime import Subnetwork
+        from ..runtime.driver import Subnetwork
 
         return Subnetwork(self, graph, **kwargs)
 

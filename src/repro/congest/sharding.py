@@ -1364,7 +1364,7 @@ class ShardedNetwork:
                             on_round_end: Optional[Callable[[int, Any],
                                                             None]],
                             kernel_cls: Any = None) -> Any:
-        from .events import ROUND_END, ROUND_START, RoundEnd, RoundStart
+        from ..observe.events import ROUND_END, ROUND_START, RoundEnd, RoundStart
         from .network import ProtocolError, RunResult
 
         net = self.net

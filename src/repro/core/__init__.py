@@ -8,6 +8,7 @@ from .api import (
     exact_mcm,
     exact_mwm,
     maximal_matching,
+    mpc_maximal_matching,
     run,
     stream_matching,
 )
@@ -21,6 +22,7 @@ __all__ = [
     "exact_mcm",
     "exact_mwm",
     "maximal_matching",
+    "mpc_maximal_matching",
     "run",
     "stream_matching",
     "MatchingResult",

@@ -47,14 +47,14 @@ positional forms (``approx_mcm(g, 0.25, 3)``) still work but emit a
 from __future__ import annotations
 
 import math
-import warnings
 from typing import Any, Callable, Optional, Tuple, Union
 
-from ..congest.events import EventBus, JsonlTraceWriter
+from .._compat import warn_deprecated
+from ..observe.events import EventBus, JsonlTraceWriter
 from ..congest.network import Network
 from ..congest.policies import CONGEST, LOCAL, PIPELINE, BandwidthPolicy
-from ..congest.profiling import ObservabilityScope, Profiler
-from ..congest.tracing import Tracer
+from ..observe.profiling import ObservabilityScope, Profiler
+from ..observe.tracing import Tracer
 from ..graphs.graph import BipartiteGraph, Graph
 from ..matching.core import Matching
 from ..matching.sequential.blossom import max_cardinality
@@ -84,10 +84,8 @@ def _positional_shim(func: str, args: tuple, names: Tuple[str, ...],
             f"({len(args) + 1} given)"
         )
     shown = ", ".join(f"{n}=..." for n in names[:len(args)])
-    warnings.warn(
-        f"positional arguments to {func}() beyond the graph are deprecated; "
-        f"call {func}(graph, {shown}) with keywords instead",
-        DeprecationWarning, stacklevel=3)
+    warn_deprecated("positional_args", stacklevel=3, func=func,
+                    shown=shown)
     merged = list(current)
     merged[:len(args)] = args
     return tuple(merged)
@@ -265,6 +263,43 @@ def maximal_matching(graph: Graph, *args, seed: int = 0,
         certificate=cert, metrics=net.metrics))
 
 
+def mpc_maximal_matching(graph: Graph, *, alpha: float = 0.5, seed: int = 0,
+                         observe: Any = None,
+                         trace: Any = None,
+                         profile: Any = None,
+                         execution: Any = None,
+                         max_iterations: Optional[int] = None
+                         ) -> MatchingResult:
+    """Maximal matching under the simulated MPC model (ROADMAP item 1).
+
+    Runs the Ghaffari–Uitto-style sparsify/stall/ball-growing/local-MIS/
+    integrate driver (:func:`repro.mpc.mpc_maximal`) on an
+    :class:`~repro.mpc.cluster.MPCCluster` with a hard per-machine budget
+    of ``S = ceil(n**alpha)`` words; an ``alpha`` too small for the input
+    raises :class:`~repro.mpc.cluster.MemoryExceeded`.  The result's
+    ``rounds`` are MPC *supersteps* and ``network_metrics`` carries the
+    memory account (``memory_peak_words`` <= ``memory_limit_words``).
+    The observability trio works exactly as for CONGEST entry points.
+    """
+    from ..mpc import MPCCluster, mpc_maximal as _mpc_driver
+
+    obs = _Observability(observe, trace, profile)
+    cluster = MPCCluster(graph, alpha=alpha, seed=seed,
+                         observe=obs.observe, execution=execution)
+    res = _mpc_driver(cluster, max_iterations=max_iterations)
+    optimum = max_cardinality(graph).size
+    cert = certify(graph, res.matching, optimum_size=optimum)
+    result = MatchingResult(
+        matching=res.matching, algorithm=f"mpc_maximal(alpha={alpha:g})",
+        certificate=cert, metrics=cluster.metrics, detail=res)
+    bus = cluster.bus
+    if bus is not None:
+        profiler = bus.find(Profiler)
+        if profiler is not None:
+            result.profile = profiler.report()
+    return obs.finish(result)
+
+
 def exact_mcm(graph: Graph) -> MatchingResult:
     """Exact maximum-cardinality matching (Hopcroft-Karp / blossom)."""
     matching = max_cardinality(graph)
@@ -349,6 +384,8 @@ ALGORITHMS = {
     "maximal_matching": maximal_matching,
     "maximal": maximal_matching,
     "israeli_itai": maximal_matching,
+    "mpc_maximal": mpc_maximal_matching,
+    "mpc": mpc_maximal_matching,
     "exact_mcm": exact_mcm,
     "exact_mwm": exact_mwm,
     "stream": stream_matching,

@@ -6,7 +6,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Optional
 
-from ..congest.metrics import Metrics
+from ..runtime.metrics import Metrics
 from ..matching.core import Matching
 from ..matching.verify import Certificate
 

@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Tuple
 from ..congest.network import Network
 from ..congest.node import Inbox, NodeAlgorithm, NodeContext, Outbox
 from ..congest.policies import CONGEST, BandwidthPolicy
-from ..congest.runtime import as_network, register_map
+from ..runtime import as_network, register_map
 from ..graphs.graph import BipartiteGraph, Graph, GraphError
 from ..matching.core import Matching
 from .bipartite_counting import X_SIDE, Y_SIDE

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..congest.network import Network
 from ..congest.policies import CONGEST, BandwidthPolicy
-from ..congest.runtime import as_network, register_map
+from ..runtime import as_network, register_map
 from ..graphs.graph import Edge, Graph, edge_key
 from ..matching.core import Matching
 

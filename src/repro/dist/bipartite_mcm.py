@@ -20,10 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..congest.events import Augmentation
+from ..observe.events import Augmentation
 from ..congest.network import Network
 from ..congest.policies import PIPELINE, BandwidthPolicy
-from ..congest.runtime import PhaseDriver, ProtocolResult
+from ..runtime import PhaseDriver, ProtocolResult
 from ..graphs.graph import BipartiteGraph, Edge, Graph, GraphError
 from ..matching.core import Matching
 from .bipartite_counting import X_SIDE, Y_SIDE, leaders_of, run_counting

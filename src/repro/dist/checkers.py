@@ -22,10 +22,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..congest.events import CheckerVerdict
+from ..observe.events import CheckerVerdict
 from ..congest.network import Network
 from ..congest.node import BROADCAST, Inbox, NodeAlgorithm, NodeContext, Outbox
-from ..congest.runtime import as_network, register_map
+from ..runtime import as_network, register_map
 
 _FREE_TAG = -1  # registers are node ids; -1 encodes NULL on the wire
 

@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Set
 
 from ..congest.network import Network
 from ..congest.policies import PIPELINE, BandwidthPolicy
-from ..congest.runtime import PhaseDriver, ProtocolResult
+from ..runtime import PhaseDriver, ProtocolResult
 from ..congest.utilities import exchange_tokens
 from ..graphs.graph import Edge, Graph, edge_key
 from ..matching.core import Matching

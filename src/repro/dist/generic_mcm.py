@@ -22,13 +22,13 @@ shorter than 2k+1 and hence a (1 - 1/(k+1))-approximation (Lemmas 3.2/3.3)
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from .._compat import warn_deprecated
 from ..congest.network import Network
 from ..congest.policies import LOCAL
-from ..congest.runtime import PhaseDriver, ProtocolResult
+from ..runtime import PhaseDriver, ProtocolResult
 from ..graphs.graph import Graph
 from ..matching.conflict import ConflictGraph
 from ..matching.core import Matching
@@ -103,11 +103,7 @@ def _run_mis(net: Network, driver: PhaseDriver, conflict: ConflictGraph,
     sub-``Network`` (deprecated shim).
     """
     if subnetworks == "detached":
-        warnings.warn(
-            "generic_mcm(subnetworks='detached') reproduces the deprecated "
-            "standalone MIS sub-Network (no fault/bus inheritance, ad-hoc "
-            "seeds); use the default subnetworks='inherit'",
-            DeprecationWarning, stacklevel=3)
+        warn_deprecated("generic_detached", stacklevel=3)
         mis_net = Network(conflict.as_graph(), policy=LOCAL,
                           seed=seed * 31 + ell, observe=net.bus)
         mis = luby_mis(mis_net, context=f"conflict ell={ell}")

@@ -25,7 +25,7 @@ from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 from ..congest.kernels import RoundKernel, register_kernel
 from ..congest.network import Network
 from ..congest.node import BROADCAST, Inbox, NodeAlgorithm, NodeContext, Outbox
-from ..congest.runtime import as_network, register_map
+from ..runtime import as_network, register_map
 from ..graphs.graph import Edge, edge_key
 from ..matching.core import Matching
 

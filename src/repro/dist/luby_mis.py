@@ -18,12 +18,12 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-from ..congest.events import MISDecision
+from ..observe.events import MISDecision
 from ..congest.kernels import RoundKernel, register_kernel
 from ..congest.message import int_bits
 from ..congest.network import Network
 from ..congest.node import BROADCAST, Inbox, NodeAlgorithm, NodeContext, Outbox
-from ..congest.runtime import as_network
+from ..runtime import as_network
 
 _JOIN = "J"
 _DOMINATED = "D"

@@ -25,12 +25,12 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-from ..congest.events import TokenCollision
+from ..observe.events import TokenCollision
 from ..congest.kernels import RoundKernel, register_kernel
 from ..congest.message import payload_bits_fast
 from ..congest.network import Network, ProtocolError
 from ..congest.node import Inbox, NodeAlgorithm, NodeContext, Outbox
-from ..congest.runtime import register_map
+from ..runtime import register_map
 from ..graphs.graph import Edge
 from .bipartite_counting import CountState, X_SIDE, Y_SIDE
 from .random_tools import sample_max_uniform, weighted_choice

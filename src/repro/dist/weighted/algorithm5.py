@@ -30,13 +30,13 @@ from __future__ import annotations
 
 import inspect
 import math
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
+from ..._compat import warn_deprecated
 from ...congest.network import Network
 from ...congest.policies import CONGEST, BandwidthPolicy
-from ...congest.runtime import PhaseDriver, ProtocolResult, Subnetwork
+from ...runtime import PhaseDriver, ProtocolResult, Subnetwork
 from ...congest.utilities import exchange_tokens
 from ...graphs.graph import Graph
 from ...matching.core import Matching
@@ -107,11 +107,7 @@ def _run_black_box(driver: PhaseDriver, box: BlackBox, composable: bool,
     """One black-box invocation; cost is absorbed into the parent."""
     net = driver.network
     if not composable:
-        warnings.warn(
-            "black-box callables (graph, seed) -> (Matching, Network) build "
-            "a detached Network and are deprecated; accept a network= "
-            "keyword to run on the parent's Subnetwork instead",
-            DeprecationWarning, stacklevel=3)
+        warn_deprecated("black_box_detached", stacklevel=3)
         selected, sub_net = box(gprime, sub_seed)
         net.metrics.absorb(sub_net.metrics)
         net.metrics.record_subnetwork("black_box", sub_net.metrics,

@@ -29,10 +29,10 @@ from __future__ import annotations
 import math
 from typing import Dict, Optional, Set, Tuple
 
-from ...congest.metrics import Metrics
+from ...runtime.metrics import Metrics
 from ...congest.network import Network
 from ...congest.policies import CONGEST, BandwidthPolicy
-from ...congest.runtime import as_network
+from ...runtime import as_network
 from ...congest.utilities import flood_max
 from ...graphs.graph import Edge, Graph, edge_key
 from ...matching.core import Matching

@@ -22,13 +22,13 @@ class sweeps show up as nested phases on any attached event bus.
 from __future__ import annotations
 
 import math
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..._compat import warn_deprecated
 from ...congest.network import Network
 from ...congest.policies import LOCAL
-from ...congest.runtime import PhaseDriver, ProtocolResult
+from ...runtime import PhaseDriver, ProtocolResult
 from ...graphs.graph import Graph
 from ...matching.core import Matching
 from ...matching.paths import (
@@ -59,11 +59,7 @@ def _class_mis(net: Network, driver: PhaseDriver, sub: Graph, it: int, c: int,
                max_edges: int, seed: int, subnetworks: str) -> Set[int]:
     """MIS on one gain class's conflict subgraph; Lemma 3.5 charge."""
     if subnetworks == "detached":
-        warnings.warn(
-            "hv_mwm(subnetworks='detached') reproduces the deprecated "
-            "standalone MIS sub-Network (no fault/bus inheritance, ad-hoc "
-            "seeds); use the default subnetworks='inherit'",
-            DeprecationWarning, stacklevel=3)
+        warn_deprecated("hv_detached", stacklevel=3)
         mis_net = Network(sub, policy=LOCAL, seed=seed * 131 + it * 17 + c)
         mis = luby_mis(mis_net)
         net.metrics.charge_rounds(

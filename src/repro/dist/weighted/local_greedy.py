@@ -19,7 +19,7 @@ from typing import Dict, Iterable, Optional, Set, Tuple
 from ...congest.network import Network
 from ...congest.node import Inbox, NodeAlgorithm, NodeContext, Outbox
 from ...congest.policies import CONGEST, BandwidthPolicy
-from ...congest.runtime import as_network, register_map
+from ...runtime import as_network, register_map
 from ...graphs.graph import Edge, Graph, edge_key
 from ...matching.core import Matching
 

@@ -1,0 +1,151 @@
+"""The computation-model seam: what a model contributes to the runtime.
+
+The shared runtime (:mod:`repro.runtime`, :mod:`repro.observe`) is
+model-agnostic: :class:`~repro.runtime.driver.PhaseDriver` only needs an
+executor with ``.wants`` / ``.emit`` / ``.metrics``, and
+:class:`~repro.runtime.metrics.Metrics` ledgers costs without caring
+whether a "round" is a CONGEST message round or an MPC superstep.  What
+*does* differ between models is captured here, per
+:class:`ComputationModel`:
+
+* the **loop unit** the model charges per iteration (CONGEST rounds vs
+  MPC supersteps — both land in ``Metrics.rounds`` so cross-model tables
+  stay comparable, but the unit is named in explanations),
+* which **execution tiers** of :mod:`repro.models.execution` the model
+  can run on (CONGEST owns the full five-rung ladder; MPC simulates
+  machines in-process and rejects the kernel/shard rungs outright), and
+* how a plan **resolves** for one run (:meth:`ComputationModel.resolve`),
+  which is what ``explain_execution()`` reports — reason chains always
+  open by naming the model.
+
+Models register themselves in :data:`MODELS`; ``get_model("mpc")`` is
+how the CLI and API look them up.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from .execution import ExecutionDecision, ExecutionPlan, TIERS, resolve_execution
+
+__all__ = [
+    "MODELS",
+    "ComputationModel",
+    "CongestModel",
+    "MPCModel",
+    "ModelExecutionError",
+    "CONGEST_MODEL",
+    "MPC_MODEL",
+    "get_model",
+]
+
+
+class ModelExecutionError(ValueError):
+    """A plan asked a computation model for a tier it cannot execute."""
+
+
+class ComputationModel:
+    """One computation model's contract with the shared runtime.
+
+    ``name`` identifies the model in reason chains and registries;
+    ``loop_unit`` names what one ``Metrics.record_round`` charge means
+    under this model; ``tiers`` lists the execution rungs the model can
+    resolve to (``"auto"`` is always accepted as a plan input).
+    """
+
+    name: str = "abstract"
+    loop_unit: str = "round"
+    tiers: Tuple[str, ...] = ()
+
+    def check_plan(self, plan: ExecutionPlan) -> None:
+        """Raise :class:`ModelExecutionError` if ``plan`` names a tier
+        this model cannot execute.  ``tier="auto"`` always passes."""
+        if plan.tier != "auto" and plan.tier not in self.tiers:
+            raise ModelExecutionError(
+                f"model '{self.name}' cannot execute tier '{plan.tier}': "
+                f"{self._reject_reason(plan.tier)}")
+
+    def _reject_reason(self, tier: str) -> str:
+        return f"this model only runs on {', '.join(self.tiers)}"
+
+    def resolve(self, executor: Any, factory: Any = None,
+                shared: Optional[Dict[str, Any]] = None,
+                collect: bool = False) -> ExecutionDecision:
+        """Resolve ``executor``'s plan for one run (model-specific)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ComputationModel {self.name!r}>"
+
+
+class CongestModel(ComputationModel):
+    """Synchronous CONGEST message passing on the five-rung ladder."""
+
+    name = "congest"
+    loop_unit = "round"
+    tiers = TIERS  # every rung, "sharded-kernel" down to "legacy"
+
+    def resolve(self, executor: Any, factory: Any = None,
+                shared: Optional[Dict[str, Any]] = None,
+                collect: bool = False) -> ExecutionDecision:
+        return resolve_execution(executor, factory, shared, collect=collect)
+
+
+class MPCModel(ComputationModel):
+    """Simulated Massively Parallel Computation: supersteps over machines
+    with ``S = ceil(n**alpha)`` words each.
+
+    The kernel and shard rungs are CONGEST engine internals (vectorized
+    round kernels, forked per-node workers); an MPC run *simulates* its
+    parallelism as machine word-ledgers in-process, so the only rung it
+    resolves to is ``"node"``.  Asking for a CONGEST-only tier raises
+    :class:`ModelExecutionError` instead of silently falling down the
+    ladder.
+    """
+
+    name = "mpc"
+    loop_unit = "superstep"
+    tiers = ("node",)
+
+    def _reject_reason(self, tier: str) -> str:
+        return ("kernel and shard tiers are CONGEST engine rungs "
+                "(vectorized round kernels / forked per-node workers); "
+                "MPC supersteps execute on simulated machines with "
+                "per-machine memory caps — use execution='auto' or "
+                "'node'")
+
+    def resolve(self, executor: Any, factory: Any = None,
+                shared: Optional[Dict[str, Any]] = None,
+                collect: bool = False) -> ExecutionDecision:
+        plan: ExecutionPlan = executor.execution_plan
+        self.check_plan(plan)
+        reasons: Tuple[str, ...] = ()
+        if collect:
+            reasons = (
+                f"model 'mpc': resolving plan tier '{plan.tier}' — MPC "
+                f"has a single rung ('node')",
+                "tier 'node': selected — supersteps execute in-process "
+                "on simulated machines (per-machine memory guard "
+                f"S = {getattr(executor, 'machine_words', '?')} words, "
+                f"{getattr(executor, 'num_machines', '?')} machine(s))",
+            )
+        return ExecutionDecision(tier="node", reasons=reasons)
+
+
+CONGEST_MODEL = CongestModel()
+MPC_MODEL = MPCModel()
+
+#: Registry of computation models by name.
+MODELS: Dict[str, ComputationModel] = {
+    CONGEST_MODEL.name: CONGEST_MODEL,
+    MPC_MODEL.name: MPC_MODEL,
+}
+
+
+def get_model(name: str) -> ComputationModel:
+    """Look up a registered computation model by name."""
+    try:
+        return MODELS[name]
+    except KeyError:
+        raise ValueError(f"unknown computation model {name!r}; "
+                         f"registered: {', '.join(sorted(MODELS))}") from None

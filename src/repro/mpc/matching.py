@@ -1,0 +1,270 @@
+"""Strongly sublinear maximal matching on the simulated MPC cluster.
+
+The driver follows the Ghaffari–Uitto recipe for maximal matching with
+``S = n**alpha`` words per machine, phrased as five phases per
+iteration (each a :class:`~repro.runtime.driver.PhaseDriver` phase, so
+traces and profiles show the textbook structure):
+
+``sparsify``
+    Every machine narrows its resident alive edges to a working sample
+    of at most ``q = working_budget // 8`` edges — the ones with the
+    lowest deterministic priorities ``h(iteration, u, v)`` (a
+    :func:`~repro.dist.random_tools.spawn_seed` splitmix64 hash, so runs
+    are reproducible and machine-order independent).  Sampling is what
+    keeps every later working set within the per-machine cap.
+
+``stall``
+    All machines pad to the combiner-tree depth ``ceil(log2 M)``: every
+    aggregation below rides an M-leaf binary tree, and the schedule is
+    padded up front so it is oblivious to data skew (machines with few
+    sampled edges wait, they do not race ahead).
+
+``ball_growing``
+    Graph exponentiation on the sampled subgraph: each sampled vertex
+    points along its minimum-priority incident sample edge, and pointer
+    jumping (``parent <- parent[parent]``, doubling the known radius
+    each superstep) runs for ``ceil(log2 |V_sample|)`` supersteps until
+    every vertex knows its component's leader.  The leader edge of each
+    component is a *mutual minimum*, which is the progress certificate
+    the next phase consumes.
+
+``local_mis``
+    An independent set in the line graph of the sample: edge ``(u, v)``
+    joins iff it is the minimum-priority sample edge at **both**
+    endpoints.  Mutual minima are pairwise non-adjacent by construction,
+    and every nonempty component contributes at least its leader edge —
+    so every iteration matches at least one edge and the loop
+    terminates.
+
+``integrate``
+    Accepted edges become matched: endpoint owners mark both vertices
+    dead, every machine drops its now-dead resident edges (releasing
+    their words), and the working sets are freed.
+
+Every allocation along the way goes through
+:meth:`~repro.mpc.cluster.MPCMachine.charge`, so the hard memory guard
+is enforced *during* the run, not audited after it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..dist.random_tools import spawn_seed
+from ..matching.core import Matching
+from ..runtime.driver import PhaseDriver, ProtocolResult
+from .cluster import MPCCluster
+
+__all__ = ["MPCMatchingResult", "mpc_maximal"]
+
+
+@dataclass
+class MPCMatchingResult(ProtocolResult):
+    """Result of :func:`mpc_maximal`.
+
+    ``network`` carries the :class:`~repro.mpc.cluster.MPCCluster` (it
+    satisfies the same ``.metrics`` surface), so the inherited
+    ``metrics``/``rounds_total`` properties report supersteps and the
+    memory account.
+    """
+
+    alpha: float = 0.0
+    iterations: int = 0
+    supersteps: int = 0
+    peak_words: int = 0
+    machine_words: int = 0
+    num_machines: int = 0
+    #: per-iteration (sampled edges, components, matched edges) triples
+    iteration_stats: List[Tuple[int, int, int]] = field(default_factory=list)
+
+
+def _priority(seed: int, iteration: int, u: int, v: int) -> int:
+    """Deterministic per-iteration edge priority (splitmix64 stream)."""
+    a, b = (u, v) if u <= v else (v, u)
+    return spawn_seed(seed, "mpc", iteration, a, b)
+
+
+def mpc_maximal(cluster: MPCCluster,
+                max_iterations: Optional[int] = None) -> MPCMatchingResult:
+    """Compute a maximal matching on ``cluster``'s graph.
+
+    Runs sparsify → stall → ball-growing → local-MIS → integrate
+    iterations until no alive edge remains; since every removed edge has
+    a matched endpoint, the result is maximal by construction (and
+    :func:`repro.matching.verify.certify` re-checks it independently).
+    """
+    graph = cluster.graph
+    protocol = "mpc_maximal"
+    driver = PhaseDriver(cluster, protocol)
+    matching = Matching()
+
+    nodes = list(graph.nodes)  # sorted ids; determinism matters
+    node_index = {v: i for i, v in enumerate(nodes)}
+    M = cluster.num_machines
+    # per-machine sample cap: each sampled edge costs its home machine
+    # 2 (record) + 4 (ball-growing label slots) + 1 (acceptance word)
+    # working words, so q samples stay within the working budget
+    q = max(1, cluster.working_budget // 8)
+
+    def edge_home(idx: int) -> int:
+        return idx % M
+
+    def owner(v: Any) -> int:
+        return node_index[v] % M
+
+    # -- distribute the input (charges resident ledgers; guard is live) --
+    edges: List[Tuple[Any, Any]] = [(u, v) for u, v, _ in graph.edges()]
+    alive = [True] * len(edges)
+    incident: Dict[Any, List[int]] = {}
+    for idx, (u, v) in enumerate(edges):
+        cluster.machines[edge_home(idx)].charge(2, "input distribution")
+        incident.setdefault(u, []).append(idx)
+        incident.setdefault(v, []).append(idx)
+    for v in nodes:
+        cluster.machines[owner(v)].charge(2, "input distribution")
+    cluster.superstep(protocol, count=1,
+                      messages=len(edges) + len(nodes),
+                      words=2 * len(edges) + 2 * len(nodes))
+
+    matched: Dict[Any, Any] = {}
+    alive_count = len(edges)
+    if max_iterations is None:
+        max_iterations = 4 * max(1, len(edges)).bit_length() + len(nodes) + 8
+    stall_depth = max(1, math.ceil(math.log2(max(2, M))))
+
+    iteration = 0
+    stats: List[Tuple[int, int, int]] = []
+    while alive_count > 0:
+        iteration += 1
+        if iteration > max_iterations:  # pragma: no cover - safety net
+            raise RuntimeError(
+                f"mpc_maximal exceeded {max_iterations} iterations with "
+                f"{alive_count} alive edge(s); progress invariant broken")
+
+        # -- sparsify: per-machine lowest-priority working sample -------
+        # working[home] tracks this iteration's transient words so
+        # integrate can release exactly what the phases charged
+        working: Dict[int, int] = {}
+
+        def charge_working(home: int, words: int, phase: str) -> None:
+            cluster.machines[home].charge(words, phase)
+            working[home] = working.get(home, 0) + words
+
+        with driver.phase(f"sparsify[{iteration}]") as ph:
+            per_machine: Dict[int, List[Tuple[int, int]]] = {}
+            for idx in range(len(edges)):
+                if alive[idx]:
+                    u, v = edges[idx]
+                    pri = _priority(cluster.seed, iteration, u, v)
+                    per_machine.setdefault(edge_home(idx), []).append(
+                        (pri, idx))
+            sample: List[Tuple[int, int]] = []
+            for home, cand in per_machine.items():
+                cand.sort()
+                take = cand[:q]
+                charge_working(home, 2 * len(take), "sparsify")
+                sample.extend(take)
+            sample.sort()
+            cluster.superstep(protocol, count=1, messages=len(sample),
+                              words=2 * len(sample))
+            ph.set_detail(alive=alive_count, sampled=len(sample),
+                          per_machine_cap=q)
+
+        # -- stall: pad to the oblivious combiner-tree schedule ---------
+        with driver.phase(f"stall[{iteration}]") as ph:
+            cluster.superstep(protocol, count=stall_depth)
+            ph.set_detail(padded_supersteps=stall_depth)
+
+        # -- ball growing: pointer-jump to component leaders ------------
+        with driver.phase(f"ball_growing[{iteration}]") as ph:
+            best: Dict[Any, Tuple[int, int]] = {}
+            for pri, idx in sample:
+                u, v = edges[idx]
+                if u not in best or (pri, idx) < best[u]:
+                    best[u] = (pri, idx)
+                if v not in best or (pri, idx) < best[v]:
+                    best[v] = (pri, idx)
+            # label state rides the sample's edge replicas (2 slots per
+            # endpoint on the edge's home machine), the standard
+            # edge-list layout for MPC pointer jumping — so the charge
+            # stays bounded by the per-machine sample cap
+            for _pri, idx in sample:
+                charge_working(edge_home(idx), 4, "ball_growing")
+            parent: Dict[Any, Any] = {}
+            for v, (pri, idx) in best.items():
+                a, b = edges[idx]
+                parent[v] = b if v == a else a
+            jumps = max(1, math.ceil(math.log2(max(2, len(best)))))
+            for _ in range(jumps):
+                parent = {v: parent.get(parent[v], parent[v])
+                          for v in parent}
+            cluster.superstep(protocol, count=jumps,
+                              messages=len(best), words=len(best))
+            # leaders: vertices on a mutual-minimum edge (2-cycles of the
+            # parent forest); count components via jump-stable labels
+            components = len({min(v, parent[v], key=lambda x: node_index[x])
+                              if parent.get(parent[v]) == v else parent[v]
+                              for v in parent})
+            ph.set_detail(sampled_vertices=len(best), jumps=jumps,
+                          components=components)
+
+        # -- local MIS on the line graph: mutual minima -----------------
+        with driver.phase(f"local_mis[{iteration}]") as ph:
+            accepted: List[int] = []
+            for pri, idx in sample:
+                u, v = edges[idx]
+                if best[u] == (pri, idx) and best[v] == (pri, idx):
+                    accepted.append(idx)
+            # one word of mutual-minimum agreement per accepted edge,
+            # recorded on the edge's home machine
+            for idx in accepted:
+                charge_working(edge_home(idx), 1, "local_mis")
+            cluster.superstep(protocol, count=1,
+                              messages=2 * len(accepted),
+                              words=2 * len(accepted))
+            ph.set_detail(accepted=len(accepted))
+        assert accepted, "a nonempty sample always has a mutual minimum"
+
+        # -- integrate: apply the matching, drop dead edges -------------
+        with driver.phase(f"integrate[{iteration}]") as ph:
+            dropped = 0
+            for idx in accepted:
+                u, v = edges[idx]
+                matching.add(u, v)
+                matched[u] = v
+                matched[v] = u
+                for w in (u, v):
+                    for inc in incident[w]:
+                        if alive[inc]:
+                            alive[inc] = False
+                            alive_count -= 1
+                            dropped += 1
+                            cluster.machines[edge_home(inc)].release(2)
+            # free the working sets (samples, labels, agreement words)
+            for home, words in working.items():
+                cluster.machines[home].release(words)
+            cluster.superstep(protocol, count=2,
+                              messages=2 * len(accepted),
+                              words=2 * len(accepted))
+            ph.set_detail(matched=len(accepted), dropped_edges=dropped,
+                          alive=alive_count)
+
+        stats.append((len(sample), components, len(accepted)))
+        driver.emit_augmentation(f"integrate[{iteration}]",
+                                 paths=len(accepted),
+                                 size=float(matching.size))
+
+    cluster.record_peaks()
+    return MPCMatchingResult(
+        matching=matching,
+        network=cluster,
+        alpha=cluster.alpha,
+        iterations=iteration,
+        supersteps=cluster.metrics.rounds,
+        peak_words=cluster.peak_words,
+        machine_words=cluster.machine_words,
+        num_machines=cluster.num_machines,
+        iteration_stats=stats,
+    )

@@ -1,0 +1,106 @@
+"""Model-agnostic observability: event bus, tracing, profiling.
+
+This package is the *leaf* of the runtime seam — it imports nothing from
+:mod:`repro.congest`, :mod:`repro.runtime`, or :mod:`repro.models`, so
+every computation model (CONGEST message passing, simulated MPC
+clusters) can publish to the same :class:`EventBus` and be traced and
+profiled by the same subscribers.
+
+The modules here were hoisted verbatim out of ``repro.congest``;
+``repro.congest.events`` / ``.tracing`` / ``.profiling`` remain as
+golden-pinned shims, so existing imports and JSONL traces are
+bit-identical.
+"""
+
+from .events import (
+    ALL_KINDS,
+    AUGMENTATION,
+    BATCH_END,
+    BATCH_START,
+    CHECKER_VERDICT,
+    EVENT_CLASSES,
+    MESSAGE_DELIVERED,
+    MIS_DECISION,
+    PHASE_END,
+    PHASE_START,
+    REPAIR,
+    ROUND_END,
+    ROUND_START,
+    STRUCTURAL_KINDS,
+    TOKEN_COLLISION,
+    Augmentation,
+    BatchEnd,
+    BatchStart,
+    CheckerVerdict,
+    Event,
+    EventBus,
+    JsonlTraceWriter,
+    MessageDelivered,
+    MISDecision,
+    PhaseEnd,
+    PhaseStart,
+    Repair,
+    RoundEnd,
+    RoundStart,
+    TokenCollision,
+    ambient_bus,
+    diff_traces,
+    edge_sample_unit,
+    load_trace,
+    observing,
+    render_timeline,
+)
+from .profiling import (
+    ObservabilityScope,
+    PhaseProfile,
+    ProfileReport,
+    Profiler,
+    ProtocolProfile,
+)
+from .tracing import TraceEvent, Tracer
+
+__all__ = [
+    "ALL_KINDS",
+    "AUGMENTATION",
+    "BATCH_END",
+    "BATCH_START",
+    "CHECKER_VERDICT",
+    "EVENT_CLASSES",
+    "MESSAGE_DELIVERED",
+    "MIS_DECISION",
+    "PHASE_END",
+    "PHASE_START",
+    "REPAIR",
+    "ROUND_END",
+    "ROUND_START",
+    "STRUCTURAL_KINDS",
+    "TOKEN_COLLISION",
+    "Augmentation",
+    "BatchEnd",
+    "BatchStart",
+    "CheckerVerdict",
+    "Event",
+    "EventBus",
+    "JsonlTraceWriter",
+    "MessageDelivered",
+    "MISDecision",
+    "ObservabilityScope",
+    "PhaseEnd",
+    "PhaseProfile",
+    "PhaseStart",
+    "ProfileReport",
+    "Profiler",
+    "ProtocolProfile",
+    "Repair",
+    "RoundEnd",
+    "RoundStart",
+    "TokenCollision",
+    "TraceEvent",
+    "Tracer",
+    "ambient_bus",
+    "diff_traces",
+    "edge_sample_unit",
+    "load_trace",
+    "observing",
+    "render_timeline",
+]

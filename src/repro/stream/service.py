@@ -53,7 +53,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Deque, Dict, Iterable, List, Optional, Set, Tuple
 
-from ..congest.events import (
+from ..observe.events import (
     BatchEnd,
     BatchStart,
     EventBus,
@@ -62,8 +62,8 @@ from ..congest.events import (
     Repair,
     ambient_bus,
 )
-from ..congest.profiling import ObservabilityScope
-from ..congest.runtime import ProtocolResult
+from ..observe.profiling import ObservabilityScope
+from ..runtime import ProtocolResult
 from ..dist.random_tools import spawn_seed
 from ..graphs.graph import Graph, GraphError, edge_key
 from ..matching.core import Matching

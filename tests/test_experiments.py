@@ -47,8 +47,8 @@ class TestTable:
 
 class TestSuiteRegistry:
     def test_all_twelve_registered(self):
-        assert len(ALL_EXPERIMENTS) == 18
-        assert set(ALL_EXPERIMENTS) == {f"t{i:02d}" for i in range(1, 19)}
+        assert len(ALL_EXPERIMENTS) == 19
+        assert set(ALL_EXPERIMENTS) == {f"t{i:02d}" for i in range(1, 20)}
 
     def test_run_all_subset(self):
         tables = run_all(["t04"])

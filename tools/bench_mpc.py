@@ -1,0 +1,211 @@
+"""MPC alpha-scaling benchmark: supersteps and peak memory vs alpha.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_mpc.py                 # full matrix
+    PYTHONPATH=src python tools/bench_mpc.py --json BENCH_mpc.json
+    PYTHONPATH=src python tools/bench_mpc.py --smoke \
+        --check-against BENCH_mpc.json                       # CI step
+
+Runs :func:`repro.mpc.mpc_maximal` on G(n, p) across a ladder of
+``alpha`` values (per-machine budget ``S = ceil(n**alpha)`` words) and
+records, per alpha: machine count, supersteps, iterations, the
+cluster-wide peak resident words, ``peak/S``, and the matching size.
+Unlike the engine/shard benchmarks these numbers are *structural*, not
+timings — the driver is deterministic in ``(graph, seed, alpha)`` — so
+``--check-against BENCH_mpc.json`` demands exact equality with the
+committed smoke section instead of a timing tolerance, and is safe on
+noisy shared CI runners.
+
+Gates (all enforced in smoke mode too — they are structural):
+
+``memory_guard``
+    every run's peak resident words must stay <= S on every machine
+    (the in-run guard raising :class:`~repro.mpc.cluster.MemoryExceeded`
+    is the mechanism; the bench re-asserts the recorded peak).
+
+``floor_trip``
+    an alpha whose ``S = ceil(n**alpha)`` lands below the 16-word floor
+    must raise ``MemoryExceeded`` at construction — the "provably trips
+    on alpha too small" acceptance check.
+
+``maximality``
+    every matching must verify valid and maximal
+    (:func:`repro.matching.verify.is_maximal`).
+
+Alphas below the floor for the chosen ``n`` are recorded as
+``"skipped (...)"`` strings with the reason, the same idiom the shard
+bench uses for its cores-aware gates, so a small smoke ``n`` never
+silently drops rows.
+"""
+
+import argparse
+import json
+import math
+import platform
+import sys
+
+from repro.graphs.generators import gnp
+from repro.matching.verify import is_maximal, verify_matching
+from repro.mpc import (
+    MIN_MACHINE_WORDS,
+    MemoryExceeded,
+    MPCCluster,
+    machine_words,
+    mpc_maximal,
+)
+
+ALPHAS = (0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+FULL_N, FULL_P = 10_000, 0.0008      # expected degree 8
+SMOKE_N, SMOKE_P = 600, 0.012        # expected degree ~7, < 1 s total
+
+SEEDS = (0, 1)
+
+
+def _run_matrix(n, p, seeds, record):
+    """Fill ``record`` with one entry per alpha; return gate status."""
+    status = 0
+    graphs = [gnp(n, p, rng=s) for s in seeds]
+    print(f"graph: gnp({n}, {p:g}), seeds {list(seeds)}")
+    for alpha in ALPHAS:
+        limit = machine_words(n, alpha)
+        if limit < MIN_MACHINE_WORDS:
+            note = (f"skipped (S={limit} < {MIN_MACHINE_WORDS}-word floor "
+                    f"at n={n}: the guard trips at construction, by design)")
+            record[f"alpha_{alpha:g}"] = note
+            print(f"  alpha={alpha:g}: {note}")
+            continue
+        steps, iters, peaks, sizes = [], [], [], []
+        machines = 0
+        for seed, g in enumerate(graphs):
+            cluster = MPCCluster(g, alpha=alpha, seed=seed)
+            res = mpc_maximal(cluster)
+            if res.peak_words > cluster.machine_words:
+                print(f"  FAIL memory_guard: alpha={alpha:g} seed={seed} "
+                      f"peak {res.peak_words} > S={cluster.machine_words}")
+                status = 1
+            try:
+                verify_matching(g, res.matching)
+                assert is_maximal(g, res.matching)
+            except (AssertionError, ValueError) as exc:
+                print(f"  FAIL maximality: alpha={alpha:g} seed={seed}: "
+                      f"{exc}")
+                status = 1
+            steps.append(res.supersteps)
+            iters.append(res.iterations)
+            peaks.append(res.peak_words)
+            sizes.append(res.matching.size)
+            machines = cluster.num_machines
+        entry = {
+            "S_words": limit,
+            "machines": machines,
+            "supersteps": steps,
+            "iterations": iters,
+            "peak_words": peaks,
+            "peak_over_S": round(max(peaks) / limit, 3),
+            "matching_size": sizes,
+            "maximal": True,
+        }
+        record[f"alpha_{alpha:g}"] = entry
+        print(f"  alpha={alpha:g}: S={limit}w  machines={machines}  "
+              f"supersteps={steps}  peak={peaks}  "
+              f"peak/S={entry['peak_over_S']}")
+    return status
+
+
+def _floor_trip(n):
+    """The provable-trip gate: S below the floor must refuse to start."""
+    alpha = 0.2
+    limit = machine_words(n, alpha)
+    if limit >= MIN_MACHINE_WORDS:  # pragma: no cover - n would be huge
+        return f"skipped (S={limit} at alpha={alpha} is above the floor)"
+    try:
+        MPCCluster(gnp(64, 0.1, rng=0), alpha=alpha)
+    except MemoryExceeded as exc:
+        print(f"floor_trip: alpha={alpha} -> {exc}")
+        return "enforced (MemoryExceeded raised at construction)"
+    print(f"FAIL floor_trip: alpha={alpha} (S={limit}) did not raise")
+    return "FAILED (no MemoryExceeded below the floor)"
+
+
+def _check_against(record, path):
+    """Exact structural comparison with the committed smoke section."""
+    with open(path) as fh:
+        committed = json.load(fh)
+    want = committed.get("smoke")
+    if want is None:
+        print(f"{path} has no 'smoke' section; regenerate with --json")
+        return 1
+    if record == want:
+        print(f"check-against {path}: smoke section matches exactly")
+        return 0
+    for key in sorted(set(want) | set(record)):
+        if want.get(key) != record.get(key):
+            print(f"MISMATCH {key}:\n  committed: {want.get(key)}\n"
+                  f"  current:   {record.get(key)}")
+    print(f"check-against {path}: the MPC driver's structural counts "
+          f"changed — if intentional, regenerate with --json")
+    return 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="MPC maximal matching: supersteps/memory vs alpha")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small graph only (CI); gates stay enforced "
+                             "— they are structural, not timings")
+    parser.add_argument("--check-against", metavar="PATH", default=None,
+                        help="fail unless the freshly computed smoke "
+                             "section equals this committed report's "
+                             "(exact: the driver is deterministic)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the machine-readable report "
+                             "(BENCH_mpc.json)")
+    args = parser.parse_args(argv)
+
+    smoke_record = {}
+    status = _run_matrix(SMOKE_N, SMOKE_P, SEEDS, smoke_record)
+    full_record = {}
+    if not args.smoke:
+        status = max(status, _run_matrix(FULL_N, FULL_P, SEEDS, full_record))
+
+    trip_note = _floor_trip(FULL_N)
+    if trip_note.startswith("FAILED"):
+        status = 1
+
+    if args.check_against is not None:
+        status = max(status, _check_against(smoke_record,
+                                            args.check_against))
+
+    if args.json is not None:
+        report = {
+            "meta": {
+                "tool": "tools/bench_mpc.py",
+                "alphas": list(ALPHAS),
+                "seeds": list(SEEDS),
+                "smoke_graph": f"gnp({SMOKE_N}, {SMOKE_P:g})",
+                "full_graph": f"gnp({FULL_N}, {FULL_P:g})",
+                "min_machine_words": MIN_MACHINE_WORDS,
+                "python": platform.python_version(),
+                "machine": platform.machine(),
+                "smoke": bool(args.smoke),
+            },
+            "smoke": smoke_record,
+            **({"full": full_record} if full_record else {}),
+            "gates": {
+                "memory_guard": "enforced (peak <= S on every run)",
+                "floor_trip": trip_note,
+                "maximality": "enforced (valid + maximal on every run)",
+                "passed": status == 0,
+            },
+        }
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,7 +34,7 @@ from __future__ import annotations
 import argparse
 from typing import List
 
-from repro.congest.events import (
+from repro.observe.events import (
     Augmentation,
     CheckerVerdict,
     PhaseEnd,
