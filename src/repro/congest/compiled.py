@@ -1,0 +1,532 @@
+"""Optional compiled (numba-jitted) hot-path tier.
+
+This module is the foundation of the ``compiled`` execution rung: a
+CPython-exact Mersenne Twister over packed per-node state, a jitted
+splitmix64 seed chain matching :mod:`repro.dist.random_tools`, a
+``random.Random``-compatible per-node facade, and a jitted encoder /
+decoder for the shard halo's int64 record segments.
+
+Everything here is written in the numba nopython subset but degrades
+gracefully: when numba is importable every ``@maybe_njit`` function is
+compiled with ``njit(cache=True)`` (so the compile cost is paid once per
+machine, not per process); when it is not, the same functions run
+interpreted over numpy scalars inside ``np.errstate(over="ignore")`` so
+the deliberate uint64 wraparound stays silent.  The interpreted path is
+slow but bit-identical, which is what lets the golden-equivalence suite
+pin the compiled tier on hosts without numba.
+
+Determinism contract: for any node id and stream prefix, the facade's
+``random()`` / ``getrandbits()`` / ``choice()`` / ``randrange()`` /
+``randint()`` produce exactly the byte stream ``random.Random(seed)``
+would, where ``seed = splitmix64(prefix ^ (node_id & 2**64-1))`` — the
+same derivation :func:`repro.dist.random_tools.node_seed_from_prefix`
+uses.  That is what makes swapping the per-node rng under an audited
+kernel a golden-preserving transformation.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+
+try:  # pragma: no cover - exercised via the numpy-free subprocess tests
+    import numpy as np
+except Exception:  # pragma: no cover
+    np = None
+
+try:  # numba is an optional extra (``pip install repro[compiled]``)
+    import numba as _numba
+except Exception:  # pragma: no cover - the common case in CI's plain legs
+    _numba = None
+
+# Kept as an alias so tests can monkeypatch availability explicitly.
+_np = np
+
+NO_COMPILED_ENV = "REPRO_NO_COMPILED"
+
+__all__ = [
+    "NO_COMPILED_ENV",
+    "compiled_enabled",
+    "numba_available",
+    "unavailable_reason",
+    "maybe_njit",
+    "splitmix64",
+    "node_seed",
+    "RngPool",
+    "CompiledNodeRandom",
+    "store_i64",
+    "load_i64",
+    "pack_segment",
+    "unpack_segment",
+    "encode_int_payload",
+    "decode_int_payload",
+    "warmup",
+]
+
+
+def compiled_enabled() -> bool:
+    """True unless ``REPRO_NO_COMPILED=1`` disables the compiled tier."""
+
+    return os.environ.get(NO_COMPILED_ENV, "") != "1"
+
+
+def numba_available() -> bool:
+    """True when the jitted implementations can actually compile."""
+
+    return _numba is not None and np is not None
+
+
+def unavailable_reason() -> "str | None":
+    """Why the compiled tier cannot engage on this host (None = it can)."""
+
+    if _np is None:
+        return "numpy is unavailable (the packed rng/codec state needs it)"
+    if _numba is None:
+        return "numba is not importable (install the repro[compiled] extra)"
+    return None
+
+
+def maybe_njit(fn):
+    """``numba.njit(cache=True)`` when available, else an interpreted shim.
+
+    The interpreted shim runs the identical function body over numpy
+    scalars with overflow warnings suppressed — uint64 wraparound is the
+    point of splitmix64/MT19937 arithmetic, and the test suite runs under
+    ``-W error``.
+    """
+
+    if _numba is not None:
+        return _numba.njit(cache=True)(fn)
+    if np is None:
+        return fn
+
+    @functools.wraps(fn)
+    def wrapper(*args):
+        with np.errstate(over="ignore"):
+            return fn(*args)
+
+    wrapper.py_func = fn
+    return wrapper
+
+
+# --------------------------------------------------------------------------
+# splitmix64 — must match repro.dist.random_tools._splitmix64 bit for bit.
+# --------------------------------------------------------------------------
+
+
+@maybe_njit
+def splitmix64(x):
+    """One splitmix64 step/finalization of a uint64 value."""
+
+    x = x + np.uint64(0x9E3779B97F4A7C15)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
+
+
+@maybe_njit
+def node_seed(prefix, node_id):
+    """Per-node MT seed: splitmix64(prefix ^ node_id) (both uint64)."""
+
+    return splitmix64(prefix ^ node_id)
+
+
+# --------------------------------------------------------------------------
+# CPython-exact MT19937 over packed rows: mt is (n, 624) uint32, mti is
+# int64 with -1 meaning "not seeded yet" (mirrors random.Random laziness:
+# constructing a generator consumes nothing until the first draw).
+# --------------------------------------------------------------------------
+
+_MT_N = 624
+
+
+@maybe_njit
+def _mt_seed_row(mt, row, seed):
+    """Seed one row exactly like ``random.Random(seed)`` for uint64 seed.
+
+    CPython splits the seed into 32-bit key words (little-endian) and
+    runs init_by_array over an init_genrand(19650218) base state.
+    """
+
+    u32 = np.uint64(0xFFFFFFFF)
+    key0 = seed & u32
+    key1 = seed >> np.uint64(32)
+    klen = 2 if key1 > np.uint64(0) else 1
+
+    prev = np.uint64(19650218)
+    mt[row, 0] = np.uint32(prev)
+    for idx in range(1, 624):
+        prev = (
+            np.uint64(1812433253) * (prev ^ (prev >> np.uint64(30)))
+            + np.uint64(idx)
+        ) & u32
+        mt[row, idx] = np.uint32(prev)
+
+    i = 1
+    j = 0
+    for _ in range(624):
+        prev_v = np.uint64(mt[row, i - 1])
+        keyj = key0 if j == 0 else key1
+        v = (
+            (np.uint64(mt[row, i]) ^ ((prev_v ^ (prev_v >> np.uint64(30))) * np.uint64(1664525)))
+            + keyj
+            + np.uint64(j)
+        ) & u32
+        mt[row, i] = np.uint32(v)
+        i += 1
+        j += 1
+        if i >= 624:
+            mt[row, 0] = mt[row, 623]
+            i = 1
+        if j >= klen:
+            j = 0
+    for _ in range(623):
+        prev_v = np.uint64(mt[row, i - 1])
+        v = (
+            (np.uint64(mt[row, i]) ^ ((prev_v ^ (prev_v >> np.uint64(30))) * np.uint64(1566083941)))
+            - np.uint64(i)
+        ) & u32
+        mt[row, i] = np.uint32(v)
+        i += 1
+        if i >= 624:
+            mt[row, 0] = mt[row, 623]
+            i = 1
+    mt[row, 0] = np.uint32(0x80000000)
+
+
+@maybe_njit
+def _mt_next32(mt, mti, row):
+    """One tempered 32-bit word (genrand_uint32), twisting when exhausted."""
+
+    pos = mti[row]
+    if pos >= 624:
+        for kk in range(624):
+            y = (np.uint64(mt[row, kk]) & np.uint64(0x80000000)) | (
+                np.uint64(mt[row, (kk + 1) % 624]) & np.uint64(0x7FFFFFFF)
+            )
+            v = np.uint64(mt[row, (kk + 397) % 624]) ^ (y >> np.uint64(1))
+            if y & np.uint64(1):
+                v ^= np.uint64(0x9908B0DF)
+            mt[row, kk] = np.uint32(v)
+        pos = 0
+    y = np.uint64(mt[row, pos])
+    mti[row] = pos + 1
+    y ^= y >> np.uint64(11)
+    y ^= (y << np.uint64(7)) & np.uint64(0x9D2C5680)
+    y ^= (y << np.uint64(15)) & np.uint64(0xEFC60000)
+    y ^= y >> np.uint64(18)
+    return y
+
+
+@maybe_njit
+def _ensure_row(mt, mti, ids, prefix, row):
+    if mti[row] < 0:
+        _mt_seed_row(mt, row, splitmix64(prefix ^ ids[row]))
+        mti[row] = 624
+
+
+@maybe_njit
+def rng_u32(mt, mti, ids, prefix, row):
+    """One raw 32-bit draw (used to assemble >64-bit getrandbits)."""
+
+    _ensure_row(mt, mti, ids, prefix, row)
+    return _mt_next32(mt, mti, row)
+
+
+@maybe_njit
+def rng_random(mt, mti, ids, prefix, row):
+    """random.Random.random(): 53-bit double from two tempered words."""
+
+    _ensure_row(mt, mti, ids, prefix, row)
+    a = _mt_next32(mt, mti, row) >> np.uint64(5)
+    b = _mt_next32(mt, mti, row) >> np.uint64(6)
+    return (np.float64(a) * 67108864.0 + np.float64(b)) * (1.0 / 9007199254740992.0)
+
+
+@maybe_njit
+def rng_getrandbits(mt, mti, ids, prefix, row, k):
+    """random.Random.getrandbits(k) for 1 <= k <= 64."""
+
+    _ensure_row(mt, mti, ids, prefix, row)
+    if k <= 32:
+        return _mt_next32(mt, mti, row) >> np.uint64(32 - k)
+    lo = _mt_next32(mt, mti, row)
+    hi = _mt_next32(mt, mti, row) >> np.uint64(64 - k)
+    return lo | (hi << np.uint64(32))
+
+
+@maybe_njit
+def rng_randbelow(mt, mti, ids, prefix, row, n):
+    """random.Random._randbelow(n) for 1 <= n < 2**62 (rejection loop)."""
+
+    nn = np.uint64(n)
+    k = 0
+    t = nn
+    while t > np.uint64(0):
+        t >>= np.uint64(1)
+        k += 1
+    r = rng_getrandbits(mt, mti, ids, prefix, row, k)
+    while r >= nn:
+        r = rng_getrandbits(mt, mti, ids, prefix, row, k)
+    return r
+
+
+_MASK64 = (1 << 64) - 1
+
+
+class CompiledNodeRandom:
+    """``random.Random``-compatible view over one row of an :class:`RngPool`.
+
+    Only the methods the audited kernels actually draw from are
+    implemented; each is bit-identical to its CPython counterpart,
+    including the multi-word ``getrandbits`` assembly that backs
+    arbitrarily large ``randrange``/``choice`` arguments (bigint path
+    counts in the counting/token kernels).
+    """
+
+    __slots__ = ("_pool", "_row")
+
+    def __init__(self, pool: "RngPool", row: int) -> None:
+        self._pool = pool
+        self._row = row
+
+    def random(self) -> float:
+        p = self._pool
+        return float(rng_random(p.mt, p.mti, p.ids, p.prefix, self._row))
+
+    def getrandbits(self, k: int) -> int:
+        if k <= 0:
+            if k == 0:
+                return 0
+            raise ValueError("number of bits must be non-negative")
+        p = self._pool
+        if k <= 64:
+            return int(rng_getrandbits(p.mt, p.mti, p.ids, p.prefix, self._row, k))
+        # CPython assembles 32-bit words little-endian, truncating the last.
+        result = 0
+        shift = 0
+        while k > 0:
+            r = int(rng_u32(p.mt, p.mti, p.ids, p.prefix, self._row))
+            if k < 32:
+                r >>= 32 - k
+            result |= r << shift
+            shift += 32
+            k -= 32
+        return result
+
+    def _randbelow(self, n: int) -> int:
+        if n <= 0:
+            return 0
+        if n < (1 << 62):
+            p = self._pool
+            return int(rng_randbelow(p.mt, p.mti, p.ids, p.prefix, self._row, n))
+        k = n.bit_length()
+        r = self.getrandbits(k)
+        while r >= n:
+            r = self.getrandbits(k)
+        return r
+
+    def choice(self, seq):
+        if not len(seq):
+            raise IndexError("Cannot choose from an empty sequence")
+        return seq[self._randbelow(len(seq))]
+
+    def randrange(self, start: int, stop: "int | None" = None, step: int = 1) -> int:
+        if stop is None:
+            if start <= 0:
+                raise ValueError(f"empty range for randrange({start!r})")
+            return self._randbelow(start)
+        if step != 1:
+            raise ValueError("compiled rng supports only step=1 randrange")
+        width = stop - start
+        if width <= 0:
+            raise ValueError(f"empty range in randrange({start}, {stop})")
+        return start + self._randbelow(width)
+
+    def randint(self, a: int, b: int) -> int:
+        return self.randrange(a, b + 1)
+
+
+class RngPool:
+    """Packed per-node MT19937 state with lazy, prefix-derived seeding.
+
+    ``ids`` are the per-node stream ids (the kernel's ``order`` values);
+    ``prefix`` is the run's node-stream prefix from
+    :func:`repro.dist.random_tools.node_stream_prefix`.  Rows seed on
+    first draw from ``splitmix64(prefix ^ id)``, so untouched nodes cost
+    nothing beyond their 2.5 KB of state.
+    """
+
+    __slots__ = ("mt", "mti", "ids", "prefix", "_views")
+
+    def __init__(self, ids, prefix: int) -> None:
+        if np is None:  # pragma: no cover - gated long before this point
+            raise RuntimeError("RngPool requires numpy")
+        n = len(ids)
+        self.mt = np.empty((n, _MT_N), dtype=np.uint32)
+        self.mti = np.full(n, -1, dtype=np.int64)
+        self.ids = np.array([int(v) & _MASK64 for v in ids], dtype=np.uint64)
+        self.prefix = np.uint64(int(prefix) & _MASK64)
+        self._views: list = [None] * n
+
+    def view(self, row: int) -> CompiledNodeRandom:
+        v = self._views[row]
+        if v is None:
+            v = CompiledNodeRandom(self, row)
+            self._views[row] = v
+        return v
+
+
+# --------------------------------------------------------------------------
+# Jitted halo codec — the int64 record path of the shard halo segments.
+# Byte layout mirrors the struct-based packer in repro.congest.sharding
+# bit for bit (little-endian int64, same padding), which the bit-identity
+# tests pin.
+# --------------------------------------------------------------------------
+
+
+@maybe_njit
+def store_i64(out, pos, value):
+    """Write one little-endian int64 into a uint8 buffer; returns new pos."""
+
+    v = value
+    for _ in range(8):
+        out[pos] = np.uint8(v & np.int64(0xFF))
+        v >>= np.int64(8)
+        pos += 1
+    return pos
+
+
+@maybe_njit
+def load_i64(buf, pos):
+    """Read one little-endian int64 from a uint8 buffer."""
+
+    lo = np.uint64(0)
+    for b in range(7):
+        lo |= np.uint64(buf[pos + b]) << np.uint64(8 * b)
+    hi = np.uint64(buf[pos + 7])
+    lo |= (hi & np.uint64(0x7F)) << np.uint64(56)
+    v = np.int64(lo)
+    if hi & np.uint64(0x80):
+        # subtract 2**63 without an out-of-range int64 literal
+        v = v + np.int64(-4611686018427387904) + np.int64(-4611686018427387904)
+    return v
+
+
+@maybe_njit
+def pack_segment(out, base, words, blob):
+    """Pack one halo segment: [n_words][words...][blob_len][blob][pad].
+
+    ``words`` is an int64 array, ``blob`` a uint8 array; returns the
+    8-aligned end offset.  Padding bytes are zeroed so repeated packs
+    into a reused shared-memory buffer stay deterministic.
+    """
+
+    pos = store_i64(out, base, np.int64(words.shape[0]))
+    for i in range(words.shape[0]):
+        pos = store_i64(out, pos, words[i])
+    pos = store_i64(out, pos, np.int64(blob.shape[0]))
+    for j in range(blob.shape[0]):
+        out[pos + j] = blob[j]
+    pos += blob.shape[0]
+    while pos & 7:
+        out[pos] = np.uint8(0)
+        pos += 1
+    return pos
+
+
+@maybe_njit
+def unpack_segment(buf, base, words_out):
+    """Inverse of :func:`pack_segment` for the word path.
+
+    Copies ``n_words`` int64 records into ``words_out`` and returns
+    ``(n_words, blob_start, blob_len)`` so the caller can hand the blob
+    bytes to the python payload decoder.
+    """
+
+    n_words = load_i64(buf, base)
+    pos = base + 8
+    for i in range(n_words):
+        words_out[i] = load_i64(buf, pos)
+        pos += 8
+    blob_len = load_i64(buf, pos)
+    return n_words, pos + 8, blob_len
+
+
+@maybe_njit
+def encode_int_payload(out, pos, value):
+    """Jitted twin of the struct codec's int case (int64-range values).
+
+    Bytes are identical to ``encode_payload``: tag 3/4, ``<q`` byte
+    count, then the little-endian magnitude.  Values outside int64 take
+    the python bigint path — by construction those ride the blob side
+    channel, never the word path this codec serves.
+    """
+
+    if value >= 0:
+        out[pos] = np.uint8(3)
+        mag = np.uint64(value)
+    else:
+        out[pos] = np.uint8(4)
+        mag = np.uint64(-(value + np.int64(1))) + np.uint64(1)
+    pos += 1
+    nbytes = np.int64(1)
+    t = mag >> np.uint64(8)
+    while t > np.uint64(0):
+        nbytes += 1
+        t >>= np.uint64(8)
+    pos = store_i64(out, pos, nbytes)
+    m = mag
+    for _ in range(nbytes):
+        out[pos] = np.uint8(m & np.uint64(0xFF))
+        m >>= np.uint64(8)
+        pos += 1
+    return pos
+
+
+@maybe_njit
+def decode_int_payload(buf, pos):
+    """Inverse of :func:`encode_int_payload`; returns (value, new_pos)."""
+
+    tag = buf[pos]
+    pos += 1
+    nbytes = load_i64(buf, pos)
+    pos += 8
+    mag = np.uint64(0)
+    for b in range(nbytes):
+        mag |= np.uint64(buf[pos + b]) << np.uint64(8 * b)
+    pos += nbytes
+    if tag == 3:
+        return np.int64(mag), pos
+    # negate via (mag - 1) so a 2**63 magnitude (int64 min) stays in range
+    return -np.int64(mag - np.uint64(1)) - np.int64(1), pos
+
+
+def warmup() -> bool:
+    """Compile (or touch) every jitted entry point outside timed regions.
+
+    With numba present this triggers ``njit(cache=True)`` compilation so
+    first-call compile time never lands inside a benchmarked or
+    latency-sensitive region; the on-disk cache makes it a no-op on
+    subsequent processes.  Returns True when the jitted tier is live.
+    """
+
+    if np is None:
+        return False
+    pool = RngPool([7, 11], 0x1234_5678_9ABC_DEF0)
+    view = pool.view(0)
+    view.random()
+    view.getrandbits(13)
+    view.getrandbits(64)
+    view.getrandbits(100)
+    view._randbelow(7)
+    view.randint(1, 6)
+    buf = np.zeros(96, dtype=np.uint8)
+    words = np.array([1, -2, 2**62], dtype=np.int64)
+    end = pack_segment(buf, 0, words, np.array([5, 6], dtype=np.uint8))
+    out = np.empty(8, dtype=np.int64)
+    unpack_segment(buf, 0, out)
+    p = encode_int_payload(buf, int(end), np.int64(-123456789))
+    decode_int_payload(buf, int(end))
+    load_i64(buf, int(p) - 8 if p >= 8 else 0)
+    return numba_available()

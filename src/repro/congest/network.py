@@ -357,7 +357,9 @@ class Network:
             result.metrics = self.metrics.delta_since(before)
             return self._attach_profile(result)
 
-        if decision.tier == "kernel":
+        if decision.tier in ("kernel", "compiled"):
+            if decision.tier == "compiled":
+                decision.kernel.enable_compiled()
             result = decision.kernel.execute(protocol, shared, limit,
                                              on_round_end)
             result.metrics = self.metrics.delta_since(before)
@@ -479,6 +481,9 @@ class Network:
         gate-by-gate logic lives there now.
         """
         decision = resolve_execution(self, factory, None, skip_sharding=True)
+        if decision.tier == "compiled":
+            decision.kernel.enable_compiled()
+            return decision.kernel
         return decision.kernel if decision.tier == "kernel" else None
 
     def _select_sharded(self, factory: NodeFactory,

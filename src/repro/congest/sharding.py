@@ -80,6 +80,7 @@ from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from . import compiled as _compiled
 from .message import payload_bits_fast
 from .node import BROADCAST, NodeContext
 
@@ -626,6 +627,18 @@ class _ShardWorker:
         kernel = None
         try:
             kernel = kernel_cls.shard_build(ctx)
+            # compiled pickup: same gates the in-process resolver applies
+            # (audited kernel, numba importable, env not vetoed, legacy
+            # additive streams off, no instance veto).  Purely a worker-
+            # local speedup — the packed MT pool replays the identical
+            # per-node bit streams, so outputs/metrics cannot move.
+            if (getattr(kernel_cls, "compiled_audited", False)
+                    and not self.spec.rng_additive
+                    and _compiled.compiled_enabled()
+                    and _compiled.unavailable_reason() is None
+                    and kernel.compiled_why(dict(shared)) is None):
+                kernel.enable_compiled(self._node_stream_prefix(
+                    self.spec.seed, run_counter, 0))
             kernel.shard_setup(dict(shared))
         except BaseException as exc:
             pos = getattr(kernel, "shard_pos", 0) if kernel else 0
@@ -748,19 +761,32 @@ class _ShardWorker:
         offsets[0] = 0
         records = 0
         width = ctx.record_width
+        # native codec: with numba live, segments are written by the
+        # jitted packer straight into a uint8 view of the halo block
+        # (bit-identical layout to the struct path — pinned by tests)
+        np8 = None
+        if _compiled._numba is not None and _compiled.np is not None:
+            np8 = _compiled.np.frombuffer(buf, dtype=_compiled.np.uint8)
         for d in range(k):
             size = seg_sizes[d]
             if size:
                 words = staged_words[d]
                 blob = staged_blobs[d]
                 base = header + pos
-                buf[base:base + 8] = _pack_q(len(words))
-                raw = words.tobytes()
-                buf[base + 8:base + 8 + len(raw)] = raw
-                tail = base + 8 + len(raw)
-                buf[tail:tail + 8] = _pack_q(len(blob))
-                if blob:
-                    buf[tail + 8:tail + 8 + len(blob)] = blob
+                if np8 is not None:
+                    _np = _compiled.np
+                    _compiled.pack_segment(
+                        np8, base,
+                        _np.frombuffer(words, dtype=_np.int64),
+                        _np.frombuffer(blob, dtype=_np.uint8))
+                else:
+                    buf[base:base + 8] = _pack_q(len(words))
+                    raw = words.tobytes()
+                    buf[base + 8:base + 8 + len(raw)] = raw
+                    tail = base + 8 + len(raw)
+                    buf[tail:tail + 8] = _pack_q(len(blob))
+                    if blob:
+                        buf[tail + 8:tail + 8 + len(blob)] = blob
                 records += len(words) // width
                 pos += size
             offsets[d + 1] = pos

@@ -5,7 +5,7 @@
 hoisted out of ``repro.congest.execution`` (which remains a
 golden-pinned shim).  :mod:`repro.models.base` defines the
 :class:`ComputationModel` seam and the two registered models:
-``congest`` (synchronous message passing on the five-rung engine
+``congest`` (synchronous message passing on the six-rung engine
 ladder) and ``mpc`` (simulated machines with per-machine memory caps).
 """
 

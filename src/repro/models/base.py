@@ -12,7 +12,7 @@ whether a "round" is a CONGEST message round or an MPC superstep.  What
   MPC supersteps — both land in ``Metrics.rounds`` so cross-model tables
   stay comparable, but the unit is named in explanations),
 * which **execution tiers** of :mod:`repro.models.execution` the model
-  can run on (CONGEST owns the full five-rung ladder; MPC simulates
+  can run on (CONGEST owns the full six-rung ladder; MPC simulates
   machines in-process and rejects the kernel/shard rungs outright), and
 * how a plan **resolves** for one run (:meth:`ComputationModel.resolve`),
   which is what ``explain_execution()`` reports — reason chains always
@@ -79,11 +79,11 @@ class ComputationModel:
 
 
 class CongestModel(ComputationModel):
-    """Synchronous CONGEST message passing on the five-rung ladder."""
+    """Synchronous CONGEST message passing on the six-rung ladder."""
 
     name = "congest"
     loop_unit = "round"
-    tiers = TIERS  # every rung, "sharded-kernel" down to "legacy"
+    tiers = TIERS  # every rung, "compiled" down to "legacy"
 
     def resolve(self, executor: Any, factory: Any = None,
                 shared: Optional[Dict[str, Any]] = None,
@@ -108,10 +108,10 @@ class MPCModel(ComputationModel):
     tiers = ("node",)
 
     def _reject_reason(self, tier: str) -> str:
-        return ("kernel and shard tiers are CONGEST engine rungs "
-                "(vectorized round kernels / forked per-node workers); "
-                "MPC supersteps execute on simulated machines with "
-                "per-machine memory caps — use execution='auto' or "
+        return ("the compiled, kernel and shard tiers are CONGEST engine "
+                "rungs (jitted/vectorized round kernels, forked per-node "
+                "workers); MPC supersteps execute on simulated machines "
+                "with per-machine memory caps — use execution='auto' or "
                 "'node'")
 
     def resolve(self, executor: Any, factory: Any = None,

@@ -16,11 +16,17 @@ and ``repro.run(execution=...)``:
 the ladder when a rung is ineligible (exactly like the historical silent
 fallbacks).  The rungs, fastest first::
 
+    compiled         numba-jitted RoundKernel hot path, single process
     sharded-kernel   RoundKernel array fast path inside shard workers
     kernel           RoundKernel fast path, single process
     sharded          per-node dispatch inside shard workers
     node             per-node dispatch, single process (the reference)
     legacy           the original per-message dict engine
+
+The ``compiled`` rung engages only when numba is importable (the
+``repro[compiled]`` extra), the selected kernel declares itself
+``compiled_audited`` and ``REPRO_NO_COMPILED`` is unset; otherwise it
+falls through silently, exactly like every rung before it.
 
 ``tier="auto"`` (the default) applies the auto rules: kernels whenever a
 protocol registers one, sharding on top when requested or when the
@@ -52,14 +58,15 @@ from ..observe.events import MESSAGE_DELIVERED
 
 #: Resolved tier names, fastest first (``"auto"`` is a plan input, never
 #: a resolution result).
-TIERS = ("sharded-kernel", "kernel", "sharded", "node", "legacy")
+TIERS = ("compiled", "sharded-kernel", "kernel", "sharded", "node", "legacy")
 
 #: The rungs each plan tier may resolve to, in preference order.  A tier
 #: is a *ceiling with a sensible floor*: explicitly asking for a kernel
 #: tier never silently spawns worker processes, and explicitly asking
 #: for a sharded tier without kernels never re-enables them.
 _LADDER: Dict[str, Tuple[str, ...]] = {
-    "auto": ("sharded-kernel", "kernel", "sharded", "node"),
+    "auto": ("compiled", "sharded-kernel", "kernel", "sharded", "node"),
+    "compiled": ("compiled", "kernel", "node"),
     "sharded-kernel": ("sharded-kernel", "kernel", "sharded", "node"),
     "kernel": ("kernel", "node"),
     "sharded": ("sharded", "node"),
@@ -94,11 +101,12 @@ class ExecutionPlan:
                 f"of {', '.join(TIERS)}")
         if self.shards is not None and self.shards < 0:
             raise ValueError("shards must be >= 0 (0 disables sharding)")
-        if self.shards and self.tier in ("kernel", "node", "legacy"):
+        if self.shards and self.tier in ("compiled", "kernel", "node", "legacy"):
             raise ValueError(
                 f"tier {self.tier!r} never shards; drop shards= or pick "
                 f"'auto', 'sharded-kernel' or 'sharded'")
-        if not self.kernels and self.tier in ("kernel", "sharded-kernel"):
+        if not self.kernels and self.tier in ("compiled", "kernel",
+                                              "sharded-kernel"):
             raise ValueError(
                 f"kernels=False contradicts tier {self.tier!r}")
 
@@ -211,8 +219,18 @@ def resolve_execution(net: Any, factory: Any = None,
         ladder = tuple(t for t in ladder
                        if t not in ("sharded", "sharded-kernel"))
 
+    from ..congest import compiled as _compiled
     from ..congest import kernels as _kernels
     from ..congest.policies import BandwidthPolicy
+
+    # The numpy probe decides which branch every kernel tier runs; report
+    # it up front so a fallthrough is diagnosable without running.
+    if _kernels._np is not None:
+        say("numpy probe: available — eligible kernels run their "
+            "vectorized branch")
+    else:
+        say("numpy probe: unavailable — eligible kernels run the "
+            "pure-python fallback")
 
     # -- kernel availability (both kernel tiers) ------------------------
     kernels_on = plan.kernels
@@ -251,6 +269,23 @@ def resolve_execution(net: Any, factory: Any = None,
                 kernel_why = (f"{kernel_cls.__name__}.accepts() vetoed "
                               f"this run")
 
+    # -- compiled eligibility (sits on top of the kernel gates) ---------
+    compiled_why = kernel_why
+    if compiled_why is None:
+        if plan.env_overrides and not _compiled.compiled_enabled():
+            compiled_why = (f"{_compiled.NO_COMPILED_ENV} disables the "
+                            f"compiled tier")
+        else:
+            compiled_why = _compiled.unavailable_reason()
+    if compiled_why is None:
+        if getattr(net, "_rng_additive", False):
+            compiled_why = ("REPRO_ADDITIVE_NODE_RNG pins the legacy "
+                            "additive rng streams")
+        elif not getattr(kernel_cls, "compiled_audited", False):
+            compiled_why = (f"{kernel_cls.__name__} is not compiled-audited")
+        else:
+            compiled_why = kernel.compiled_why(dict(shared) if shared else {})
+
     # -- shard eligibility (both sharded tiers) -------------------------
     k = None
     shard_why = base_why
@@ -285,7 +320,13 @@ def resolve_execution(net: Any, factory: Any = None,
 
     # -- walk the ladder ------------------------------------------------
     for rung in ladder:
-        if rung == "sharded-kernel":
+        if rung == "compiled":
+            if compiled_why is None:
+                say(f"tier 'compiled': selected — {kernel_cls.__name__} "
+                    f"runs numba-jitted over packed state")
+                return done("compiled", kernel=kernel, kernel_cls=kernel_cls)
+            say(f"tier 'compiled': skipped — {compiled_why}")
+        elif rung == "sharded-kernel":
             if k is not None and kernel is not None \
                     and getattr(kernel_cls, "shard_words", 0) > 0:
                 say(f"tier 'sharded-kernel': selected — "

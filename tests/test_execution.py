@@ -66,8 +66,8 @@ class TestExecutionPlan:
             ExecutionPlan().tier = "node"
 
     def test_tier_vocabulary(self):
-        assert TIERS == ("sharded-kernel", "kernel", "sharded", "node",
-                         "legacy")
+        assert TIERS == ("compiled", "sharded-kernel", "kernel", "sharded",
+                         "node", "legacy")
         for tier in TIERS:
             assert ExecutionPlan(tier=tier).tier == tier
         with pytest.raises(ValueError):
@@ -252,6 +252,70 @@ class TestExplainExecution:
         decision = self._explain(
             execution=ExecutionPlan(env_overrides=False))
         assert decision.tier == "kernel"
+
+    def test_numpy_probe_reported(self):
+        # satellite of the compiled tier: the availability probe that
+        # decides vectorized-vs-fallback is named in every chain
+        decision = self._explain()
+        assert any(r.startswith("numpy probe: available — eligible "
+                                "kernels run their vectorized branch")
+                   for r in decision.reasons)
+
+    def test_numpy_probe_reports_the_fallback(self, monkeypatch):
+        monkeypatch.setattr(kernels_mod, "_np", None)
+        decision = self._explain()
+        assert any(r.startswith("numpy probe: unavailable — eligible "
+                                "kernels run the pure-python fallback")
+                   for r in decision.reasons)
+
+    def test_compiled_skipped_without_numba(self):
+        from repro.congest import compiled as compiled_mod
+        if compiled_mod._numba is not None:  # pragma: no cover
+            pytest.skip("numba installed on this host")
+        decision = self._explain()
+        assert decision.tier == "kernel"
+        assert any(r == "tier 'compiled': skipped — numba is not "
+                        "importable (install the repro[compiled] extra)"
+                   for r in decision.reasons)
+
+    def test_compiled_selected_when_numba_is_live(self, monkeypatch):
+        from repro.congest import compiled as compiled_mod
+        monkeypatch.setattr(compiled_mod, "_numba", object())
+        decision = self._explain()
+        assert decision.tier == "compiled"
+        assert any(r == "tier 'compiled': selected — LubyMISKernel runs "
+                        "numba-jitted over packed state"
+                   for r in decision.reasons)
+
+    def test_compiled_env_kill_switch(self, monkeypatch):
+        from repro.congest import NO_COMPILED_ENV
+        from repro.congest import compiled as compiled_mod
+        monkeypatch.setattr(compiled_mod, "_numba", object())
+        monkeypatch.setenv(NO_COMPILED_ENV, "1")
+        decision = self._explain()
+        assert decision.tier == "kernel"
+        assert any(NO_COMPILED_ENV in r and "compiled" in r
+                   for r in decision.reasons)
+
+    def test_compiled_requires_the_audit_flag(self, monkeypatch):
+        from repro.congest import compiled as compiled_mod
+        from repro.congest.kernels import kernel_for
+        monkeypatch.setattr(compiled_mod, "_numba", object())
+        monkeypatch.setattr(kernel_for(LubyMISNode),
+                            "compiled_audited", False)
+        decision = self._explain()
+        assert decision.tier == "kernel"
+        assert any("LubyMISKernel is not compiled-audited" in r
+                   for r in decision.reasons)
+
+    def test_compiled_respects_additive_rng_pin(self, monkeypatch):
+        from repro.congest import compiled as compiled_mod
+        monkeypatch.setattr(compiled_mod, "_numba", object())
+        monkeypatch.setenv("REPRO_ADDITIVE_NODE_RNG", "1")
+        decision = self._explain()
+        assert decision.tier == "kernel"
+        assert any("REPRO_ADDITIVE_NODE_RNG pins the legacy additive "
+                   "rng streams" in r for r in decision.reasons)
 
     def test_explain_formats_the_chain(self):
         decision = self._explain(

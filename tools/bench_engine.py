@@ -22,9 +22,15 @@ committed ``BENCH_engine.json`` at the repo root is produced this way.
 
 ``--kernels`` measures the vectorized kernel fast path
 (:mod:`repro.congest.kernels`) against per-node dispatch on the same
-batched engine — Israeli-Itai, Luby MIS and the counting pass on
-1000-node graphs of mean degree 16, each with numpy and on the
-pure-python fallback.  Acceptance gates: >= 3x rounds/sec with numpy and
+batched engine — Israeli-Itai, Luby MIS, the counting pass and token
+selection on 1000-node graphs of mean degree 16, each with numpy and on
+the pure-python fallback.  When numba is importable (the
+``repro[compiled]`` extra) a ``compiled`` column is measured first —
+the jitted compiled tier, warmed up outside the clock — and gated at
+>= 8x the per-node path and >= 2x the numpy kernel on ``israeli_itai``
+and ``luby_mis``; on numba-free hosts the column records the skip
+reason instead (same idiom as the cores-aware ``BENCH_shards`` gates).
+Acceptance gates: >= 3x rounds/sec with numpy and
 >= 1.2x pure-python on ``israeli_itai`` and ``luby_mis``.  The committed
 ``BENCH_kernels.json`` is produced with ``--kernels --json``;
 ``--check-against BENCH_kernels.json`` additionally fails when a current
@@ -98,9 +104,11 @@ from repro.congest import (
     NodeAlgorithm,
     kernels,
 )
+from repro.congest import compiled as compiled_mod
 from repro.dist.bipartite_counting import X_SIDE, Y_SIDE, run_counting
 from repro.dist.israeli_itai import israeli_itai
 from repro.dist.luby_mis import luby_mis
+from repro.dist.token_mis import run_token_selection
 from repro.graphs import gnp, random_bipartite
 
 
@@ -231,6 +239,8 @@ def _bench_observed(n_side: int, p: float, rounds: int, record=None) -> int:
 KERNEL_DEG = 16            # mean degree of the 1000-node benchmark graphs
 NUMPY_SPEEDUP_TARGET = 3.0
 FALLBACK_SPEEDUP_TARGET = 1.2
+COMPILED_NODE_TARGET = 8.0    # compiled tier vs per-node dispatch
+COMPILED_KERNEL_TARGET = 2.0  # compiled tier vs the numpy kernel path
 GATED_WORKLOADS = ("israeli_itai", "luby_mis")
 REGRESSION_TOLERANCE = 0.8  # current speedup must be >= 80% of committed
 
@@ -251,6 +261,14 @@ def _counting_instance(n: int):
     return g, side, mate
 
 
+def _net_kwargs(engine: str):
+    """``engine`` column -> Network keyword; ``compiled`` is a plan tier,
+    not a legacy engine name, so it travels as ``execution=``."""
+    if engine == "compiled":
+        return {"execution": "compiled"}
+    return {"engine": engine}
+
+
 def _kernel_workloads(n: int):
     """(name, build, go) triples: ``build(engine)`` makes a fresh Network,
     ``go(net)`` runs the protocol and returns a comparable result."""
@@ -258,14 +276,14 @@ def _kernel_workloads(n: int):
 
     def build_gnp(engine):
         return Network(gnp(n, p, rng=7), policy=CONGEST, seed=7,
-                       engine=engine)
+                       **_net_kwargs(engine))
 
     counting_shared = {}
 
     def build_counting(engine):
         g, side, mate = _counting_instance(n)
         counting_shared["side"], counting_shared["mate"] = side, mate
-        return Network(g, policy=PIPELINE, seed=7, engine=engine)
+        return Network(g, policy=PIPELINE, seed=7, **_net_kwargs(engine))
 
     def go_counting(net):
         outputs = run_counting(net, counting_shared["side"],
@@ -273,11 +291,36 @@ def _kernel_workloads(n: int):
         return tuple((v, None if s is None else (s.t, s.total))
                      for v, s in sorted(outputs.items()))
 
+    token_shared = {}
+
+    def build_token(engine):
+        # count states are inputs to selection, not part of the timed
+        # protocol: compute them once on a throwaway network
+        if not token_shared:
+            g, side, mate = _counting_instance(n)
+            ell = 6
+            prep = Network(g, policy=PIPELINE, seed=7, engine="csr")
+            states = run_counting(prep, side, mate, ell)
+            n_bound = (max(2, g.num_nodes)
+                       * max(2, g.max_degree) ** ((ell + 1) // 2))
+            token_shared.update(g=g, side=side, mate=mate, ell=ell,
+                                states=states, cap=n_bound ** 4)
+        return Network(token_shared["g"], policy=PIPELINE, seed=7,
+                       **_net_kwargs(engine))
+
+    def go_token(net):
+        ts = token_shared
+        new_mate, applied = run_token_selection(
+            net, ts["side"], ts["mate"], ts["ell"], ts["states"],
+            ts["cap"])
+        return tuple(sorted(new_mate.items())), applied
+
     return [
         ("israeli_itai", build_gnp,
          lambda net: frozenset(israeli_itai(net).edges())),
         ("luby_mis", build_gnp, lambda net: frozenset(luby_mis(net))),
         ("counting", build_counting, go_counting),
+        ("token_mis", build_token, go_token),
     ]
 
 
@@ -295,13 +338,29 @@ def _time_kernel_workload(build, go, engine: str, reps: int):
 
 
 def _bench_kernels(n: int, reps: int, record=None) -> int:
-    """Kernel fast path vs per-node dispatch, with and without numpy."""
+    """Kernel fast path vs per-node dispatch: compiled (when numba is
+    importable), numpy, and the pure-python fallback."""
     status = 0
     have_numpy = kernels._np is not None
-    modes = [("numpy", True)] if have_numpy else []
-    modes.append(("fallback", False))
-    if not have_numpy:
+    have_compiled = (have_numpy and compiled_mod.numba_available()
+                     and compiled_mod.compiled_enabled())
+    modes = []
+    if have_compiled:
+        compiled_mod.warmup()  # JIT compilation happens outside the clock
+        modes.append(("compiled", True))
+        compiled_gate = "enforced (numba importable, warmed up)"
+    else:
+        reason = (compiled_mod.unavailable_reason()
+                  or f"{compiled_mod.NO_COMPILED_ENV} is set")
+        compiled_gate = f"skipped ({reason})"
+        print(f"compiled tier unavailable: {reason}")
+    if have_numpy:
+        modes.append(("numpy", True))
+    else:
         print("numpy unavailable: skipping the numpy mode")
+    modes.append(("fallback", False))
+    if record is not None:
+        record["compiled_gate"] = compiled_gate
     print(f"kernel fast path vs per-node dispatch "
           f"({n} nodes, mean degree {KERNEL_DEG}):")
     for mode_name, use_numpy in modes:
@@ -316,6 +375,35 @@ def _bench_kernels(n: int, reps: int, record=None) -> int:
                     build, go, "node", reps)
                 assert k_out == n_out and k_rounds == n_rounds, (
                     f"{name}: kernel and per-node paths disagree!")
+                if mode_name == "compiled":
+                    c_rs, c_rounds, c_out = _time_kernel_workload(
+                        build, go, "compiled", reps)
+                    assert c_out == n_out and c_rounds == n_rounds, (
+                        f"{name}: compiled and per-node paths disagree!")
+                    vs_node = c_rs / n_rs
+                    vs_kernel = c_rs / k_rs
+                    print(f"{name:>14} [compiled]: node {n_rs:8.1f} r/s   "
+                          f"kernel {k_rs:8.1f} r/s   "
+                          f"compiled {c_rs:8.1f} r/s   "
+                          f"{vs_node:.2f}x node   {vs_kernel:.2f}x kernel")
+                    if record is not None:
+                        record.setdefault(name, {})["compiled"] = {
+                            "node_rounds_per_sec": round(n_rs, 1),
+                            "kernel_rounds_per_sec": round(k_rs, 1),
+                            "compiled_rounds_per_sec": round(c_rs, 1),
+                            "rounds": c_rounds,
+                            "speedup_vs_node": round(vs_node, 2),
+                            "speedup_vs_kernel": round(vs_kernel, 2),
+                        }
+                    if name in GATED_WORKLOADS and (
+                            vs_node < COMPILED_NODE_TARGET
+                            or vs_kernel < COMPILED_KERNEL_TARGET):
+                        print(f"{name:>14} [compiled]: {vs_node:.2f}x node "
+                              f"/ {vs_kernel:.2f}x kernel below the "
+                              f"{COMPILED_NODE_TARGET:.0f}x node / "
+                              f"{COMPILED_KERNEL_TARGET:.0f}x kernel gates")
+                        status = 1
+                    continue
                 speedup = k_rs / n_rs
                 print(f"{name:>14} [{mode_name:8}]: node {n_rs:8.1f} r/s   "
                       f"kernel {k_rs:8.1f} r/s   speedup {speedup:.2f}x   "
@@ -337,7 +425,9 @@ def _bench_kernels(n: int, reps: int, record=None) -> int:
             kernels._np = saved
     print(f"gates: {' and '.join(GATED_WORKLOADS)} need "
           f">= {NUMPY_SPEEDUP_TARGET:.1f}x with numpy, "
-          f">= {FALLBACK_SPEEDUP_TARGET:.1f}x pure-python")
+          f">= {FALLBACK_SPEEDUP_TARGET:.1f}x pure-python; compiled "
+          f"needs >= {COMPILED_NODE_TARGET:.0f}x node and "
+          f">= {COMPILED_KERNEL_TARGET:.0f}x kernel — {compiled_gate}")
     return status
 
 
@@ -349,18 +439,21 @@ def _check_kernel_regression(record, committed_path: str) -> int:
         committed = json.load(fh)
     status = 0
     for name, modes in committed.get("kernels", {}).items():
+        if not isinstance(modes, dict):  # gate notes ride beside workloads
+            continue
         for mode_name, entry in modes.items():
-            base = entry.get("speedup")
-            current = (record.get(name, {}).get(mode_name, {})
-                       .get("speedup"))
-            if base is None or current is None:
-                continue
-            floor = base * REGRESSION_TOLERANCE
-            if current < floor:
-                print(f"REGRESSION {name} [{mode_name}]: speedup "
-                      f"{current:.2f}x < {floor:.2f}x "
-                      f"(80% of committed {base:.2f}x)")
-                status = 1
+            for key in ("speedup", "speedup_vs_node", "speedup_vs_kernel"):
+                base = entry.get(key)
+                current = (record.get(name, {}).get(mode_name, {})
+                           .get(key))
+                if base is None or current is None:
+                    continue
+                floor = base * REGRESSION_TOLERANCE
+                if current < floor:
+                    print(f"REGRESSION {name} [{mode_name}]: {key} "
+                          f"{current:.2f}x < {floor:.2f}x "
+                          f"(80% of committed {base:.2f}x)")
+                    status = 1
     if status == 0:
         print(f"no kernel-path regression vs {committed_path} "
               f"(tolerance: within 20% of committed speedups)")
@@ -630,9 +723,16 @@ def main(argv=None) -> int:
         kernel_record = {}
         status = _bench_kernels(args.n, args.reps, record=kernel_record)
         if args.check_against is not None:
-            status = max(status,
-                         _check_kernel_regression(kernel_record,
-                                                  args.check_against))
+            if args.smoke:
+                # smoke shrinks the workloads, so ratios are not
+                # comparable with the full-scale committed report —
+                # the in-run gates above were still evaluated
+                print("smoke scale differs from the committed report; "
+                      "regression comparison skipped")
+            else:
+                status = max(status,
+                             _check_kernel_regression(kernel_record,
+                                                      args.check_against))
         if args.json is not None:
             report = {
                 "meta": {
@@ -642,6 +742,7 @@ def main(argv=None) -> int:
                     "nodes": args.n,
                     "reps": args.reps,
                     "numpy": kernels._np is not None,
+                    "numba": compiled_mod.numba_available(),
                     "python": platform.python_version(),
                     "machine": platform.machine(),
                     "smoke": bool(args.smoke),
@@ -650,6 +751,8 @@ def main(argv=None) -> int:
                 "gates": {
                     "numpy_speedup_target": NUMPY_SPEEDUP_TARGET,
                     "fallback_speedup_target": FALLBACK_SPEEDUP_TARGET,
+                    "compiled_node_target": COMPILED_NODE_TARGET,
+                    "compiled_kernel_target": COMPILED_KERNEL_TARGET,
                     "gated_workloads": list(GATED_WORKLOADS),
                     "regression_tolerance": REGRESSION_TOLERANCE,
                     "passed": status == 0,
