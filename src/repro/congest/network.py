@@ -197,6 +197,9 @@ class Network:
         else:
             plan = ExecutionPlan.from_legacy(
                 engine if engine is not None else default_engine(), shards)
+        # fail fast on foreign rungs (e.g. 'mpc_kernel' belongs to the
+        # MPC model's ladder, not CONGEST's)
+        self.model.check_plan(plan)
         #: the frozen :class:`~repro.congest.execution.ExecutionPlan`
         #: every :meth:`run` resolves against
         self.execution_plan = plan

@@ -20,6 +20,8 @@ from .base import (
     get_model,
 )
 from .execution import (
+    ALL_TIERS,
+    MPC_TIERS,
     TIERS,
     ExecutionDecision,
     ExecutionPlan,
@@ -27,9 +29,11 @@ from .execution import (
 )
 
 __all__ = [
+    "ALL_TIERS",
     "CONGEST_MODEL",
     "MODELS",
     "MPC_MODEL",
+    "MPC_TIERS",
     "ComputationModel",
     "CongestModel",
     "ExecutionDecision",

@@ -12,8 +12,9 @@ whether a "round" is a CONGEST message round or an MPC superstep.  What
   MPC supersteps — both land in ``Metrics.rounds`` so cross-model tables
   stay comparable, but the unit is named in explanations),
 * which **execution tiers** of :mod:`repro.models.execution` the model
-  can run on (CONGEST owns the full six-rung ladder; MPC simulates
-  machines in-process and rejects the kernel/shard rungs outright), and
+  can run on — each model owns its *own* ladder (CONGEST the full
+  six-rung one, MPC the two-rung ``mpc_kernel`` > ``node``) and rejects
+  foreign rungs outright instead of silently demoting them, and
 * how a plan **resolves** for one run (:meth:`ComputationModel.resolve`),
   which is what ``explain_execution()`` reports — reason chains always
   open by naming the model.
@@ -26,7 +27,14 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, Tuple
 
-from .execution import ExecutionDecision, ExecutionPlan, TIERS, resolve_execution
+from .execution import (
+    ExecutionDecision,
+    ExecutionPlan,
+    MPC_LADDER,
+    MPC_TIERS,
+    TIERS,
+    resolve_execution,
+)
 
 __all__ = [
     "MODELS",
@@ -95,41 +103,60 @@ class MPCModel(ComputationModel):
     """Simulated Massively Parallel Computation: supersteps over machines
     with ``S = ceil(n**alpha)`` words each.
 
-    The kernel and shard rungs are CONGEST engine internals (vectorized
-    round kernels, forked per-node workers); an MPC run *simulates* its
-    parallelism as machine word-ledgers in-process, so the only rung it
-    resolves to is ``"node"``.  Asking for a CONGEST-only tier raises
-    :class:`ModelExecutionError` instead of silently falling down the
-    ladder.
+    MPC owns a two-rung ladder of its own: ``mpc_kernel`` (whole-cluster
+    array passes over packed machine ledgers, numpy-backed) falling
+    through to ``node`` (the per-machine pure-python reference).  The
+    compiled/kernel/shard rungs are CONGEST engine internals (vectorized
+    round kernels, forked per-node workers); asking an MPC run for one of
+    those raises :class:`ModelExecutionError` instead of silently falling
+    down a foreign ladder.
     """
 
     name = "mpc"
     loop_unit = "superstep"
-    tiers = ("node",)
+    tiers = MPC_TIERS
 
     def _reject_reason(self, tier: str) -> str:
         return ("the compiled, kernel and shard tiers are CONGEST engine "
                 "rungs (jitted/vectorized round kernels, forked per-node "
                 "workers); MPC supersteps execute on simulated machines "
-                "with per-machine memory caps — use execution='auto' or "
-                "'node'")
+                "with per-machine memory caps — use execution='auto', "
+                "'mpc_kernel' or 'node'")
 
     def resolve(self, executor: Any, factory: Any = None,
                 shared: Optional[Dict[str, Any]] = None,
                 collect: bool = False) -> ExecutionDecision:
         plan: ExecutionPlan = executor.execution_plan
         self.check_plan(plan)
-        reasons: Tuple[str, ...] = ()
-        if collect:
-            reasons = (
-                f"model 'mpc': resolving plan tier '{plan.tier}' — MPC "
-                f"has a single rung ('node')",
-                "tier 'node': selected — supersteps execute in-process "
-                "on simulated machines (per-machine memory guard "
-                f"S = {getattr(executor, 'machine_words', '?')} words, "
-                f"{getattr(executor, 'num_machines', '?')} machine(s))",
-            )
-        return ExecutionDecision(tier="node", reasons=reasons)
+        from ..mpc import kernel as _mpc_kernel
+
+        reasons: list = []
+
+        def say(msg: str) -> None:
+            if collect:
+                reasons.append(msg)
+
+        say(f"model 'mpc': resolving plan tier '{plan.tier}' on the MPC "
+            f"execution ladder ({' > '.join(MPC_TIERS)})")
+        vector_why = _mpc_kernel.unavailable_reason(
+            plan, getattr(executor, "graph", None))
+        for rung in MPC_LADDER[plan.tier]:
+            if rung == "mpc_kernel":
+                if vector_why is None:
+                    say("tier 'mpc_kernel': selected — supersteps run as "
+                        "whole-cluster array passes over packed machine "
+                        "ledgers (numpy), budget-exact against the node "
+                        "tier")
+                    return ExecutionDecision(tier="mpc_kernel",
+                                             reasons=tuple(reasons))
+                say(f"tier 'mpc_kernel': skipped — {vector_why}")
+            else:  # node ends every MPC ladder
+                say("tier 'node': selected — supersteps execute in-process "
+                    "on simulated machines (per-machine memory guard "
+                    f"S = {getattr(executor, 'machine_words', '?')} words, "
+                    f"{getattr(executor, 'num_machines', '?')} machine(s))")
+                return ExecutionDecision(tier="node", reasons=tuple(reasons))
+        raise AssertionError("unreachable: 'node' ends every MPC ladder")
 
 
 CONGEST_MODEL = CongestModel()

@@ -56,9 +56,24 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..observe.events import MESSAGE_DELIVERED
 
-#: Resolved tier names, fastest first (``"auto"`` is a plan input, never
-#: a resolution result).
+#: CONGEST's resolved tier names, fastest first (``"auto"`` is a plan
+#: input, never a resolution result).  Kept as the historical name —
+#: shims and goldens pin it — but plans are validated against
+#: :data:`ALL_TIERS`, which also covers the per-model rungs of other
+#: computation models.
 TIERS = ("compiled", "sharded-kernel", "kernel", "sharded", "node", "legacy")
+
+#: The MPC model's ladder, fastest first: whole-cluster array passes
+#: over packed machine ledgers, then the per-machine reference path.
+#: (``"node"`` is shared vocabulary: on every model it names the
+#: single-process pure-python reference rung.)
+MPC_TIERS = ("mpc_kernel", "node")
+
+#: Every tier name any registered computation model can resolve to.  A
+#: plan may name any of these; *which* of them a concrete run accepts is
+#: the model's call (:meth:`~repro.models.base.ComputationModel.check_plan`).
+ALL_TIERS = ("compiled", "sharded-kernel", "kernel", "sharded",
+             "mpc_kernel", "node", "legacy")
 
 #: The rungs each plan tier may resolve to, in preference order.  A tier
 #: is a *ceiling with a sensible floor*: explicitly asking for a kernel
@@ -72,6 +87,14 @@ _LADDER: Dict[str, Tuple[str, ...]] = {
     "sharded": ("sharded", "node"),
     "node": ("node",),
     "legacy": ("legacy",),
+}
+
+#: The per-model ladder walked by :meth:`MPCModel.resolve` (the MPC
+#: analogue of :data:`_LADDER`; ``"auto"`` prefers the vectorized rung).
+MPC_LADDER: Dict[str, Tuple[str, ...]] = {
+    "auto": ("mpc_kernel", "node"),
+    "mpc_kernel": ("mpc_kernel", "node"),
+    "node": ("node",),
 }
 
 
@@ -95,18 +118,19 @@ class ExecutionPlan:
     env_overrides: bool = True
 
     def __post_init__(self) -> None:
-        if self.tier != "auto" and self.tier not in TIERS:
+        if self.tier != "auto" and self.tier not in ALL_TIERS:
             raise ValueError(
                 f"unknown execution tier {self.tier!r}; use 'auto' or one "
-                f"of {', '.join(TIERS)}")
+                f"of {', '.join(ALL_TIERS)}")
         if self.shards is not None and self.shards < 0:
             raise ValueError("shards must be >= 0 (0 disables sharding)")
-        if self.shards and self.tier in ("compiled", "kernel", "node", "legacy"):
+        if self.shards and self.tier in ("compiled", "kernel", "mpc_kernel",
+                                         "node", "legacy"):
             raise ValueError(
                 f"tier {self.tier!r} never shards; drop shards= or pick "
                 f"'auto', 'sharded-kernel' or 'sharded'")
         if not self.kernels and self.tier in ("compiled", "kernel",
-                                              "sharded-kernel"):
+                                              "sharded-kernel", "mpc_kernel"):
             raise ValueError(
                 f"kernels=False contradicts tier {self.tier!r}")
 

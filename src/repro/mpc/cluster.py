@@ -135,9 +135,9 @@ class MPCCluster:
     bus, one observer, or a list) and falls back to the ambient
     ``observing(...)`` bus.  ``execution=`` accepts an
     :class:`~repro.models.execution.ExecutionPlan` or tier name and is
-    validated against the MPC model: the kernel and shard tiers are
-    CONGEST engine rungs and raise
-    :class:`~repro.models.base.ModelExecutionError`.
+    validated against the MPC model's own ladder (``mpc_kernel`` >
+    ``node``); the compiled/kernel/shard tiers are CONGEST engine rungs
+    and raise :class:`~repro.models.base.ModelExecutionError`.
     """
 
     def __init__(self, graph: Any, alpha: float = 0.5, seed: int = 0,
@@ -158,7 +158,7 @@ class MPCCluster:
             raise TypeError(
                 f"execution= wants an ExecutionPlan or a tier name, "
                 f"got {type(execution).__name__}")
-        self.model.check_plan(plan)  # fail fast: MPC has only the node rung
+        self.model.check_plan(plan)  # fail fast on foreign (CONGEST) rungs
         self.execution_plan = plan
 
         # observability mirrors Network: explicit observe= wins, else the
@@ -243,9 +243,9 @@ class MPCCluster:
     def explain_execution(self, factory: Any = None,
                           shared: Optional[Dict[str, Any]] = None,
                           ) -> ExecutionDecision:
-        """How this cluster's plan resolves (always the single MPC rung);
-        the reason chain names the model, mirroring
-        ``Network.explain_execution``."""
+        """How this cluster's plan resolves on the MPC ladder
+        (``mpc_kernel`` > ``node``); the reason chain names the model
+        and only MPC rungs, mirroring ``Network.explain_execution``."""
         return self.model.resolve(self, factory, shared, collect=True)
 
     # -- superstep/memory accounting ------------------------------------

@@ -41,9 +41,27 @@ traces and profiles show the textbook structure):
     dead, every machine drops its now-dead resident edges (releasing
     their words), and the working sets are freed.
 
+The phase *bodies* come in two golden-equivalent implementations behind
+one interface: :class:`_NodePasses` (the per-machine python loops — the
+``node`` tier and the reference semantics) and
+:class:`~repro.mpc.kernel.VectorPasses` (whole-cluster numpy array
+passes — the ``mpc_kernel`` tier).  The driver resolves the cluster's
+:class:`~repro.models.execution.ExecutionPlan` through the MPC model's
+ladder and everything observable — matching, supersteps, Metrics, the
+memory account, phase details and structural events — is identical on
+both rungs (pinned by ``tests/test_mpc_kernel.py``).
+
 Every allocation along the way goes through
-:meth:`~repro.mpc.cluster.MPCMachine.charge`, so the hard memory guard
-is enforced *during* the run, not audited after it.
+:meth:`~repro.mpc.cluster.MPCMachine.charge` (or its budget-exact array
+ledger mirror), so the hard memory guard is enforced *during* the run,
+not audited after it.
+
+Per iteration the phases also emit the roadmap's peeling counters, cheap
+on both tiers: ``delta_est`` (the residual-degree estimate read off the
+working sample) on ``sparsify`` and ``decay_ratio`` (the fraction of
+alive edges eliminated) on ``integrate`` — visible in traces, Profiler
+counter rows and :attr:`MPCMatchingResult.delta_est` /
+:attr:`MPCMatchingResult.edge_decay`.
 """
 
 from __future__ import annotations
@@ -67,7 +85,9 @@ class MPCMatchingResult(ProtocolResult):
     ``network`` carries the :class:`~repro.mpc.cluster.MPCCluster` (it
     satisfies the same ``.metrics`` surface), so the inherited
     ``metrics``/``rounds_total`` properties report supersteps and the
-    memory account.
+    memory account.  ``tier`` records which rung of the MPC ladder the
+    run resolved to (``"mpc_kernel"`` or ``"node"``); the two are
+    golden-equivalent in everything else this result carries.
     """
 
     alpha: float = 0.0
@@ -76,14 +96,171 @@ class MPCMatchingResult(ProtocolResult):
     peak_words: int = 0
     machine_words: int = 0
     num_machines: int = 0
+    #: the resolved execution rung this run used
+    tier: str = "node"
     #: per-iteration (sampled edges, components, matched edges) triples
     iteration_stats: List[Tuple[int, int, int]] = field(default_factory=list)
+    #: per-iteration residual-degree estimates from the working sample
+    delta_est: List[int] = field(default_factory=list)
+    #: per-iteration alive-edge decay (edges eliminated by integrate)
+    edge_decay: List[int] = field(default_factory=list)
 
 
 def _priority(seed: int, iteration: int, u: int, v: int) -> int:
     """Deterministic per-iteration edge priority (splitmix64 stream)."""
     a, b = (u, v) if u <= v else (v, u)
     return spawn_seed(seed, "mpc", iteration, a, b)
+
+
+class _NodePasses:
+    """The per-machine python phase passes (the ``node`` tier).
+
+    This is the reference semantics: every record charged one
+    :meth:`~repro.mpc.cluster.MPCMachine.charge` at a time, dictionaries
+    and python sorts throughout.  The vectorized
+    :class:`~repro.mpc.kernel.VectorPasses` implements the identical
+    interface and must return the identical counts.
+    """
+
+    def __init__(self, cluster: MPCCluster, graph: Any) -> None:
+        self.cluster = cluster
+        self.M = cluster.num_machines
+        # per-machine sample cap: each sampled edge costs its home
+        # machine 2 (record) + 4 (ball-growing label slots) + 1
+        # (acceptance word) working words, so q samples stay within the
+        # working budget
+        self.q = max(1, cluster.working_budget // 8)
+        self.nodes = list(graph.nodes)  # sorted ids; determinism matters
+        self.node_index = {v: i for i, v in enumerate(self.nodes)}
+        self.num_nodes = len(self.nodes)
+        self.edges: List[Tuple[Any, Any]] = [(u, v)
+                                             for u, v, _ in graph.edges()]
+        self.num_edges = len(self.edges)
+        self.alive = [True] * self.num_edges
+        self.alive_count = self.num_edges
+        self.incident: Dict[Any, List[int]] = {}
+        self.matched: Dict[Any, Any] = {}
+        # working[home] tracks one iteration's transient words so
+        # integrate can release exactly what the phases charged
+        self.working: Dict[int, int] = {}
+        self.sample: List[Tuple[int, int]] = []
+        self.best: Dict[Any, Tuple[int, int]] = {}
+
+    def _edge_home(self, idx: int) -> int:
+        return idx % self.M
+
+    def _owner(self, v: Any) -> int:
+        return self.node_index[v] % self.M
+
+    def _charge_working(self, home: int, words: int, phase: str) -> None:
+        self.cluster.machines[home].charge(words, phase)
+        self.working[home] = self.working.get(home, 0) + words
+
+    def distribute(self) -> None:
+        """Distribute the input (charges resident ledgers; guard live)."""
+        for idx, (u, v) in enumerate(self.edges):
+            self.cluster.machines[self._edge_home(idx)].charge(
+                2, "input distribution")
+            self.incident.setdefault(u, []).append(idx)
+            self.incident.setdefault(v, []).append(idx)
+        for v in self.nodes:
+            self.cluster.machines[self._owner(v)].charge(
+                2, "input distribution")
+
+    def sparsify(self, iteration: int) -> Tuple[int, int]:
+        """Per-machine lowest-priority working sample; returns
+        ``(sample_size, delta_est)``."""
+        self.working = {}
+        per_machine: Dict[int, List[Tuple[int, int]]] = {}
+        for idx in range(self.num_edges):
+            if self.alive[idx]:
+                u, v = self.edges[idx]
+                pri = _priority(self.cluster.seed, iteration, u, v)
+                per_machine.setdefault(self._edge_home(idx), []).append(
+                    (pri, idx))
+        sample: List[Tuple[int, int]] = []
+        for home, cand in per_machine.items():
+            cand.sort()
+            take = cand[:self.q]
+            self._charge_working(home, 2 * len(take), "sparsify")
+            sample.extend(take)
+        sample.sort()
+        self.sample = sample
+        # Δ_est peeling counter: residual-degree estimate from the
+        # working sample (max sampled edges at any endpoint)
+        degree: Dict[Any, int] = {}
+        for _pri, idx in sample:
+            for w in self.edges[idx]:
+                degree[w] = degree.get(w, 0) + 1
+        return len(sample), max(degree.values(), default=0)
+
+    def ball_growing(self) -> Tuple[int, int, int]:
+        """Pointer-jump to component leaders; returns
+        ``(sampled_vertices, jumps, components)``."""
+        best: Dict[Any, Tuple[int, int]] = {}
+        for pri, idx in self.sample:
+            u, v = self.edges[idx]
+            if u not in best or (pri, idx) < best[u]:
+                best[u] = (pri, idx)
+            if v not in best or (pri, idx) < best[v]:
+                best[v] = (pri, idx)
+        # label state rides the sample's edge replicas (2 slots per
+        # endpoint on the edge's home machine), the standard edge-list
+        # layout for MPC pointer jumping — so the charge stays bounded
+        # by the per-machine sample cap
+        for _pri, idx in self.sample:
+            self._charge_working(self._edge_home(idx), 4, "ball_growing")
+        parent: Dict[Any, Any] = {}
+        for v, (pri, idx) in best.items():
+            a, b = self.edges[idx]
+            parent[v] = b if v == a else a
+        jumps = max(1, math.ceil(math.log2(max(2, len(best)))))
+        for _ in range(jumps):
+            parent = {v: parent.get(parent[v], parent[v])
+                      for v in parent}
+        # leaders: vertices on a mutual-minimum edge (2-cycles of the
+        # parent forest); count components via jump-stable labels
+        components = len({min(v, parent[v],
+                              key=lambda x: self.node_index[x])
+                          if parent.get(parent[v]) == v else parent[v]
+                          for v in parent})
+        self.best = best
+        return len(best), jumps, components
+
+    def local_mis(self) -> List[int]:
+        """Mutual minima of the sample (accepted global edge indices)."""
+        accepted: List[int] = []
+        for pri, idx in self.sample:
+            u, v = self.edges[idx]
+            if self.best[u] == (pri, idx) and self.best[v] == (pri, idx):
+                accepted.append(idx)
+        # one word of mutual-minimum agreement per accepted edge,
+        # recorded on the edge's home machine
+        for idx in accepted:
+            self._charge_working(self._edge_home(idx), 1, "local_mis")
+        return accepted
+
+    def integrate(self, accepted: List[int]) -> int:
+        """Apply the matching, drop dead edges, free the working sets."""
+        dropped = 0
+        for idx in accepted:
+            u, v = self.edges[idx]
+            self.matched[u] = v
+            self.matched[v] = u
+            for w in (u, v):
+                for inc in self.incident[w]:
+                    if self.alive[inc]:
+                        self.alive[inc] = False
+                        self.alive_count -= 1
+                        dropped += 1
+                        self.cluster.machines[self._edge_home(inc)].release(2)
+        # free the working sets (samples, labels, agreement words)
+        for home, words in self.working.items():
+            self.cluster.machines[home].release(words)
+        return dropped
+
+    def finish(self) -> None:
+        """Nothing to sync: the node tier charges machines directly."""
 
 
 def mpc_maximal(cluster: MPCCluster,
@@ -94,83 +271,54 @@ def mpc_maximal(cluster: MPCCluster,
     iterations until no alive edge remains; since every removed edge has
     a matched endpoint, the result is maximal by construction (and
     :func:`repro.matching.verify.certify` re-checks it independently).
+    The cluster's execution plan resolves through the MPC ladder
+    (``mpc_kernel`` → ``node``); both rungs are golden-equivalent, so
+    the choice only affects wall-clock.
     """
     graph = cluster.graph
     protocol = "mpc_maximal"
     driver = PhaseDriver(cluster, protocol)
     matching = Matching()
 
-    nodes = list(graph.nodes)  # sorted ids; determinism matters
-    node_index = {v: i for i, v in enumerate(nodes)}
+    decision = cluster.model.resolve(cluster)
+    if decision.tier == "mpc_kernel":
+        from .kernel import VectorPasses
+
+        passes: Any = VectorPasses(cluster, graph)
+    else:
+        passes = _NodePasses(cluster, graph)
+
+    m, n = passes.num_edges, passes.num_nodes
     M = cluster.num_machines
-    # per-machine sample cap: each sampled edge costs its home machine
-    # 2 (record) + 4 (ball-growing label slots) + 1 (acceptance word)
-    # working words, so q samples stay within the working budget
-    q = max(1, cluster.working_budget // 8)
 
-    def edge_home(idx: int) -> int:
-        return idx % M
+    passes.distribute()
+    cluster.superstep(protocol, count=1, messages=m + n,
+                      words=2 * m + 2 * n)
 
-    def owner(v: Any) -> int:
-        return node_index[v] % M
-
-    # -- distribute the input (charges resident ledgers; guard is live) --
-    edges: List[Tuple[Any, Any]] = [(u, v) for u, v, _ in graph.edges()]
-    alive = [True] * len(edges)
-    incident: Dict[Any, List[int]] = {}
-    for idx, (u, v) in enumerate(edges):
-        cluster.machines[edge_home(idx)].charge(2, "input distribution")
-        incident.setdefault(u, []).append(idx)
-        incident.setdefault(v, []).append(idx)
-    for v in nodes:
-        cluster.machines[owner(v)].charge(2, "input distribution")
-    cluster.superstep(protocol, count=1,
-                      messages=len(edges) + len(nodes),
-                      words=2 * len(edges) + 2 * len(nodes))
-
-    matched: Dict[Any, Any] = {}
-    alive_count = len(edges)
     if max_iterations is None:
-        max_iterations = 4 * max(1, len(edges)).bit_length() + len(nodes) + 8
+        max_iterations = 4 * max(1, m).bit_length() + n + 8
     stall_depth = max(1, math.ceil(math.log2(max(2, M))))
 
     iteration = 0
     stats: List[Tuple[int, int, int]] = []
-    while alive_count > 0:
+    delta_series: List[int] = []
+    decay_series: List[int] = []
+    while passes.alive_count > 0:
         iteration += 1
         if iteration > max_iterations:  # pragma: no cover - safety net
             raise RuntimeError(
                 f"mpc_maximal exceeded {max_iterations} iterations with "
-                f"{alive_count} alive edge(s); progress invariant broken")
+                f"{passes.alive_count} alive edge(s); progress invariant "
+                f"broken")
+        alive_before = passes.alive_count
 
         # -- sparsify: per-machine lowest-priority working sample -------
-        # working[home] tracks this iteration's transient words so
-        # integrate can release exactly what the phases charged
-        working: Dict[int, int] = {}
-
-        def charge_working(home: int, words: int, phase: str) -> None:
-            cluster.machines[home].charge(words, phase)
-            working[home] = working.get(home, 0) + words
-
         with driver.phase(f"sparsify[{iteration}]") as ph:
-            per_machine: Dict[int, List[Tuple[int, int]]] = {}
-            for idx in range(len(edges)):
-                if alive[idx]:
-                    u, v = edges[idx]
-                    pri = _priority(cluster.seed, iteration, u, v)
-                    per_machine.setdefault(edge_home(idx), []).append(
-                        (pri, idx))
-            sample: List[Tuple[int, int]] = []
-            for home, cand in per_machine.items():
-                cand.sort()
-                take = cand[:q]
-                charge_working(home, 2 * len(take), "sparsify")
-                sample.extend(take)
-            sample.sort()
-            cluster.superstep(protocol, count=1, messages=len(sample),
-                              words=2 * len(sample))
-            ph.set_detail(alive=alive_count, sampled=len(sample),
-                          per_machine_cap=q)
+            sampled, delta_est = passes.sparsify(iteration)
+            cluster.superstep(protocol, count=1, messages=sampled,
+                              words=2 * sampled)
+            ph.set_detail(alive=alive_before, sampled=sampled,
+                          per_machine_cap=passes.q, delta_est=delta_est)
 
         # -- stall: pad to the oblivious combiner-tree schedule ---------
         with driver.phase(f"stall[{iteration}]") as ph:
@@ -179,48 +327,16 @@ def mpc_maximal(cluster: MPCCluster,
 
         # -- ball growing: pointer-jump to component leaders ------------
         with driver.phase(f"ball_growing[{iteration}]") as ph:
-            best: Dict[Any, Tuple[int, int]] = {}
-            for pri, idx in sample:
-                u, v = edges[idx]
-                if u not in best or (pri, idx) < best[u]:
-                    best[u] = (pri, idx)
-                if v not in best or (pri, idx) < best[v]:
-                    best[v] = (pri, idx)
-            # label state rides the sample's edge replicas (2 slots per
-            # endpoint on the edge's home machine), the standard
-            # edge-list layout for MPC pointer jumping — so the charge
-            # stays bounded by the per-machine sample cap
-            for _pri, idx in sample:
-                charge_working(edge_home(idx), 4, "ball_growing")
-            parent: Dict[Any, Any] = {}
-            for v, (pri, idx) in best.items():
-                a, b = edges[idx]
-                parent[v] = b if v == a else a
-            jumps = max(1, math.ceil(math.log2(max(2, len(best)))))
-            for _ in range(jumps):
-                parent = {v: parent.get(parent[v], parent[v])
-                          for v in parent}
+            sampled_vertices, jumps, components = passes.ball_growing()
             cluster.superstep(protocol, count=jumps,
-                              messages=len(best), words=len(best))
-            # leaders: vertices on a mutual-minimum edge (2-cycles of the
-            # parent forest); count components via jump-stable labels
-            components = len({min(v, parent[v], key=lambda x: node_index[x])
-                              if parent.get(parent[v]) == v else parent[v]
-                              for v in parent})
-            ph.set_detail(sampled_vertices=len(best), jumps=jumps,
+                              messages=sampled_vertices,
+                              words=sampled_vertices)
+            ph.set_detail(sampled_vertices=sampled_vertices, jumps=jumps,
                           components=components)
 
         # -- local MIS on the line graph: mutual minima -----------------
         with driver.phase(f"local_mis[{iteration}]") as ph:
-            accepted: List[int] = []
-            for pri, idx in sample:
-                u, v = edges[idx]
-                if best[u] == (pri, idx) and best[v] == (pri, idx):
-                    accepted.append(idx)
-            # one word of mutual-minimum agreement per accepted edge,
-            # recorded on the edge's home machine
-            for idx in accepted:
-                charge_working(edge_home(idx), 1, "local_mis")
+            accepted = passes.local_mis()
             cluster.superstep(protocol, count=1,
                               messages=2 * len(accepted),
                               words=2 * len(accepted))
@@ -229,33 +345,25 @@ def mpc_maximal(cluster: MPCCluster,
 
         # -- integrate: apply the matching, drop dead edges -------------
         with driver.phase(f"integrate[{iteration}]") as ph:
-            dropped = 0
             for idx in accepted:
-                u, v = edges[idx]
+                u, v = passes.edges[idx]
                 matching.add(u, v)
-                matched[u] = v
-                matched[v] = u
-                for w in (u, v):
-                    for inc in incident[w]:
-                        if alive[inc]:
-                            alive[inc] = False
-                            alive_count -= 1
-                            dropped += 1
-                            cluster.machines[edge_home(inc)].release(2)
-            # free the working sets (samples, labels, agreement words)
-            for home, words in working.items():
-                cluster.machines[home].release(words)
+            dropped = passes.integrate(accepted)
             cluster.superstep(protocol, count=2,
                               messages=2 * len(accepted),
                               words=2 * len(accepted))
             ph.set_detail(matched=len(accepted), dropped_edges=dropped,
-                          alive=alive_count)
+                          alive=passes.alive_count,
+                          decay_ratio=round(dropped / alive_before, 4))
 
-        stats.append((len(sample), components, len(accepted)))
+        stats.append((sampled, components, len(accepted)))
+        delta_series.append(delta_est)
+        decay_series.append(dropped)
         driver.emit_augmentation(f"integrate[{iteration}]",
                                  paths=len(accepted),
                                  size=float(matching.size))
 
+    passes.finish()
     cluster.record_peaks()
     return MPCMatchingResult(
         matching=matching,
@@ -266,5 +374,8 @@ def mpc_maximal(cluster: MPCCluster,
         peak_words=cluster.peak_words,
         machine_words=cluster.machine_words,
         num_machines=cluster.num_machines,
+        tier=decision.tier,
         iteration_stats=stats,
+        delta_est=delta_series,
+        edge_decay=decay_series,
     )

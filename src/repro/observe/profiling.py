@@ -48,7 +48,11 @@ class PhaseProfile:
 
     ``entries`` counts how many times the phase was entered; rounds,
     messages and wall are summed over all entries and include everything
-    nested inside (flame-graph semantics).
+    nested inside (flame-graph semantics).  ``counters`` sums the numeric
+    values of each entry's :class:`~repro.observe.events.PhaseEnd`
+    ``detail`` dict — the drivers' per-phase counters (sampled edges,
+    ``delta_est``, ``dropped_edges``, ``decay_ratio``, ...) aggregate
+    here without any extra instrumentation in the driver.
     """
 
     algorithm: str
@@ -57,6 +61,7 @@ class PhaseProfile:
     rounds: int = 0
     messages: int = 0
     wall: float = 0.0
+    counters: Dict[str, float] = field(default_factory=dict)
 
 
 class _OpenPhase:
@@ -107,6 +112,10 @@ class ProfileReport:
                     f"{label:<30} {ph.entries:>7} {ph.rounds:>7} "
                     f"{ph.messages:>9} {ph.wall:>8.4f}"
                 )
+                if ph.counters:
+                    rendered = " ".join(
+                        f"{k}={v:g}" for k, v in sorted(ph.counters.items()))
+                    lines.append(f"    counters: {rendered}")
         return "\n".join(lines)
 
     def __str__(self) -> str:
@@ -173,6 +182,11 @@ class Profiler:
             profile.rounds += open_phase.rounds
             profile.messages += open_phase.messages
             profile.wall += self._clock() - open_phase.t0
+            for name, value in getattr(event, "detail", {}).items():
+                if isinstance(value, (int, float)) and not isinstance(
+                        value, bool):
+                    profile.counters[name] = (
+                        profile.counters.get(name, 0) + value)
 
     def report(self) -> ProfileReport:
         """A snapshot of the current account (ordered by wall desc)."""

@@ -73,13 +73,22 @@ class TestExecutionPlan:
         with pytest.raises(ValueError):
             ExecutionPlan(tier="warp")
 
+    def test_all_tiers_cover_every_model(self):
+        # plans validate against the union vocabulary; model-specific
+        # rungs (mpc_kernel) are plan-constructible but rejected by
+        # models that do not own them
+        from repro.models import ALL_TIERS, MPC_TIERS
+
+        assert set(TIERS) | set(MPC_TIERS) == set(ALL_TIERS)
+        assert ExecutionPlan(tier="mpc_kernel").tier == "mpc_kernel"
+
     def test_contradictory_plans_rejected(self):
         with pytest.raises(ValueError):
             ExecutionPlan(shards=-1)
-        for tier in ("kernel", "node", "legacy"):
+        for tier in ("kernel", "mpc_kernel", "node", "legacy"):
             with pytest.raises(ValueError):
                 ExecutionPlan(tier=tier, shards=2)
-        for tier in ("kernel", "sharded-kernel"):
+        for tier in ("kernel", "sharded-kernel", "mpc_kernel"):
             with pytest.raises(ValueError):
                 ExecutionPlan(tier=tier, kernels=False)
 
@@ -330,6 +339,74 @@ class TestExplainExecution:
                                                 shards=2))
         net.explain_execution(LubyMISNode)
         assert net._sharded_execs == {}
+
+
+# --- the MPC ladder's reason chains (pinned) ------------------------------
+
+class TestMPCLadderExplain:
+    """explain_execution() on a cluster walks the MPC ladder, and the
+    chain names only tiers the MPC model declares — pinned exactly."""
+
+    def _cluster(self, **kwargs):
+        from repro.mpc import MPCCluster
+
+        return MPCCluster(path_graph(280), alpha=0.7, **kwargs)
+
+    def test_node_pin_chain_exact(self):
+        decision = self._cluster(execution="node").explain_execution()
+        cluster = self._cluster(execution="node")
+        assert decision.tier == "node"
+        assert decision.reasons == (
+            "model 'mpc': resolving plan tier 'node' on the MPC "
+            "execution ladder (mpc_kernel > node)",
+            "tier 'node': selected — supersteps execute in-process on "
+            "simulated machines (per-machine memory guard "
+            f"S = {cluster.machine_words} words, "
+            f"{cluster.num_machines} machine(s))",
+        )
+
+    def test_auto_chain_exact(self):
+        from repro.mpc.kernel import _np
+
+        decision = self._cluster().explain_execution()
+        head = ("model 'mpc': resolving plan tier 'auto' on the MPC "
+                "execution ladder (mpc_kernel > node)")
+        if _np is not None:
+            assert decision.tier == "mpc_kernel"
+            assert decision.reasons == (
+                head,
+                "tier 'mpc_kernel': selected — supersteps run as "
+                "whole-cluster array passes over packed machine ledgers "
+                "(numpy), budget-exact against the node tier",
+            )
+        else:
+            assert decision.tier == "node"
+            assert decision.reasons[0] == head
+            assert "numpy is not importable" in decision.reasons[1]
+            assert decision.reasons[1].startswith(
+                "tier 'mpc_kernel': skipped — ")
+
+    def test_kernels_false_chain_exact(self):
+        decision = self._cluster(
+            execution=ExecutionPlan(kernels=False)).explain_execution()
+        cluster = self._cluster(execution="node")
+        assert decision.tier == "node"
+        assert decision.reasons == (
+            "model 'mpc': resolving plan tier 'auto' on the MPC "
+            "execution ladder (mpc_kernel > node)",
+            "tier 'mpc_kernel': skipped — the plan excludes kernels "
+            "(kernels=False)",
+            "tier 'node': selected — supersteps execute in-process on "
+            "simulated machines (per-machine memory guard "
+            f"S = {cluster.machine_words} words, "
+            f"{cluster.num_machines} machine(s))",
+        )
+
+    def test_congest_network_rejects_the_mpc_rung(self):
+        from repro.models import ModelExecutionError
+
+        with pytest.raises(ModelExecutionError, match="model 'congest'"):
+            Network(path_graph(6), execution="mpc_kernel")
 
 
 # --- legacy shims resolve identically (golden) ----------------------------

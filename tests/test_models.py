@@ -38,9 +38,12 @@ class TestRegistry:
         assert MPC_MODEL.loop_unit == "superstep"
 
     def test_tier_vocabulary(self):
-        # CONGEST owns the full ladder; MPC has the single node rung
-        assert set(MPC_MODEL.tiers) == {"node"}
-        assert set(MPC_MODEL.tiers) < set(CONGEST_MODEL.tiers)
+        # CONGEST owns the six-rung ladder; MPC owns its own two rungs
+        assert MPC_MODEL.tiers == ("mpc_kernel", "node")
+        # 'node' is the only rung the ladders share; 'mpc_kernel' is
+        # MPC-private (CONGEST must not accept it)
+        assert set(MPC_MODEL.tiers) & set(CONGEST_MODEL.tiers) == {"node"}
+        assert "mpc_kernel" not in CONGEST_MODEL.tiers
 
 
 class TestCheckPlan:
@@ -59,7 +62,7 @@ class TestCheckPlan:
         msg = str(err.value)
         assert "model 'mpc'" in msg
         assert f"tier '{tier}'" in msg
-        assert "execution='auto' or 'node'" in msg
+        assert "execution='auto', 'mpc_kernel' or 'node'" in msg
 
     @pytest.mark.parametrize("tier", ["kernel", "sharded", "sharded-kernel",
                                       "legacy", "node"])
@@ -94,13 +97,25 @@ class TestExplainNamesTheModel:
         assert any("model 'congest'" in r for r in decision.reasons)
 
     def test_mpc_chain(self):
-        cluster = MPCCluster(path_graph(40), alpha=0.8)
+        cluster = MPCCluster(path_graph(40), alpha=0.8,
+                             execution="node")
         decision = cluster.explain_execution()
         assert decision.tier == "node"
         assert any("model 'mpc'" in r for r in decision.reasons)
         # the chain surfaces the memory envelope, the model's signature
         joined = " ".join(decision.reasons)
         assert f"S = {cluster.machine_words} words" in joined
+
+    def test_mpc_auto_chain_names_only_mpc_rungs(self):
+        # explain_execution() on a cluster must walk the MPC ladder —
+        # no CONGEST rung (compiled/kernel/shard) may appear
+        cluster = MPCCluster(path_graph(40), alpha=0.8)
+        decision = cluster.explain_execution()
+        assert decision.tier in ("mpc_kernel", "node")
+        joined = " ".join(decision.reasons)
+        for foreign in ("compiled", "sharded-kernel", "'kernel'",
+                        "'sharded'", "legacy"):
+            assert foreign not in joined
 
     def test_network_carries_its_model(self):
         assert Network(path_graph(4)).model is CONGEST_MODEL
